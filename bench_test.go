@@ -1,0 +1,342 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one benchmark per artifact. Each benchmark runs a reduced
+// configuration sized for continuous integration; the cmd/ tools run the
+// paper-scale versions (see EXPERIMENTS.md for recorded results).
+package stardust_test
+
+import (
+	"fmt"
+	"testing"
+
+	"stardust/internal/analytic"
+	"stardust/internal/device"
+	"stardust/internal/experiments"
+	"stardust/internal/fabricsim"
+	"stardust/internal/queueing"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+	"stardust/internal/workload"
+)
+
+// BenchmarkFig2Scaling evaluates the Fig 2 scalability series: end hosts
+// vs tiers, and device/link counts for networks up to one million hosts.
+func BenchmarkFig2Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, dev := range topo.Fig2Devices {
+			for n := 1; n <= 4; n++ {
+				_ = topo.MaxHosts(dev, n)
+			}
+			for _, h := range []int{1e4, 1e5, 1e6} {
+				p := topo.Plan(dev, h)
+				if p.Devices <= 0 || p.SerialLinks <= 0 {
+					b.Fatal("degenerate plan")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Elements evaluates the Table 2 element-count rows.
+func BenchmarkTable2Elements(b *testing.B) {
+	p := topo.Params{K: 32, T: 22, L: 8}
+	for i := 0; i < b.N; i++ {
+		for n := 1; n <= 4; n++ {
+			ec := topo.Table2(p, n)
+			if ec.MaxToRs <= 0 {
+				b.Fatal("bad row")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3Parallelism sweeps the required-parallelism curves.
+func BenchmarkFig3Parallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := analytic.Fig3(analytic.DefaultSwitch, nil)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig7PushPull runs the push-vs-pull fabric comparison.
+func BenchmarkFig7PushPull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PushPull(false)
+		if r.StardustB < 0.9 {
+			b.Fatalf("pull fabric broke: %v", r.StardustB)
+		}
+	}
+}
+
+// BenchmarkFig8aPacking evaluates the four NetFPGA designs across the
+// packet-size sweep.
+func BenchmarkFig8aPacking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := device.Fig8a(150e6, nil)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig8bTraces evaluates the production-trace mixes.
+func BenchmarkFig8bTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tr := range workload.Traces {
+			sizes, weights := workload.PacketMix(tr)
+			th := device.NetFPGA(device.Packed, 150e6).MixThroughput(sizes, weights)
+			if th <= 0 {
+				b.Fatal("no throughput")
+			}
+		}
+	}
+}
+
+// BenchmarkAristaSystem runs a short §6.1.2 single-tier line-rate and
+// latency measurement.
+func BenchmarkAristaSystem(b *testing.B) {
+	cfg := experiments.ScaledArista()
+	cfg.Duration = 50 * sim.Microsecond
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Arista(cfg, []int{384})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].LineRatePct < 90 {
+			b.Fatalf("384B below line rate: %v", rows[0].LineRatePct)
+		}
+	}
+}
+
+// BenchmarkFig9Fabric runs the two-tier cell fabric at 80% load
+// (reduced scale).
+func BenchmarkFig9Fabric(b *testing.B) {
+	cfg := fabricsim.Scaled(0.8, 8)
+	cfg.Slots = 1000
+	cfg.WarmupSlots = 200
+	for i := 0; i < b.N; i++ {
+		res, err := fabricsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CellsDropped != 0 {
+			b.Fatal("fabric dropped")
+		}
+	}
+}
+
+// BenchmarkMD1Model computes the §4.2.1 M/D/1 queue distributions.
+func BenchmarkMD1Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, rho := range []float64{0.66, 0.8, 0.92, 0.95} {
+			m, err := queueing.NewMD1(rho)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ccdf := m.QueueCCDF(80)
+			if ccdf[0] < 0.99 {
+				b.Fatal("bad CCDF")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10aPermutation runs the permutation-throughput experiment
+// for the Stardust substrate (reduced fat-tree).
+func BenchmarkFig10aPermutation(b *testing.B) {
+	cfg := experiments.QuickHtsim()
+	cfg.Duration = 5 * sim.Millisecond
+	cfg.Warmup = 2 * sim.Millisecond
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Permutation(cfg, experiments.ProtoStardust)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MeanUtilPct < 50 {
+			b.Fatalf("utilization collapsed: %v", r.MeanUtilPct)
+		}
+	}
+}
+
+// BenchmarkFig10bFCT runs the Web-workload FCT experiment under
+// background load.
+func BenchmarkFig10bFCT(b *testing.B) {
+	cfg := experiments.QuickHtsim()
+	cfg.Duration = 5 * sim.Millisecond
+	cfg.Warmup = 2 * sim.Millisecond
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FCT(cfg, experiments.ProtoStardust, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Ms.N() == 0 {
+			b.Fatal("no measured flows")
+		}
+	}
+}
+
+// BenchmarkFig10cIncast runs one incast point for the Stardust substrate.
+func BenchmarkFig10cIncast(b *testing.B) {
+	cfg := experiments.QuickHtsim()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Incast(cfg, experiments.ProtoStardust, 8, 450_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.LastMs <= 0 {
+			b.Fatal("no completion")
+		}
+	}
+}
+
+// BenchmarkFig10dArea evaluates the silicon area model.
+func BenchmarkFig10dArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		got := analytic.DefaultAreaBreakdown.RelativeAreaPerTbps(analytic.PaperAreaRatios)
+		if got <= 0 {
+			b.Fatal("bad area")
+		}
+	}
+}
+
+// BenchmarkFig11Cost evaluates the relative-cost curves.
+func BenchmarkFig11Cost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := analytic.Fig11a(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig11Power evaluates the relative-power curves.
+func BenchmarkFig11Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := analytic.Fig11b(nil)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAppEResilience evaluates the recovery-time model and formula.
+func BenchmarkAppEResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := analytic.DefaultResilience
+		if p.RecoveryTime() <= 0 || p.BandwidthOverhead() <= 0 {
+			b.Fatal("bad model")
+		}
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationPacking compares cell counts with packing on and off
+// for small-packet traffic (§3.4).
+func BenchmarkAblationPacking(b *testing.B) {
+	for _, packing := range []bool{true, false} {
+		name := "off"
+		if packing {
+			name = "on"
+		}
+		b.Run("packing="+name, func(b *testing.B) {
+			sw := device.NetFPGA(device.Packed, 150e6)
+			if !packing {
+				sw = device.NetFPGA(device.Cells, 150e6)
+			}
+			var sum float64
+			for i := 0; i < b.N; i++ {
+				for s := 64; s <= 1518; s += 16 {
+					sum += sw.Throughput(s)
+				}
+			}
+			_ = sum
+		})
+	}
+}
+
+// BenchmarkAblationCreditSize sweeps the credit quantum (§4.1's
+// memory-vs-fairness trade-off) on the incast experiment: smaller credits
+// improve fairness (first-vs-last spread) at a higher scheduling rate.
+func BenchmarkAblationCreditSize(b *testing.B) {
+	for _, credit := range []int64{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("credit=%dB", credit), func(b *testing.B) {
+			cfg := experiments.QuickHtsim()
+			cfg.StardustCredit = credit
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Incast(cfg, experiments.ProtoStardust, 8, 200_000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.LastMs <= 0 {
+					b.Fatal("incast incomplete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFCI compares the over-subscribed fabric with and
+// without FCI (Fig 9's 1.2 curve vs an unprotected fabric).
+func BenchmarkAblationFCI(b *testing.B) {
+	for _, fci := range []bool{true, false} {
+		name := "off"
+		if fci {
+			name = "on"
+		}
+		b.Run("fci="+name, func(b *testing.B) {
+			cfg := fabricsim.Scaled(1.2, 8)
+			cfg.FCI = fci
+			cfg.Slots = 1500
+			cfg.WarmupSlots = 300
+			for i := 0; i < b.N; i++ {
+				res, err := fabricsim.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fci && float64(res.CellsDropped) > 0.05*float64(res.CellsOffered) {
+					b.Fatal("FCI failed to protect the fabric")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLinkBundling compares device counts for identical
+// aggregate bandwidth at bundle widths 1 and 8 (§2.2).
+func BenchmarkAblationLinkBundling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bundled := topo.Plan(topo.FT400Gx32, 100000)
+		discrete := topo.Plan(topo.Stardust50G, 100000)
+		if discrete.Devices >= bundled.Devices {
+			b.Fatal("bundling ablation inverted")
+		}
+	}
+}
+
+// BenchmarkAblationCreditSpeedup sweeps the credit speed-up ratio (§4.1
+// sets it "slightly above the egress port bandwidth", §6.2 uses ~1.05):
+// too little starves the egress buffer, too much leans on the FCI loop.
+func BenchmarkAblationCreditSpeedup(b *testing.B) {
+	for _, su := range []float64{1.0, 1.03, 1.08} {
+		b.Run(fmt.Sprintf("speedup=%.2f", su), func(b *testing.B) {
+			cfg := experiments.QuickHtsim()
+			cfg.Duration = 5 * sim.Millisecond
+			cfg.Warmup = 2 * sim.Millisecond
+			cfg.StardustSpeedup = su
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Permutation(cfg, experiments.ProtoStardust)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.MeanUtilPct < 40 {
+					b.Fatalf("speedup %.2f collapsed: %.1f%%", su, r.MeanUtilPct)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+// Command stardust-pack regenerates Fig 8: the packet-packing throughput
+// comparison of the NetFPGA reference switch, the NDP switch, non-packed
+// cells, and Stardust packed cells (Fig 8a), plus the production-trace
+// mixes (Fig 8b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stardust/internal/experiments"
+)
+
+func main() {
+	clock := flag.Float64("clock", 150e6, "datapath clock in Hz")
+	traces := flag.Bool("traces", true, "also print the Fig 8b trace mixes")
+	flag.Parse()
+
+	experiments.WriteFig8a(os.Stdout, *clock, nil)
+	if *traces {
+		fmt.Println()
+		experiments.WriteFig8b(os.Stdout, *clock)
+	}
+}

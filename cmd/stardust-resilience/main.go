@@ -1,0 +1,26 @@
+// Command stardust-resilience regenerates Appendix E: the closed-form
+// recovery-time model, plus a measured link-failure withdrawal on the
+// event-driven fabric and the Fig 7 / Fig 12 push-vs-pull comparisons.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stardust/internal/experiments"
+)
+
+func main() {
+	experiments.WriteAppendixE(os.Stdout)
+	fmt.Println()
+	r, err := experiments.Recovery()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.WriteRecovery(os.Stdout, r)
+	fmt.Println()
+	experiments.WritePushPull(os.Stdout, experiments.PushPull(false))
+	fmt.Println()
+	experiments.WritePushPull(os.Stdout, experiments.PushPull(true))
+}

@@ -1,0 +1,51 @@
+// Command stardust-scale regenerates the paper's analytical tables and
+// figures: Fig 2 (scalability), Table 2 (element counts), Fig 3 (required
+// parallelism), Fig 10d (silicon area), Fig 11 (cost and power) and
+// Appendix E (resilience timing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stardust/internal/experiments"
+	"stardust/internal/topo"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which output: 2, 3, 10d, 11, table2, appE, or all")
+	k := flag.Int("k", 8, "switch radix for -fig table2")
+	t := flag.Int("t", 4, "ToR uplink ports for -fig table2")
+	l := flag.Int("l", 2, "links per bundle for -fig table2")
+	flag.Parse()
+
+	w := os.Stdout
+	show := func(name string) bool { return *fig == "all" || *fig == name }
+	if show("2") {
+		experiments.WriteFig2(w)
+		fmt.Fprintln(w)
+	}
+	if show("table2") {
+		experiments.WriteTable2(w, topo.Params{K: *k, T: *t, L: *l})
+		fmt.Fprintln(w)
+	}
+	if show("3") {
+		experiments.WriteFig3(w, nil)
+		fmt.Fprintln(w)
+	}
+	if show("10d") {
+		experiments.WriteFig10d(w)
+		fmt.Fprintln(w)
+	}
+	if show("11") {
+		if err := experiments.WriteFig11(w, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	if show("appE") {
+		experiments.WriteAppendixE(w)
+	}
+}

@@ -1,0 +1,33 @@
+// Command stardust-system regenerates the §6.1.2 single-tier system
+// measurement: line rate and latency versus packet size on an
+// Arista-7500E-style platform of Fabric Adapters and Fabric Elements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stardust/internal/experiments"
+	"stardust/internal/sim"
+)
+
+func main() {
+	numFA := flag.Int("fa", 6, "number of Fabric Adapters")
+	ports := flag.Int("ports", 16, "host ports per adapter")
+	packing := flag.Bool("packing", false, "enable packet packing (Arad: off)")
+	durUs := flag.Int("dur", 300, "measurement duration per size in us")
+	flag.Parse()
+
+	cfg := experiments.ScaledArista()
+	cfg.NumFA = *numFA
+	cfg.PortsPerFA = *ports
+	cfg.Packing = *packing
+	cfg.Duration = sim.Time(*durUs) * sim.Microsecond
+	rows, err := experiments.Arista(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	experiments.WriteArista(os.Stdout, cfg, rows)
+}

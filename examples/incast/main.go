@@ -1,0 +1,72 @@
+// Incast (§5.4): seven adapters burst 100KB each toward one 100G port.
+// The egress credit scheduler admits the aggregate at exactly the port
+// rate, the excess waits in the *source* adapters' deep buffers, nothing
+// is lost in the fabric, and service is round-robin fair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stardust/internal/core"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+func main() {
+	clos, err := topo.NewClos2(8, 4, 4, 8, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.HostPortsPerFA = 2
+	net, err := core.New(cfg, clos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !net.WarmUp(5 * sim.Millisecond) {
+		log.Fatal("no convergence")
+	}
+
+	perSource := map[uint16]int64{}
+	var firstDone, lastDone sim.Time
+	remaining := map[uint16]int64{}
+	net.OnDeliver = func(p *core.Packet) {
+		perSource[p.SrcFA] += int64(p.Size)
+		remaining[p.SrcFA] -= int64(p.Size)
+		if remaining[p.SrcFA] == 0 {
+			if firstDone == 0 {
+				firstDone = net.Sim.Now()
+			}
+			lastDone = net.Sim.Now()
+		}
+	}
+
+	const burst = 100 << 10
+	const pkt = 1000
+	start := net.Sim.Now()
+	for src := uint16(1); src < 8; src++ {
+		for b := 0; b < burst; b += pkt {
+			if ok, _ := net.Inject(src, 0, 0, 0, 0, pkt); !ok {
+				log.Fatalf("ingress buffer overflow at source %d", src)
+			}
+			remaining[src] += pkt
+		}
+	}
+	net.Run(start + 2*sim.Millisecond)
+
+	fmt.Println("7-to-1 incast of 100KB bursts into one 100G port:")
+	for src := uint16(1); src < 8; src++ {
+		fmt.Printf("  source FA%-2d delivered %3dKB\n", src, perSource[src]>>10)
+	}
+	var feDrops uint64
+	for _, fe := range net.FEs {
+		feDrops += fe.Dropped
+	}
+	fmt.Printf("fabric drops: %d\n", feDrops)
+	if firstDone == 0 || lastDone == 0 {
+		log.Fatal("incast did not complete")
+	}
+	fmt.Printf("first source finished at %.1f us, last at %.1f us (fair round-robin credits)\n",
+		(firstDone - start).Microseconds(), (lastDone - start).Microseconds())
+}

@@ -1,0 +1,17 @@
+// Push vs pull (Fig 7 and Fig 12): the canonical example of why a
+// scheduled ("pull") fabric beats an autonomous Ethernet ("push") fabric:
+// congested ports must not steal throughput from uncongested ones.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"stardust/internal/experiments"
+)
+
+func main() {
+	experiments.WritePushPull(os.Stdout, experiments.PushPull(false))
+	fmt.Println()
+	experiments.WritePushPull(os.Stdout, experiments.PushPull(true))
+}

@@ -1,0 +1,240 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+func TestAppendixBWorkedExample(t *testing.T) {
+	// Appendix B: S=64B, B=12.8Tbps, G=20B, f=1GHz, c=1 -> P = 19.047.
+	m := DefaultSwitch
+	if got := m.PacketRate(64); math.Abs(got-19.047e9) > 0.01e9 {
+		t.Fatalf("R(64) = %v, want ~19.047e9", got)
+	}
+	if got := m.ParallelismStandard(64); math.Abs(got-19.047) > 0.01 {
+		t.Fatalf("P(64) = %v, want 19.047", got)
+	}
+	// "a packet size of 256B will require P = 6.06" (paper computes with
+	// G=20 -> 5.797; the printed 6.06 uses G=0 -> 6.25... accept §2.3's
+	// 5.8Gpps anchor instead).
+	if got := m.PacketRate(256); math.Abs(got-5.797e9) > 0.01e9 {
+		t.Fatalf("R(256) = %v, want ~5.8e9 (§2.3)", got)
+	}
+}
+
+func TestFig3Anchors(t *testing.T) {
+	m := DefaultSwitch
+	fe := m.ParallelismStardust()
+	// "Packing data provides 41% improvement for 513B packets"
+	imp513 := m.ParallelismStandard(513)/fe - 1
+	if math.Abs(imp513-0.41) > 0.02 {
+		t.Fatalf("513B improvement = %.3f, want ~0.41", imp513)
+	}
+	// "and 18% for 1025B packets" (our G=20 model gives ~20%)
+	imp1025 := m.ParallelismStandard(1025)/fe - 1
+	if math.Abs(imp1025-0.18) > 0.04 {
+		t.Fatalf("1025B improvement = %.3f, want ~0.18", imp1025)
+	}
+	// "For small packets ... outperforms a packet-based design by a factor
+	// of x4" — the sub-64B/64B region reaches 3-4x.
+	ratio64 := m.ParallelismStandard(64) / fe
+	if ratio64 < 2.8 || ratio64 > 4.2 {
+		t.Fatalf("64B ratio = %.2f, want ~3-4", ratio64)
+	}
+}
+
+func TestFig3Sawtooth(t *testing.T) {
+	m := DefaultSwitch
+	// Crossing a bus-width boundary must increase required parallelism.
+	if m.ParallelismStandard(257) <= m.ParallelismStandard(256) {
+		t.Fatal("no sawtooth jump at 257B")
+	}
+	if m.ParallelismStandard(513) <= m.ParallelismStandard(512) {
+		t.Fatal("no sawtooth jump at 513B")
+	}
+	// Stardust is flat and below the standard switch for every size.
+	rows := Fig3(m, nil)
+	fe := rows[0].Stardust
+	for _, r := range rows {
+		if r.Stardust != fe {
+			t.Fatalf("Stardust parallelism not constant at %dB", r.PacketBytes)
+		}
+		// Near exact bus-width multiples a standard switch briefly dips a
+		// few percent below the packed design (it pays no cell header);
+		// Fig 3 shows the same touch points.
+		if r.Standard < fe*0.88 {
+			t.Fatalf("standard switch (%v) below Stardust (%v) at %dB beyond tolerance",
+				r.Standard, fe, r.PacketBytes)
+		}
+	}
+}
+
+// Property: required parallelism never drops below the pure data-path bound
+// B/(8*W*f) and equals packet-rate/pipeline-rate scaled by occupied slots.
+func TestPropertyParallelismBounds(t *testing.T) {
+	m := DefaultSwitch
+	floor := m.BandwidthBps / (8 * float64(m.BusWidth) * m.ClockHz)
+	f := func(sRaw uint16) bool {
+		s := int(sRaw%4000) + 40
+		p := m.ParallelismStandard(s)
+		slots := math.Ceil(float64(s) / float64(m.BusWidth))
+		want := slots * m.PacketRate(s) / m.PipelineRate()
+		if math.Abs(p-want) > 1e-9 {
+			return false
+		}
+		// With the 20B gap the bound weakens slightly for giant packets.
+		return p > floor*0.85
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10dTable(t *testing.T) {
+	r := PaperAreaRatios
+	if r.HeaderProcessing != 0.13 || r.NetworkInterface != 0.30 ||
+		r.OtherLogic != 0.60 || r.IO != 0.875 {
+		t.Fatal("published per-block ratios corrupted")
+	}
+	got := DefaultAreaBreakdown.RelativeAreaPerTbps(r)
+	if math.Abs(got-r.RelAreaPerTbps) > 0.015 {
+		t.Fatalf("compositional model gives %.3f, published %.3f", got, r.RelAreaPerTbps)
+	}
+	// The breakdown must be a partition of the die.
+	b := DefaultAreaBreakdown
+	if math.Abs(b.HeaderProcessing+b.NetworkInterface+b.OtherLogic+b.IO-1) > 1e-9 {
+		t.Fatal("area breakdown does not sum to 1")
+	}
+}
+
+func TestVOQMemory(t *testing.T) {
+	// Appendix C: 128K VOQs consume roughly 4 MB.
+	if got := VOQMemoryBytes(128 << 10); got != 4<<20 {
+		t.Fatalf("VOQ memory = %d, want 4MB", got)
+	}
+}
+
+func TestReachabilityTableBits(t *testing.T) {
+	tor, fe := ReachabilityTableBits(100000, 256, 40)
+	if tor != 100000*(32+8) {
+		t.Fatalf("ToR bits = %d", tor)
+	}
+	if fe != 2500*8 {
+		t.Fatalf("FE bits = %d", fe)
+	}
+	// Appendix C: ~two orders of magnitude smaller.
+	if ratio := float64(tor) / float64(fe); ratio < 100 {
+		t.Fatalf("table ratio = %v, want >= 100", ratio)
+	}
+}
+
+func TestOpticPrices(t *testing.T) {
+	for lanes, want := range map[int]float64{1: 125, 2: 280, 4: 435} {
+		got, err := OpticPrice(lanes)
+		if err != nil || got != want {
+			t.Fatalf("OpticPrice(%d) = %v, %v", lanes, got, err)
+		}
+	}
+	if _, err := OpticPrice(8); err == nil {
+		t.Fatal("8 lanes should be unsupported")
+	}
+}
+
+func TestFig11aStardustAlwaysCheaper(t *testing.T) {
+	rows, err := Fig11a(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		for dev, rel := range row.Relative {
+			if rel > 100.0 {
+				t.Errorf("hosts=%d vs %s: Stardust costs %.1f%% (>100%%)", row.Hosts, dev, rel)
+			}
+			if rel < 20 {
+				t.Errorf("hosts=%d vs %s: implausibly cheap %.1f%%", row.Hosts, dev, rel)
+			}
+		}
+	}
+	// §7: "The cost of a large scale DCN can be cut in half": at 1e6 hosts
+	// the cheapest comparison should approach ~50-70%.
+	last := rows[len(rows)-1]
+	min := 100.0
+	for _, rel := range last.Relative {
+		if rel < min {
+			min = rel
+		}
+	}
+	if min > 75 {
+		t.Errorf("large-scale best saving only %.1f%%, expected <= 75%%", min)
+	}
+}
+
+func TestFig11bPower(t *testing.T) {
+	// §7 anchor: ~78% saving within the fabric for a 10K-host network vs
+	// the L=8 fat-tree.
+	saving := FabricPowerSaving(topo.FT400Gx32, 10000)
+	if math.Abs(saving-78) > 6 {
+		t.Fatalf("fabric power saving = %.1f%%, want ~78%%", saving)
+	}
+	rows := Fig11b(nil)
+	for _, row := range rows {
+		for dev, rel := range row.Relative {
+			if rel > 100.5 {
+				t.Errorf("hosts=%d vs %s: Stardust uses %.1f%% power (>100%%)", row.Hosts, dev, rel)
+			}
+		}
+	}
+}
+
+func TestAppendixEWorkedExample(t *testing.T) {
+	p := DefaultResilience
+	if got := p.MessageInterval(); got != 10*sim.Microsecond {
+		t.Fatalf("t' = %v, want 10us", got)
+	}
+	if got := p.MessagesPerTable(); got != 7 {
+		t.Fatalf("M = %d, want 7", got)
+	}
+	if got := p.Hops(); got != 3 {
+		t.Fatalf("hops = %d, want 3", got)
+	}
+	// §5.9: 210 us single-pass propagation.
+	if got := p.PropagationTime(); got != 210*sim.Microsecond {
+		t.Fatalf("propagation = %v, want 210us", got)
+	}
+	// Appendix E: 652 us recovery (with fiber), 630 us without.
+	if got := p.RecoveryTime().Microseconds(); math.Abs(got-652.05) > 0.2 {
+		t.Fatalf("recovery = %vus, want ~652us", got)
+	}
+	noFiber := p
+	noFiber.PropagationDelay = nil
+	if got := noFiber.RecoveryTime(); got != 630*sim.Microsecond {
+		t.Fatalf("recovery (no fiber) = %v, want 630us", got)
+	}
+	// 0.04% bandwidth overhead.
+	if got := p.BandwidthOverhead(); math.Abs(got-0.000384) > 1e-6 {
+		t.Fatalf("overhead = %v, want 0.0384%%", got)
+	}
+}
+
+// Property: recovery time scales linearly in threshold and message count.
+func TestPropertyResilienceScaling(t *testing.T) {
+	f := func(thRaw, tiersRaw uint8) bool {
+		p := DefaultResilience
+		p.PropagationDelay = nil
+		p.Threshold = int(thRaw%5) + 1
+		p.Tiers = int(tiersRaw%3) + 1
+		base := p
+		base.Threshold = 1
+		return p.RecoveryTime() == sim.Time(int64(base.RecoveryTime())*int64(p.Threshold))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

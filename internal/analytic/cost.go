@@ -1,0 +1,161 @@
+package analytic
+
+import (
+	"fmt"
+
+	"stardust/internal/topo"
+)
+
+// Appendix D / Table 3: indicative component list prices (USD, Sep 2018).
+const (
+	PriceSwitch64x100G  = 16200.0 // Edgecore AS7816-64X
+	PriceSwitch65x100G  = 16200.0 // Edgecore Wedge 100BF-65X
+	PriceDAC100G2m      = 84.0
+	PriceOptic100G      = 435.0
+	PriceOptic50G       = 280.0
+	PriceOptic25G       = 125.0
+	PriceFiber10m       = 8.0
+	PriceFiber100m      = 62.0
+	FabricPlatformRatio = 0.666 // Fabric Element box cost vs Ethernet switch (silicon-area ratio, §7)
+)
+
+// OpticPrice returns the transceiver price for a bundle of l 25G lanes.
+func OpticPrice(lanes int) (float64, error) {
+	switch lanes {
+	case 1:
+		return PriceOptic25G, nil
+	case 2:
+		return PriceOptic50G, nil
+	case 4:
+		return PriceOptic100G, nil
+	}
+	return 0, fmt.Errorf("analytic: no optic for %d lanes", lanes)
+}
+
+// CostModel prices a DCN instance per Appendix D: equal-cost ToR and Fabric
+// Adapter platforms, Fabric Element platforms at the silicon-area ratio,
+// 40 servers per ToR on direct-attach copper, 100 m fiber in the last tier
+// and 10 m fiber elsewhere.
+type CostModel struct {
+	ToRPlatform    float64
+	FabricPlatform float64 // per fabric switch; Ethernet price or FE-discounted
+	ServerDAC      float64
+}
+
+// EthernetCost is the cost model for a classic fat-tree DCN.
+var EthernetCost = CostModel{
+	ToRPlatform:    PriceSwitch64x100G,
+	FabricPlatform: PriceSwitch64x100G,
+	ServerDAC:      PriceDAC100G2m,
+}
+
+// StardustCost is the cost model for a Stardust DCN (FE boxes cheaper by
+// the silicon-area ratio).
+var StardustCost = CostModel{
+	ToRPlatform:    PriceSwitch64x100G,
+	FabricPlatform: PriceSwitch64x100G * FabricPlatformRatio,
+	ServerDAC:      PriceDAC100G2m,
+}
+
+// NetworkCost returns the total cost of a network plan. Each transceiver
+// position needs two optics and one fiber; positions in the topmost tier
+// use 100 m fiber (except in a 1-tier network), all others 10 m.
+//
+// An Ethernet fat-tree must use the transceiver matching its link bundle.
+// Stardust devices "are oblivious to whether bundling was used in the
+// transceiver" (§7): an l=1 fabric still packs its serial links into
+// whichever transceiver is cheapest per lane, so pass cheapestLane=true
+// for Stardust plans.
+func NetworkCost(m CostModel, plan topo.NetworkPlan, cheapestLane bool) (float64, error) {
+	lanes := plan.Device.LinkBundle
+	if cheapestLane {
+		lanes = cheapestLanes()
+	}
+	optic, err := OpticPrice(lanes)
+	if err != nil {
+		return 0, err
+	}
+	platforms := float64(plan.ToRs)*m.ToRPlatform + float64(plan.Switches)*m.FabricPlatform
+	servers := float64(plan.Hosts) * m.ServerDAC
+
+	// Transceiver positions: serial links grouped into `lanes` per optic.
+	positions := float64((plan.SerialLinks + lanes - 1) / lanes)
+	perBoundary := positions / float64(plan.Tiers)
+	longFiber := perBoundary
+	if plan.Tiers == 1 {
+		longFiber = 0
+	}
+	shortFiber := positions - longFiber
+	links := positions*2*optic + longFiber*PriceFiber100m + shortFiber*PriceFiber10m
+	return platforms + servers + links, nil
+}
+
+// cheapestLanes returns the bundle width with the lowest per-lane optic
+// price (100G at $435/4 lanes for Table 3's prices).
+func cheapestLanes() int {
+	best, bestCost := 1, PriceOptic25G
+	for _, l := range []int{2, 4} {
+		p, _ := OpticPrice(l)
+		if p/float64(l) < bestCost/float64(best) {
+			best, bestCost = l, p
+		}
+	}
+	return best
+}
+
+// Fig11aDevices are the 6.4 Tbps device families of Fig 11(a): 25G serial
+// lanes with bundles of 4, 2 and 1.
+var Fig11aDevices = []topo.DeviceConfig{
+	{Name: "FT 100Gx64", Ports: 64, PortGbps: 100, LinkBundle: 4},
+	{Name: "FT 50Gx128", Ports: 128, PortGbps: 50, LinkBundle: 2},
+	{Name: "FT 25Gx256", Ports: 256, PortGbps: 25, LinkBundle: 1},
+}
+
+// Fig11aStardust is the Stardust device (same 6.4 Tbps, discrete 25G links)
+// whose cost is expressed relative to each fat-tree option.
+var Fig11aStardust = topo.DeviceConfig{Name: "Stardust 25Gx256", Ports: 256, PortGbps: 25, LinkBundle: 1}
+
+// RelativeCost returns cost(Stardust DCN)/cost(fat-tree DCN with ftDev) as
+// a percentage, for a network of the given number of end hosts (one point
+// of Fig 11a).
+func RelativeCost(ftDev topo.DeviceConfig, hosts int) (float64, error) {
+	sd, err := NetworkCost(StardustCost, topo.Plan(Fig11aStardust, hosts), true)
+	if err != nil {
+		return 0, err
+	}
+	ft, err := NetworkCost(EthernetCost, topo.Plan(ftDev, hosts), false)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * sd / ft, nil
+}
+
+// Fig11aRow is one x-position of Fig 11(a): the Stardust network cost as a
+// percentage of each fat-tree alternative.
+type Fig11aRow struct {
+	Hosts    int
+	Relative map[string]float64
+}
+
+// Fig11a evaluates the figure for the given host counts (nil = a log sweep
+// of 1e3..1e6 as in the paper).
+func Fig11a(hostCounts []int) ([]Fig11aRow, error) {
+	if hostCounts == nil {
+		for h := 1000; h <= 1000000; h = h * 10 / 4 {
+			hostCounts = append(hostCounts, h)
+		}
+	}
+	rows := make([]Fig11aRow, 0, len(hostCounts))
+	for _, h := range hostCounts {
+		row := Fig11aRow{Hosts: h, Relative: map[string]float64{}}
+		for _, dev := range Fig11aDevices {
+			rc, err := RelativeCost(dev, h)
+			if err != nil {
+				return nil, err
+			}
+			row.Relative[dev.Name] = rc
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

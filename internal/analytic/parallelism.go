@@ -1,0 +1,80 @@
+// Package analytic implements the paper's closed-form models: the
+// packet-processing parallelism requirement of Appendix B (Fig 3), the
+// silicon area/power comparison of Appendix C (Fig 10d), the cost model of
+// Appendix D (Fig 11a, Table 3), the power model (Fig 11b) and the
+// resilience timing of Appendix E.
+package analytic
+
+import "math"
+
+// EthernetGap is the per-packet on-wire overhead: 12B inter-frame gap plus
+// 8B preamble/SFD (Appendix B).
+const EthernetGap = 20
+
+// SwitchModel captures the device parameters of §2.3 / Appendix B.
+type SwitchModel struct {
+	BandwidthBps float64 // B: device bandwidth in bits/s (e.g. 12.8e12)
+	ClockHz      float64 // f: data-path clock (e.g. 1e9)
+	CyclesPerOp  float64 // c: clock cycles per pipeline stage (>= 1)
+	BusWidth     int     // W: data-path width in bytes (e.g. 256)
+	CellHeader   int     // Stardust cell header bytes carried in each cell
+}
+
+// DefaultSwitch is the 12.8 Tbps, 1 GHz, 256B-bus device used in Fig 3.
+var DefaultSwitch = SwitchModel{
+	BandwidthBps: 12.8e12,
+	ClockHz:      1e9,
+	CyclesPerOp:  1,
+	BusWidth:     256,
+	CellHeader:   6,
+}
+
+// PacketRate returns R = B / (8 * (S + G)), the packets/second the device
+// must sustain at full line rate for packet size S (Appendix B, Eq. 1).
+func (m SwitchModel) PacketRate(pktBytes int) float64 {
+	return m.BandwidthBps / (8 * float64(pktBytes+EthernetGap))
+}
+
+// PipelineRate returns r = f / c, the packets/second one pipeline can
+// process (Appendix B, Eq. 2).
+func (m SwitchModel) PipelineRate() float64 { return m.ClockHz / m.CyclesPerOp }
+
+// ParallelismStandard returns P = R/r for a standard packet switch whose
+// pipeline additionally occupies ceil(S/W) bus slots per packet — the
+// sawtooth curve of Fig 3.
+func (m SwitchModel) ParallelismStandard(pktBytes int) float64 {
+	slots := math.Ceil(float64(pktBytes) / float64(m.BusWidth))
+	return slots * m.PacketRate(pktBytes) / m.PipelineRate()
+}
+
+// ParallelismStardust returns the constant parallelism of a Stardust Fabric
+// Element, which packs payload into full bus-width cells: every cycle moves
+// BusWidth-CellHeader payload bytes per pipeline, independent of packet
+// size (Fig 3's flat line).
+func (m SwitchModel) ParallelismStardust() float64 {
+	payload := float64(m.BusWidth - m.CellHeader)
+	return m.BandwidthBps / (8 * payload * m.PipelineRate() * m.CyclesPerOp)
+}
+
+// Fig3Row is one x-position of Fig 3.
+type Fig3Row struct {
+	PacketBytes int
+	Standard    float64
+	Stardust    float64
+}
+
+// Fig3 evaluates both curves for the given packet sizes (nil = the paper's
+// 64..2500B sweep).
+func Fig3(m SwitchModel, sizes []int) []Fig3Row {
+	if sizes == nil {
+		for s := 64; s <= 2500; s += 4 {
+			sizes = append(sizes, s)
+		}
+	}
+	fe := m.ParallelismStardust()
+	rows := make([]Fig3Row, len(sizes))
+	for i, s := range sizes {
+		rows[i] = Fig3Row{PacketBytes: s, Standard: m.ParallelismStandard(s), Stardust: fe}
+	}
+	return rows
+}

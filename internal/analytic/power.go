@@ -1,0 +1,82 @@
+package analytic
+
+import "stardust/internal/topo"
+
+// Fig 11(b): relative power of a Stardust DCN vs. fat-tree variants.
+//
+// The model follows §7: power is accounted per active serial link, every
+// 12.8 Tbps device carries 256 50G serdes regardless of bundling, Fabric
+// Element devices burn RelPowerPerTbps (64.8%) of the per-link power of an
+// Ethernet switch, and cross-section bandwidth is held equal.
+
+// PowerModel prices a network in per-link power units.
+type PowerModel struct {
+	ToRLinkPower    float64 // per serial link on a ToR / Fabric Adapter
+	FabricLinkPower float64 // per serial link on a fabric switch
+}
+
+// EthernetPower is the model for a classic fat-tree (all devices identical).
+var EthernetPower = PowerModel{ToRLinkPower: 1, FabricLinkPower: 1}
+
+// StardustPower applies the Fig 10(d) power ratio to fabric devices.
+var StardustPower = PowerModel{ToRLinkPower: 1, FabricLinkPower: PaperAreaRatios.RelPowerPerTbps}
+
+// NetworkPower returns the total power (arbitrary per-link units) of a
+// network plan: every ToR burns power for its host-facing serial links and
+// fabric-facing serial links; every fabric device burns power for all its
+// serial links, discounted by the model's fabric factor.
+func NetworkPower(m PowerModel, plan topo.NetworkPlan) float64 {
+	hostLinks := float64(plan.Hosts) * float64(topo.HostGbps) / 50.0 // 50G serdes per host link lane
+	// Each inter-switch serial link has two ends; attribute the ToR end of
+	// tier-0/1 links to the ToR and everything else to fabric devices.
+	perBoundary := float64(plan.SerialLinks) / float64(plan.Tiers)
+	torEnds := perBoundary
+	fabricEnds := 2*float64(plan.SerialLinks) - torEnds
+	return m.ToRLinkPower*(hostLinks+torEnds) + m.FabricLinkPower*fabricEnds
+}
+
+// RelativePower returns power(Stardust)/power(fat-tree with ftDev) as a
+// percentage for a network of the given size (one point of Fig 11b).
+func RelativePower(ftDev topo.DeviceConfig, hosts int) float64 {
+	sd := NetworkPower(StardustPower, topo.Plan(topo.Stardust50G, hosts))
+	ft := NetworkPower(EthernetPower, topo.Plan(ftDev, hosts))
+	return 100 * sd / ft
+}
+
+// FabricPowerSaving returns the percentage power saving inside the network
+// fabric only (excluding ToRs and host links) for a network of the given
+// size vs. the given fat-tree device — the "78% saving within the network
+// fabric" anchor of §7.
+func FabricPowerSaving(ftDev topo.DeviceConfig, hosts int) float64 {
+	sp := topo.Plan(topo.Stardust50G, hosts)
+	fp := topo.Plan(ftDev, hosts)
+	// Fabric power ~ number of fabric devices x per-device power; every
+	// 12.8T device has 256 serdes, FEs at the 64.8% ratio.
+	sd := float64(sp.Switches) * 256 * PaperAreaRatios.RelPowerPerTbps
+	ft := float64(fp.Switches) * 256
+	return 100 * (1 - sd/ft)
+}
+
+// Fig11bRow is one x-position of Fig 11(b).
+type Fig11bRow struct {
+	Hosts    int
+	Relative map[string]float64
+}
+
+// Fig11b evaluates the figure for the given host counts (nil = log sweep).
+func Fig11b(hostCounts []int) []Fig11bRow {
+	if hostCounts == nil {
+		for h := 1000; h <= 1000000; h = h * 10 / 4 {
+			hostCounts = append(hostCounts, h)
+		}
+	}
+	rows := make([]Fig11bRow, 0, len(hostCounts))
+	for _, h := range hostCounts {
+		row := Fig11bRow{Hosts: h, Relative: map[string]float64{}}
+		for _, dev := range topo.Fig2Devices {
+			row.Relative[dev.Name] = RelativePower(dev, h)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

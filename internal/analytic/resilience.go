@@ -1,0 +1,87 @@
+package analytic
+
+import (
+	"math"
+
+	"stardust/internal/sim"
+)
+
+// Appendix E: time to recover from a link failure via reachability-message
+// propagation, and the bandwidth overhead of those messages.
+
+// ResilienceParams mirrors Table 4 of the paper.
+type ResilienceParams struct {
+	CoreHz           float64    // f: device core frequency (1 GHz)
+	CyclesBetween    float64    // c: cycles between messages per link (10,000)
+	BitmapBits       int        // b: FAs reported per message (128)
+	MessageBytes     int        // B: reachability message size (24)
+	HostsPerFA       int        // h: hosts per Fabric Adapter (40)
+	Hosts            int        // N: hosts in the DCN (32,000)
+	Tiers            int        // n: fabric tiers (2)
+	Threshold        int        // th: consecutive updates before state change (3)
+	LinkSpeedBps     float64    // s: link speed (50e9)
+	PropagationDelay []sim.Time // per-hop fiber delay; len must be 2n-1 (nil = zero)
+}
+
+// DefaultResilience reproduces the Appendix E example: 652 us recovery.
+var DefaultResilience = ResilienceParams{
+	CoreHz:        1e9,
+	CyclesBetween: 10000,
+	BitmapBits:    128,
+	MessageBytes:  24,
+	HostsPerFA:    40,
+	Hosts:         32000,
+	Tiers:         2,
+	Threshold:     3,
+	LinkSpeedBps:  50e9,
+	// Two 100m hops (last tier) and one 10m hop; 5 ns/m propagation.
+	PropagationDelay: []sim.Time{500 * sim.Nanosecond, 500 * sim.Nanosecond, 50 * sim.Nanosecond},
+}
+
+// MessageInterval returns t' = c/f, the gap between successive reachability
+// messages on a link.
+func (p ResilienceParams) MessageInterval() sim.Time {
+	return sim.Time(p.CyclesBetween / p.CoreHz * float64(sim.Second))
+}
+
+// MessagesPerTable returns M = ceil(N/(h*b)), the number of messages needed
+// to carry a full reachability table.
+func (p ResilienceParams) MessagesPerTable() int {
+	fas := float64(p.Hosts) / float64(p.HostsPerFA)
+	return int(math.Ceil(fas / float64(p.BitmapBits)))
+}
+
+// Hops returns 2n-1, the worst-case propagation distance of a failure.
+func (p ResilienceParams) Hops() int { return 2*p.Tiers - 1 }
+
+// PropagationTime returns t = t' * M * (2n-1), ignoring fiber delay — the
+// §5.9 illustrative value (210 us for the defaults).
+func (p ResilienceParams) PropagationTime() sim.Time {
+	return sim.Time(int64(p.MessageInterval()) * int64(p.MessagesPerTable()) * int64(p.Hops()))
+}
+
+// RecoveryTime returns t*th including per-hop propagation delay:
+//
+//	sum_{i=1..2n-1} (t' + pd_i) * M * th
+//
+// 652 us for the defaults (630 us with zero fiber length).
+func (p ResilienceParams) RecoveryTime() sim.Time {
+	var total sim.Time
+	ti := p.MessageInterval()
+	m := int64(p.MessagesPerTable())
+	th := int64(p.Threshold)
+	for i := 0; i < p.Hops(); i++ {
+		var pd sim.Time
+		if i < len(p.PropagationDelay) {
+			pd = p.PropagationDelay[i]
+		}
+		total += sim.Time((int64(ti) + int64(pd)) * m * th)
+	}
+	return total
+}
+
+// BandwidthOverhead returns the fraction of link bandwidth consumed by
+// reachability messages: B*8*f/(c*s). 0.04% for the defaults.
+func (p ResilienceParams) BandwidthOverhead() float64 {
+	return float64(p.MessageBytes) * 8 * p.CoreHz / (p.CyclesBetween * p.LinkSpeedBps)
+}

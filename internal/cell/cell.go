@@ -1,0 +1,117 @@
+// Package cell implements Stardust's data unit: fixed-maximum-size cells
+// carrying packed packet fragments (§3.2, §3.4).
+//
+// A Fabric Adapter chops a credit-worth of queued packets into cells whose
+// payload exactly fills the Fabric Element data-path width. A cell payload
+// is a window of a per-VOQ byte stream in which each packet is framed by a
+// 4-byte length prefix; cells carry a sequence number so the destination
+// Fabric Adapter can reassemble the stream (and thus the packets) even when
+// cells arrive out of order (§4.1).
+//
+// The package provides both a descriptor level (cells reference packet
+// segments, no payload bytes are materialized — used by the simulators) and
+// a byte level (full wire encode/decode — used where real data moves).
+package cell
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HeaderSize is the on-wire size of a cell header in bytes.
+const HeaderSize = 8
+
+// FrameOverhead is the per-packet in-stream framing (length prefix) in
+// bytes; it is how packing keeps packet boundaries recoverable.
+const FrameOverhead = 4
+
+// DefaultCellSize is the paper's canonical maximum cell size (§3.2).
+const DefaultCellSize = 256
+
+// Flags carried in a cell header.
+const (
+	FlagFCI  uint8 = 1 << 0 // Fabric Congestion Indication (§4.2)
+	FlagCtrl uint8 = 1 << 1 // control cell (credit/reachability), not data
+)
+
+// Header is the small cell header holding the destination and a sequence
+// number that allows reassembling cells into packets (§3.2).
+//
+// Wire layout (8 bytes, big endian):
+//
+//	byte 0   : flags (high nibble) | traffic class (low nibble)
+//	bytes 1-2: source Fabric Adapter
+//	bytes 3-4: destination Fabric Adapter
+//	bytes 5-6: sequence number
+//	byte 7   : payload length - 1
+type Header struct {
+	Flags      uint8  // 4 usable bits
+	Src        uint16 // source Fabric Adapter
+	Dst        uint16 // destination Fabric Adapter
+	Seq        uint16 // per (Src,Dst,TC) stream sequence number
+	TC         uint8  // traffic class (4 usable bits)
+	PayloadLen uint8  // payload bytes - 1 (0 means 1 byte, 255 means 256)
+}
+
+// Encode writes the header into b, which must be at least HeaderSize long.
+func (h Header) Encode(b []byte) {
+	_ = b[HeaderSize-1]
+	b[0] = h.Flags<<4 | h.TC&0x0f
+	binary.BigEndian.PutUint16(b[1:], h.Src)
+	binary.BigEndian.PutUint16(b[3:], h.Dst)
+	binary.BigEndian.PutUint16(b[5:], h.Seq)
+	b[7] = h.PayloadLen
+}
+
+// Decode parses a header from b.
+func Decode(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("cell: short header: %d bytes", len(b))
+	}
+	return Header{
+		Flags:      b[0] >> 4,
+		TC:         b[0] & 0x0f,
+		Src:        binary.BigEndian.Uint16(b[1:]),
+		Dst:        binary.BigEndian.Uint16(b[3:]),
+		Seq:        binary.BigEndian.Uint16(b[5:]),
+		PayloadLen: b[7],
+	}, nil
+}
+
+// PayloadBytes returns the payload length encoded in the header (1..256).
+func (h Header) PayloadBytes() int { return int(h.PayloadLen) + 1 }
+
+// SetPayloadBytes stores n (1..256) into the header.
+func (h *Header) SetPayloadBytes(n int) {
+	if n < 1 || n > 256 {
+		panic(fmt.Sprintf("cell: payload length %d out of range [1,256]", n))
+	}
+	h.PayloadLen = uint8(n - 1)
+}
+
+// PacketRef identifies a packet inside the simulators without carrying its
+// bytes.
+type PacketRef struct {
+	ID   uint64 // globally unique packet id
+	Size int    // packet size in bytes (as received from the host)
+}
+
+// Segment is a contiguous byte range of one packet carried inside a cell.
+type Segment struct {
+	Packet PacketRef
+	Offset int // offset into the packet
+	Len    int // number of packet bytes in this cell
+	First  bool
+	Last   bool
+}
+
+// Cell is a descriptor-level cell: header plus the packet segments its
+// payload carries. PayloadSize includes per-packet framing bytes.
+type Cell struct {
+	Header      Header
+	Segments    []Segment
+	PayloadSize int
+}
+
+// TotalSize returns the on-wire cell size (header + payload).
+func (c *Cell) TotalSize() int { return HeaderSize + c.PayloadSize }

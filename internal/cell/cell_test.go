@@ -1,0 +1,478 @@
+package cell
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stardust/internal/sim"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Flags: FlagFCI, Src: 513, Dst: 64000, Seq: 65535, TC: 7}
+	h.SetPayloadBytes(256)
+	var buf [HeaderSize]byte
+	h.Encode(buf[:])
+	got, err := Decode(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", got, h)
+	}
+	if got.PayloadBytes() != 256 {
+		t.Fatalf("payload bytes = %d", got.PayloadBytes())
+	}
+}
+
+func TestHeaderDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+}
+
+func TestSetPayloadBytesBounds(t *testing.T) {
+	var h Header
+	for _, n := range []int{0, 257, -1} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetPayloadBytes(%d) should panic", n)
+				}
+			}()
+			h.SetPayloadBytes(n)
+		}()
+	}
+	h.SetPayloadBytes(1)
+	if h.PayloadBytes() != 1 {
+		t.Fatal("1-byte payload broken")
+	}
+}
+
+// Property: header encode/decode is the identity on the valid field ranges.
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(flags, tc uint8, src, dst, seq uint16, plen uint8) bool {
+		h := Header{Flags: flags & 0x0f, TC: tc & 0x0f, Src: src, Dst: dst, Seq: seq, PayloadLen: plen}
+		var buf [HeaderSize]byte
+		h.Encode(buf[:])
+		got, err := Decode(buf[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refs(sizes ...int) []PacketRef {
+	out := make([]PacketRef, len(sizes))
+	for i, s := range sizes {
+		out[i] = PacketRef{ID: uint64(i + 1), Size: s}
+	}
+	return out
+}
+
+func TestFragmentSinglePacket(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	// 500B packet + 4B framing = 504 stream bytes over 248B payloads -> 3 cells.
+	cells := f.Fragment(1, 2, 0, refs(500))
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cells))
+	}
+	if cells[0].PayloadSize != 248 || cells[1].PayloadSize != 248 || cells[2].PayloadSize != 8 {
+		t.Fatalf("payload sizes: %d %d %d", cells[0].PayloadSize, cells[1].PayloadSize, cells[2].PayloadSize)
+	}
+	if !cells[0].Segments[0].First || !cells[2].Segments[0].Last {
+		t.Fatal("first/last flags wrong")
+	}
+	for i, c := range cells {
+		if c.Header.Seq != uint16(i) {
+			t.Fatalf("seq[%d] = %d", i, c.Header.Seq)
+		}
+		if c.Header.Dst != 2 || c.Header.Src != 1 {
+			t.Fatal("addressing wrong")
+		}
+	}
+}
+
+func TestFragmentPackingSharesCells(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	// Two 100B packets: 2*(100+4) = 208 stream bytes -> 1 cell when packed.
+	cells := f.Fragment(0, 1, 0, refs(100, 100))
+	if len(cells) != 1 {
+		t.Fatalf("packed cells = %d, want 1", len(cells))
+	}
+	if len(cells[0].Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(cells[0].Segments))
+	}
+	// Unpacked: each packet gets its own cell.
+	nf := NewFragmenter(DefaultCellSize, false)
+	cells = nf.Fragment(0, 1, 0, refs(100, 100))
+	if len(cells) != 2 {
+		t.Fatalf("non-packed cells = %d, want 2", len(cells))
+	}
+	// Variable cell size: each cell carries exactly its packet's bytes.
+	if cells[0].PayloadSize != 104 {
+		t.Fatalf("non-packed payload = %d, want 104", cells[0].PayloadSize)
+	}
+}
+
+func TestFragmentOneByteOverCell(t *testing.T) {
+	// §3.4: "sending packets that are just one byte bigger than a cell size
+	// can lead to 50% waste of throughput" (without packing).
+	nf := NewFragmenter(DefaultCellSize, false)
+	pkt := refs(249) // 249+4 = 253 > 248 payload -> 2 cells each, second nearly empty
+	cells := nf.Fragment(0, 1, 0, append(pkt, refs(249)...))
+	if len(cells) != 4 {
+		t.Fatalf("non-packed cells = %d, want 4", len(cells))
+	}
+	f := NewFragmenter(DefaultCellSize, true)
+	packed := f.Fragment(0, 1, 0, refs(249, 249))
+	if len(packed) != 3 {
+		t.Fatalf("packed cells = %d, want 3", len(packed))
+	}
+}
+
+func TestCellCountMatchesFragment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, packing := range []bool{true, false} {
+		f := NewFragmenter(DefaultCellSize, packing)
+		g := NewFragmenter(DefaultCellSize, packing)
+		for trial := 0; trial < 200; trial++ {
+			var batch []PacketRef
+			n := rng.Intn(6) + 1
+			for i := 0; i < n; i++ {
+				batch = append(batch, PacketRef{ID: uint64(trial*10 + i), Size: rng.Intn(1500) + 1})
+			}
+			want := len(f.Fragment(0, 1, 0, batch))
+			if got := g.CellCount(batch); got != want {
+				t.Fatalf("packing=%v CellCount=%d, Fragment=%d for %v", packing, got, want, batch)
+			}
+		}
+	}
+}
+
+// Property: fragmentation conserves bytes — total segment lengths equal
+// stream bytes, every packet's segments tile [0, size+4) exactly, and no
+// cell exceeds the maximum payload.
+func TestPropertyFragmentConservation(t *testing.T) {
+	f := func(sizesRaw []uint16, packing bool) bool {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 20 {
+			return true
+		}
+		var batch []PacketRef
+		for i, s := range sizesRaw {
+			batch = append(batch, PacketRef{ID: uint64(i + 1), Size: int(s%9000) + 1})
+		}
+		fr := NewFragmenter(DefaultCellSize, packing)
+		cells := fr.Fragment(3, 4, 1, batch)
+		covered := make(map[uint64]int)
+		firsts := make(map[uint64]int)
+		lasts := make(map[uint64]int)
+		prevOffset := make(map[uint64]int)
+		for _, c := range cells {
+			if c.PayloadSize > fr.MaxPayload() || c.PayloadSize < 1 {
+				return false
+			}
+			sum := 0
+			for _, seg := range c.Segments {
+				sum += seg.Len
+				if seg.Offset != prevOffset[seg.Packet.ID] {
+					return false // segments must be contiguous and in order
+				}
+				prevOffset[seg.Packet.ID] += seg.Len
+				covered[seg.Packet.ID] += seg.Len
+				if seg.First {
+					firsts[seg.Packet.ID]++
+				}
+				if seg.Last {
+					lasts[seg.Packet.ID]++
+				}
+			}
+			if sum != c.PayloadSize {
+				return false // cells carry exactly their segments' bytes
+			}
+		}
+		for _, p := range batch {
+			if covered[p.ID] != p.Size+FrameOverhead {
+				return false
+			}
+			if firsts[p.ID] != 1 || lasts[p.ID] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pushAll(t *testing.T, r *Reassembler, cells []*Cell, order []int) []PacketRef {
+	t.Helper()
+	var done []PacketRef
+	for _, i := range order {
+		done = append(done, r.Push(0, cells[i])...)
+	}
+	return done
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	cells := f.Fragment(0, 1, 0, refs(500, 64, 1500))
+	r := NewReassembler(64, sim.Millisecond)
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	done := pushAll(t, r, cells, order)
+	if len(done) != 3 {
+		t.Fatalf("completed %d packets, want 3", len(done))
+	}
+	if done[0].Size != 500 || done[1].Size != 64 || done[2].Size != 1500 {
+		t.Fatalf("wrong completion order: %v", done)
+	}
+	if r.Pending() != 0 {
+		t.Fatal("window should be empty")
+	}
+}
+
+// Property: any arrival permutation of a batch's cells reassembles the
+// exact packet sequence (out-of-order tolerance, §3.2).
+func TestPropertyReassembleAnyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) + 1
+		var batch []PacketRef
+		for i := 0; i < n; i++ {
+			batch = append(batch, PacketRef{ID: uint64(i + 1), Size: rng.Intn(3000) + 1})
+		}
+		f := NewFragmenter(DefaultCellSize, true)
+		cells := f.Fragment(0, 1, 0, batch)
+		order := rng.Perm(len(cells))
+		r := NewReassembler(1<<13, sim.Millisecond)
+		done := pushAll(t, r, cells, order)
+		if len(done) != n {
+			t.Fatalf("trial %d: completed %d of %d (order %v)", trial, len(done), n, order)
+		}
+		for i, p := range done {
+			if p.ID != uint64(i+1) {
+				t.Fatalf("trial %d: packet order broken: %v", trial, done)
+			}
+		}
+		if r.Completed != uint64(n) || r.Discarded != 0 {
+			t.Fatalf("stats wrong: %+v", r)
+		}
+	}
+}
+
+func TestReassembleTimeout(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	cells := f.Fragment(0, 1, 0, refs(600)) // 3 cells
+	r := NewReassembler(64, 10*sim.Microsecond)
+	// Lose the middle cell.
+	r.Push(0, cells[0])
+	r.Push(1*sim.Microsecond, cells[2])
+	if r.Expire(5*sim.Microsecond) != 0 {
+		t.Fatal("expired too early")
+	}
+	if n := r.Expire(20 * sim.Microsecond); n != 1 {
+		t.Fatalf("expired %d packets, want 1", n)
+	}
+	if r.Discarded != 1 || r.Completed != 0 {
+		t.Fatalf("stats: %+v", r)
+	}
+	// Stream resynchronizes afterwards.
+	f2cells := f.Fragment(0, 1, 0, refs(100))
+	done := r.Push(30*sim.Microsecond, f2cells[0])
+	if len(done) != 1 || done[0].Size != 100 {
+		t.Fatalf("resync failed: %v", done)
+	}
+}
+
+func TestReassembleLateCellAfterFlush(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	cells := f.Fragment(0, 1, 0, refs(600)) // 3 cells
+	r := NewReassembler(64, 10*sim.Microsecond)
+	r.Push(0, cells[0])
+	r.Push(0, cells[1])
+	r.Expire(20 * sim.Microsecond) // nothing stalled yet: 0,1 contiguous
+	if r.Pending() != 0 {
+		t.Fatal("contiguous cells should have drained")
+	}
+	// Now the tail arrives without a flush having hurt it.
+	done := r.Push(25*sim.Microsecond, cells[2])
+	if len(done) != 1 {
+		t.Fatalf("tail completion failed: %v", done)
+	}
+}
+
+func TestReassemblerStaleCell(t *testing.T) {
+	r := NewReassembler(8, sim.Millisecond)
+	f := NewFragmenter(DefaultCellSize, true)
+	var cells []*Cell
+	for i := 0; i < 20; i++ {
+		cells = append(cells, f.Fragment(0, 1, 0, refs(100))...)
+	}
+	// A cell far beyond the skew window resynchronizes the stream (the
+	// cells before it are written off as a loss burst).
+	if got := r.Push(0, cells[15]); len(got) != 1 {
+		t.Fatalf("far-future cell should resync and complete: %v", got)
+	}
+	if r.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d", r.Resyncs)
+	}
+	// A cell behind the cursor is stale and dropped.
+	if got := r.Push(0, cells[2]); got != nil {
+		t.Fatalf("behind-cursor cell completed packets: %v", got)
+	}
+	if r.CellsStale != 1 {
+		t.Fatalf("CellsStale = %d", r.CellsStale)
+	}
+	// The stream continues cleanly after the resync point.
+	if got := r.Push(0, cells[16]); len(got) != 1 {
+		t.Fatalf("stream did not continue after resync: %v", got)
+	}
+}
+
+func TestByteCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var packets [][]byte
+	for i := 0; i < 10; i++ {
+		p := make([]byte, rng.Intn(2000)+1)
+		rng.Read(p)
+		packets = append(packets, p)
+	}
+	stream := PackStream(packets)
+	cells, err := EncodeCells(7, 9, 3, 100, stream, DefaultCellSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStream, hdrs, err := DecodeCells(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hdrs {
+		if h.Seq != uint16(100+i) || h.Src != 7 || h.Dst != 9 || h.TC != 3 {
+			t.Fatalf("header %d wrong: %+v", i, h)
+		}
+	}
+	got, err := UnpackStream(gotStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(packets) {
+		t.Fatalf("got %d packets, want %d", len(got), len(packets))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], packets[i]) {
+			t.Fatalf("packet %d corrupted", i)
+		}
+	}
+}
+
+// Property: the descriptor-level fragmenter and the byte-level codec agree
+// on cell boundaries for the same batch.
+func TestPropertyDescriptorMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(6) + 1
+		var batch []PacketRef
+		var packets [][]byte
+		for i := 0; i < n; i++ {
+			size := rng.Intn(1500) + 1
+			batch = append(batch, PacketRef{ID: uint64(i), Size: size})
+			packets = append(packets, make([]byte, size))
+		}
+		f := NewFragmenter(DefaultCellSize, true)
+		descCells := f.Fragment(0, 1, 0, batch)
+		stream := PackStream(packets)
+		byteCells, err := EncodeCells(0, 1, 0, 0, stream, DefaultCellSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(descCells) != len(byteCells) {
+			t.Fatalf("cell counts differ: %d vs %d", len(descCells), len(byteCells))
+		}
+		for i := range descCells {
+			if descCells[i].PayloadSize != len(byteCells[i])-HeaderSize {
+				t.Fatalf("cell %d payload: desc %d vs bytes %d",
+					i, descCells[i].PayloadSize, len(byteCells[i])-HeaderSize)
+			}
+		}
+	}
+}
+
+func TestUnpackStreamErrors(t *testing.T) {
+	if _, err := UnpackStream([]byte{0, 0}); err == nil {
+		t.Fatal("truncated frame header must fail")
+	}
+	if _, err := UnpackStream([]byte{0, 0, 0, 10, 1, 2}); err == nil {
+		t.Fatal("truncated packet must fail")
+	}
+	got, err := UnpackStream(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty stream must succeed")
+	}
+}
+
+func TestSeqWraparound(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	// Advance the fragmenter near the wrap point.
+	for f.Seq() < 65530 {
+		f.Fragment(0, 1, 0, refs(1))
+	}
+	r := NewReassembler(64, sim.Millisecond)
+	// Align the reassembler cursor by replaying everything quickly: instead
+	// construct a fresh pair and force the cursor via pushes.
+	r2 := NewReassembler(64, sim.Millisecond)
+	var all []*Cell
+	f2 := NewFragmenter(DefaultCellSize, true)
+	for i := 0; i < 70000; i++ {
+		all = f2.Fragment(0, 1, 0, refs(1))
+		for _, c := range all {
+			r2.Push(0, c)
+		}
+	}
+	if r2.Completed != 70000 {
+		t.Fatalf("wraparound lost packets: %d", r2.Completed)
+	}
+	_ = r
+}
+
+// Regression: after a burst loss (e.g. a dead spine ate a window of
+// cells), a live stream must resynchronize immediately instead of
+// deadlocking against the skew window.
+func TestResyncAfterBurstLoss(t *testing.T) {
+	f := NewFragmenter(DefaultCellSize, true)
+	r := NewReassembler(64, sim.Millisecond)
+	deliver := func(c *Cell) []PacketRef { return r.Push(0, c) }
+	var completed int
+	// Normal traffic.
+	for i := 0; i < 50; i++ {
+		for _, c := range f.Fragment(0, 1, 0, refs(200)) {
+			completed += len(deliver(c))
+		}
+	}
+	if completed != 50 {
+		t.Fatalf("setup: %d", completed)
+	}
+	// A large burst of cells vanishes (never pushed).
+	for i := 0; i < 300; i++ {
+		f.Fragment(0, 1, 0, refs(200))
+	}
+	// The stream continues; the reassembler must resync and keep going.
+	completed = 0
+	for i := 0; i < 50; i++ {
+		for _, c := range f.Fragment(0, 1, 0, refs(200)) {
+			completed += len(deliver(c))
+		}
+	}
+	if completed != 50 {
+		t.Fatalf("post-loss completions = %d, want 50 (resyncs=%d)", completed, r.Resyncs)
+	}
+	if r.Resyncs == 0 {
+		t.Fatal("no resync recorded")
+	}
+}

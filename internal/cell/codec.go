@@ -1,0 +1,95 @@
+package cell
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Byte-level codec: the wire form of the descriptor-level fragmentation.
+// Packets are framed in a per-VOQ byte stream with a 4-byte big-endian
+// length prefix and the stream is chopped into cell payloads.
+
+// PackStream serializes packets into the framed byte stream that the
+// fragmenter chops into cells.
+func PackStream(packets [][]byte) []byte {
+	total := 0
+	for _, p := range packets {
+		total += FrameOverhead + len(p)
+	}
+	out := make([]byte, 0, total)
+	var lenbuf [FrameOverhead]byte
+	for _, p := range packets {
+		binary.BigEndian.PutUint32(lenbuf[:], uint32(len(p)))
+		out = append(out, lenbuf[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+// UnpackStream cuts a framed byte stream back into packets. It returns an
+// error if the stream is truncated or a frame is corrupt.
+func UnpackStream(stream []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(stream) > 0 {
+		if len(stream) < FrameOverhead {
+			return nil, fmt.Errorf("cell: truncated frame header (%d bytes left)", len(stream))
+		}
+		n := binary.BigEndian.Uint32(stream)
+		stream = stream[FrameOverhead:]
+		if uint32(len(stream)) < n {
+			return nil, fmt.Errorf("cell: truncated packet: need %d, have %d", n, len(stream))
+		}
+		pkt := make([]byte, n)
+		copy(pkt, stream[:n])
+		out = append(out, pkt)
+		stream = stream[n:]
+	}
+	return out, nil
+}
+
+// EncodeCells chops a framed stream into wire cells of the given total cell
+// size, assigning sequence numbers starting at seq0. The final cell may be
+// shorter (credit-worth tail, §5.3).
+func EncodeCells(src, dst uint16, tc uint8, seq0 uint16, stream []byte, cellSize int) ([][]byte, error) {
+	maxPayload := cellSize - HeaderSize
+	if maxPayload < 1 || maxPayload > 256 {
+		return nil, fmt.Errorf("cell: bad cell size %d", cellSize)
+	}
+	var cells [][]byte
+	seq := seq0
+	for off := 0; off < len(stream); off += maxPayload {
+		end := off + maxPayload
+		if end > len(stream) {
+			end = len(stream)
+		}
+		payload := stream[off:end]
+		h := Header{Src: src, Dst: dst, TC: tc & 0x0f, Seq: seq}
+		h.SetPayloadBytes(len(payload))
+		buf := make([]byte, HeaderSize+len(payload))
+		h.Encode(buf)
+		copy(buf[HeaderSize:], payload)
+		cells = append(cells, buf)
+		seq++
+	}
+	return cells, nil
+}
+
+// DecodeCells reverses EncodeCells for cells that are already in sequence
+// order, returning the concatenated stream and the parsed headers.
+func DecodeCells(cells [][]byte) ([]byte, []Header, error) {
+	var stream []byte
+	var hdrs []Header
+	for i, c := range cells {
+		h, err := Decode(c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+		if len(c) != HeaderSize+h.PayloadBytes() {
+			return nil, nil, fmt.Errorf("cell %d: size %d does not match header payload %d",
+				i, len(c), h.PayloadBytes())
+		}
+		hdrs = append(hdrs, h)
+		stream = append(stream, c[HeaderSize:]...)
+	}
+	return stream, hdrs, nil
+}

@@ -1,0 +1,127 @@
+package cell
+
+import "fmt"
+
+// Fragmenter chops credit-worth batches of packets into cells (§3.4).
+//
+// With packing enabled the whole batch is treated as one byte stream: a
+// cell may carry multiple packets or fragments of several packets, and only
+// the final cell of a batch can be shorter than the maximum payload. With
+// packing disabled every packet starts on a fresh cell sequence and its
+// final cell is short (variable-size cells, as in pre-packing Fabric
+// Adapters such as Arad, §6.1.2) — the waste is the per-cell header and
+// the partially-filled data-path beats quantified in Fig 8(a)'s
+// "Switch - Cells" curve.
+type Fragmenter struct {
+	maxPayload int  // cell payload capacity in bytes (cell size - header)
+	packing    bool // pack multiple packets per cell within a batch
+	seq        uint16
+}
+
+// NewFragmenter returns a fragmenter producing cells with the given total
+// cell size (header included).
+func NewFragmenter(cellSize int, packing bool) *Fragmenter {
+	if cellSize <= HeaderSize {
+		panic(fmt.Sprintf("cell: cell size %d does not fit a header", cellSize))
+	}
+	if cellSize > HeaderSize+256 {
+		panic(fmt.Sprintf("cell: payload %d exceeds the 256B header limit", cellSize-HeaderSize))
+	}
+	return &Fragmenter{maxPayload: cellSize - HeaderSize, packing: packing}
+}
+
+// MaxPayload returns the per-cell payload capacity in bytes.
+func (f *Fragmenter) MaxPayload() int { return f.maxPayload }
+
+// StreamBytes returns the number of stream bytes (framing included) a batch
+// of packets occupies.
+func StreamBytes(batch []PacketRef) int {
+	total := 0
+	for _, p := range batch {
+		total += p.Size + FrameOverhead
+	}
+	return total
+}
+
+// Fragment chops one credit batch into cells addressed to dst. The batch is
+// a dequeue of whole packets from a single VOQ (packing is feasible only
+// within the same VOQ, §3.4). Returns the cells in stream order.
+func (f *Fragmenter) Fragment(src, dst uint16, tc uint8, batch []PacketRef) []*Cell {
+	if len(batch) == 0 {
+		return nil
+	}
+	var cells []*Cell
+	var cur *Cell
+	open := func() *Cell {
+		c := &Cell{Header: Header{Src: src, Dst: dst, TC: tc & 0x0f, Seq: f.seq}}
+		f.seq++
+		cells = append(cells, c)
+		return c
+	}
+	room := func() int {
+		if cur == nil {
+			return 0
+		}
+		return f.maxPayload - cur.PayloadSize
+	}
+	for _, p := range batch {
+		if !f.packing && cur != nil {
+			// Each packet starts a fresh cell; the open cell closes short
+			// (variable cell size).
+			cur = nil
+		}
+		remaining := p.Size + FrameOverhead // framing travels with byte 0
+		offset := 0
+		first := true
+		for remaining > 0 {
+			if room() == 0 {
+				cur = open()
+			}
+			n := remaining
+			if n > room() {
+				n = room()
+			}
+			seg := Segment{
+				Packet: p,
+				Offset: offset,
+				Len:    n,
+				First:  first,
+				Last:   remaining == n,
+			}
+			cur.Segments = append(cur.Segments, seg)
+			cur.PayloadSize += n
+			offset += n
+			remaining -= n
+			first = false
+			if cur.PayloadSize == f.maxPayload {
+				cur = nil
+			}
+		}
+	}
+	// The credit-worth tail may be shorter (§5.3); close it.
+	for _, c := range cells {
+		c.Header.SetPayloadBytes(c.PayloadSize)
+	}
+	return cells
+}
+
+// Seq returns the next sequence number the fragmenter will assign; it is
+// the reassembly cursor position expected at the peer.
+func (f *Fragmenter) Seq() uint16 { return f.seq }
+
+// CellCount returns how many cells a batch will produce without producing
+// them — used for fast accounting in the slotted simulator.
+func (f *Fragmenter) CellCount(batch []PacketRef) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	if f.packing {
+		total := StreamBytes(batch)
+		return (total + f.maxPayload - 1) / f.maxPayload
+	}
+	n := 0
+	for _, p := range batch {
+		n += (p.Size + FrameOverhead + f.maxPayload - 1) / f.maxPayload
+	}
+	return n
+}

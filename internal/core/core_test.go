@@ -1,0 +1,466 @@
+package core
+
+import (
+	"testing"
+
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// testConfig returns a small, fast configuration: 4 uplinks of 50G per FA,
+// 100G host ports.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.HostPortsPerFA = 4
+	cfg.ReachInterval = 5 * sim.Microsecond
+	cfg.LinkDelay = 100 * sim.Nanosecond
+	return cfg
+}
+
+func newTestNet(t *testing.T, cfg Config, clos *topo.Clos) *Network {
+	t.Helper()
+	n, err := New(cfg, clos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.WarmUp(5 * sim.Millisecond) {
+		t.Fatal("reachability did not converge")
+	}
+	return n
+}
+
+func clos1(t *testing.T) *topo.Clos {
+	t.Helper()
+	c, err := topo.NewClos1(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func clos2(t *testing.T) *topo.Clos {
+	t.Helper()
+	// 8 FAs x 4 uplinks; 4 FE1 (8 down + 8 up); 2 FE2 x 16 links.
+	c, err := topo.NewClos2(8, 4, 4, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConvergence1Tier(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos1(t))
+	for _, fa := range n.FAs {
+		if !fa.Converged() {
+			t.Fatalf("FA%d not converged", fa.ID)
+		}
+	}
+}
+
+func TestConvergence2Tier(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos2(t))
+	if !n.Converged() {
+		t.Fatal("2-tier network did not converge")
+	}
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos1(t))
+	var got *Packet
+	n.OnDeliver = func(p *Packet) { got = p }
+	ok, sent := n.Inject(0, 0, 1, 2, 0, 1500)
+	if !ok {
+		t.Fatal("inject failed")
+	}
+	n.Run(n.Sim.Now() + 2*sim.Millisecond)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if got.ID != sent.ID || got.Size != 1500 || got.DstFA != 1 || got.DstPort != 2 {
+		t.Fatalf("wrong packet delivered: %+v", got)
+	}
+	lat := got.Latency()
+	if lat <= 0 || lat > 100*sim.Microsecond {
+		t.Fatalf("implausible latency %v us", lat.Microseconds())
+	}
+	// The credit round trip plus fabric traversal puts a floor on latency.
+	if lat < sim.Microsecond {
+		t.Fatalf("latency %v below physical floor", lat)
+	}
+}
+
+func TestDelivery2Tier(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos2(t))
+	delivered := 0
+	n.OnDeliver = func(p *Packet) { delivered++ }
+	// One packet between every FA pair.
+	for s := 0; s < n.NumFA(); s++ {
+		for d := 0; d < n.NumFA(); d++ {
+			if s == d {
+				continue
+			}
+			if ok, _ := n.Inject(uint16(s), 0, uint16(d), 0, 0, 700); !ok {
+				t.Fatalf("inject %d->%d failed", s, d)
+			}
+		}
+	}
+	n.Run(n.Sim.Now() + 3*sim.Millisecond)
+	want := n.NumFA() * (n.NumFA() - 1)
+	if delivered != want {
+		t.Fatalf("delivered %d of %d", delivered, want)
+	}
+	for _, fe := range n.FEs {
+		if fe.Dropped != 0 || fe.NoRoute != 0 {
+			t.Fatalf("FE %v dropped=%d noroute=%d", fe.ID, fe.Dropped, fe.NoRoute)
+		}
+	}
+}
+
+// Per-(src,dst,TC) streams must deliver packets in injection order: the
+// reassembler enforces stream order even with cells sprayed across all
+// links (§3.2, §4.1).
+func TestInOrderDeliveryPerFlow(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos2(t))
+	var order []uint64
+	n.OnDeliver = func(p *Packet) {
+		if p.DstFA == 3 {
+			order = append(order, p.ID)
+		}
+	}
+	var ids []uint64
+	for i := 0; i < 200; i++ {
+		_, p := n.Inject(0, 0, 3, 1, 0, 400+i%700)
+		ids = append(ids, p.ID)
+	}
+	n.Run(n.Sim.Now() + 5*sim.Millisecond)
+	if len(order) != len(ids) {
+		t.Fatalf("delivered %d of %d", len(order), len(ids))
+	}
+	for i := range ids {
+		if order[i] != ids[i] {
+			t.Fatalf("reordering at %d: got %d want %d", i, order[i], ids[i])
+		}
+	}
+}
+
+// Sustained load at ~80% of a host port must be delivered at the offered
+// rate through the scheduled fabric.
+func TestSustainedThroughput(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos1(t))
+	deliveredB := int64(0)
+	n.OnDeliver = func(p *Packet) { deliveredB += int64(p.Size) }
+
+	const pktSize = 1500
+	rate := 0.8 * cfg.HostPortBps
+	interval := sim.Time(float64(pktSize*8) / rate * float64(sim.Second))
+	var injected int64
+	duration := 400 * sim.Microsecond
+	start := n.Sim.Now()
+	var inject func()
+	inject = func() {
+		if n.Sim.Now()-start >= duration {
+			return
+		}
+		if ok, _ := n.Inject(0, 0, 2, 1, 0, pktSize); ok {
+			injected += pktSize
+		}
+		n.Sim.After(interval, inject)
+	}
+	n.Sim.After(0, inject)
+	n.Run(start + duration + 300*sim.Microsecond) // drain
+
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	frac := float64(deliveredB) / float64(injected)
+	if frac < 0.99 {
+		t.Fatalf("delivered %.3f of offered bytes (%d/%d)", frac, deliveredB, injected)
+	}
+	if n.FAs[0].UplinkDrops != 0 || n.FAs[0].NoRouteDrops != 0 {
+		t.Fatalf("FA drops: uplink=%d noroute=%d", n.FAs[0].UplinkDrops, n.FAs[0].NoRouteDrops)
+	}
+}
+
+// Incast (§5.4): many sources to one port. The fabric must stay lossless;
+// the backlog accumulates in ingress VOQs; credits split bandwidth evenly.
+func TestIncastLossless(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos2(t))
+	delivered := make(map[uint16]int64)
+	n.OnDeliver = func(p *Packet) { delivered[p.SrcFA] += int64(p.Size) }
+
+	// 7 sources each dump 100KB toward FA0 port 0 instantly.
+	const burst = 100 << 10
+	const pktSize = 1000
+	for src := 1; src < 8; src++ {
+		for b := 0; b < burst; b += pktSize {
+			if ok, _ := n.Inject(uint16(src), 0, 0, 0, 0, pktSize); !ok {
+				t.Fatalf("ingress drop at src %d (buffer should absorb)", src)
+			}
+		}
+	}
+	// Run long enough for 700KB at 100G plus scheduling overheads.
+	n.Run(n.Sim.Now() + 200*sim.Microsecond)
+
+	for _, fe := range n.FEs {
+		if fe.Dropped != 0 {
+			t.Fatalf("fabric dropped %d cells during incast", fe.Dropped)
+		}
+	}
+	var total int64
+	min, max := int64(1<<62), int64(0)
+	for src := uint16(1); src < 8; src++ {
+		b := delivered[src]
+		total += b
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if total < 6*burst {
+		t.Fatalf("only %d of %d bytes delivered", total, 7*burst)
+	}
+	// Fairness: egress scheduler round-robins credits (§5.4), so per-source
+	// progress must be close.
+	if float64(min) < 0.9*float64(max) {
+		t.Fatalf("unfair incast service: min=%d max=%d", min, max)
+	}
+}
+
+// The packing ablation: packing strictly reduces the number of cells sent
+// for small-packet traffic (§3.4, Fig 8).
+func TestPackingReducesCells(t *testing.T) {
+	run := func(packing bool) uint64 {
+		cfg := testConfig()
+		cfg.Packing = packing
+		c, _ := topo.NewClos1(4, 4, 2)
+		n, err := New(cfg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.WarmUp(5 * sim.Millisecond)
+		for i := 0; i < 500; i++ {
+			n.Inject(0, 0, 1, 0, 0, 64) // 64B minimum-size packets
+		}
+		n.Run(n.Sim.Now() + sim.Millisecond)
+		return n.FAs[0].CellsSent
+	}
+	packed := run(true)
+	unpacked := run(false)
+	if packed == 0 || unpacked == 0 {
+		t.Fatal("no cells sent")
+	}
+	// 64+4=68B packed into 248B payloads: ~3.6 packets/cell vs 1.
+	if float64(unpacked)/float64(packed) < 3.0 {
+		t.Fatalf("packing gain too small: packed=%d unpacked=%d", packed, unpacked)
+	}
+}
+
+// Link failure: the self-healing fabric withdraws the link within the
+// detection window and traffic continues over the surviving links (§5.9).
+func TestLinkFailureSelfHealing(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos2(t))
+	delivered := 0
+	n.OnDeliver = func(p *Packet) { delivered++ }
+
+	// Fail one of FA0's uplinks, then keep injecting.
+	if err := n.FailLink(topo.NodeID{Kind: topo.KindFA, Index: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Let the keepalive loss be detected (threshold * interval plus slack).
+	n.Run(n.Sim.Now() + 10*cfg.ReachInterval)
+
+	const count = 300
+	for i := 0; i < count; i++ {
+		n.Inject(0, 0, 5, 0, 0, 900)
+	}
+	n.Run(n.Sim.Now() + 3*sim.Millisecond)
+	if delivered != count {
+		t.Fatalf("delivered %d of %d after link failure", delivered, count)
+	}
+	// The failed uplink must be excluded from the FA's table.
+	if n.FAs[0].table.Links(5).Get(0) {
+		t.Fatal("failed link still eligible")
+	}
+}
+
+// Device failure: an entire spine element dies; the fabric routes around
+// it (§5.10).
+func TestDeviceFailureBypass(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos2(t))
+	delivered := 0
+	n.OnDeliver = func(p *Packet) { delivered++ }
+
+	if err := n.FailDevice(topo.NodeID{Kind: topo.KindFE2, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(n.Sim.Now() + 10*cfg.ReachInterval)
+
+	const count = 200
+	for i := 0; i < count; i++ {
+		n.Inject(1, 0, 6, 0, 0, 800)
+	}
+	n.Run(n.Sim.Now() + 3*sim.Millisecond)
+	if delivered != count {
+		t.Fatalf("delivered %d of %d after spine failure", delivered, count)
+	}
+}
+
+// Restoring a failed link re-adds it to forwarding after the threshold of
+// good keepalives (§5.10).
+func TestLinkRestore(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos2(t))
+	id := topo.NodeID{Kind: topo.KindFA, Index: 0}
+	n.FailLink(id, 1)
+	n.Run(n.Sim.Now() + 10*cfg.ReachInterval)
+	if n.FAs[0].table.Links(4).Get(1) {
+		t.Fatal("link not withdrawn")
+	}
+	n.RestoreLink(id, 1)
+	n.Run(n.Sim.Now() + 10*cfg.ReachInterval)
+	if !n.FAs[0].table.Links(4).Get(1) {
+		t.Fatal("link not restored")
+	}
+}
+
+// Over-subscribing the fabric activates FCI and throttles credits instead
+// of dropping (§4.2, §5.5, Fig 9's 1.2-load curve).
+func TestFCIUnderFabricOversubscription(t *testing.T) {
+	cfg := testConfig()
+	// Choke the fabric: 2 uplinks of 10G per FA vs a 100G host port.
+	cfg.LinkBps = 10e9
+	c, err := topo.NewClos1(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.WarmUp(5 * sim.Millisecond) {
+		t.Fatal("no convergence")
+	}
+	// Two sources blast one destination FA (different ports so credits
+	// flow at 2x port rate, exceeding the 40G fabric).
+	const pktSize = 1000
+	stop := n.Sim.Now() + 500*sim.Microsecond
+	var inject func(src uint16, port uint8)
+	inject = func(src uint16, port uint8) {
+		if n.Sim.Now() >= stop {
+			return
+		}
+		n.Inject(src, 0, 0, port, 0, pktSize)
+		n.Sim.After(sim.Time(float64(pktSize*8)/cfg.HostPortBps*float64(sim.Second)), func() { inject(src, port) })
+	}
+	n.Sim.After(0, func() { inject(1, 0) })
+	n.Sim.After(0, func() { inject(2, 1) })
+	n.Run(stop + 200*sim.Microsecond)
+
+	if n.FAs[0].FCIReceived == 0 {
+		t.Fatal("no FCI received under fabric over-subscription")
+	}
+	thr := n.FAs[0].Scheduler(0).Throttle()
+	if thr >= 1.0 {
+		t.Fatalf("scheduler not throttled: %v", thr)
+	}
+	var dropped uint64
+	for _, fe := range n.FEs {
+		dropped += fe.Dropped
+	}
+	if dropped > 0 {
+		t.Fatalf("fabric dropped %d cells despite FCI/shared pool", dropped)
+	}
+}
+
+// Low-latency VOQs (§5.6) transmit without waiting for the credit round
+// trip.
+func TestLowLatencyClass(t *testing.T) {
+	cfg := testConfig()
+	cfg.LowLatencyTCs = map[uint8]bool{1: true}
+	n := newTestNet(t, cfg, clos1(t))
+	var normal, lowlat sim.Time
+	n.OnDeliver = func(p *Packet) {
+		if p.TC == 1 {
+			lowlat = p.Latency()
+		} else {
+			normal = p.Latency()
+		}
+	}
+	n.Inject(0, 0, 1, 0, 0, 256)
+	n.Run(n.Sim.Now() + sim.Millisecond)
+	n.Inject(0, 1, 1, 1, 1, 256)
+	n.Run(n.Sim.Now() + sim.Millisecond)
+	if normal == 0 || lowlat == 0 {
+		t.Fatal("packets not delivered")
+	}
+	if lowlat >= normal {
+		t.Fatalf("low-latency class (%v) not faster than credited (%v)", lowlat, normal)
+	}
+}
+
+// Ingress buffer exhaustion drops at the edge (standard ToR behaviour,
+// §3.1), never in the fabric.
+func TestIngressDropOnPersistentOversubscription(t *testing.T) {
+	cfg := testConfig()
+	cfg.FAIngressBufBytes = 64 << 10 // tiny buffer
+	n := newTestNet(t, cfg, clos1(t))
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if ok, _ := n.Inject(1, 0, 0, 0, 0, 1000); !ok {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("expected ingress drops with a 64KB buffer and 1MB burst")
+	}
+	n.Run(n.Sim.Now() + 2*sim.Millisecond)
+	for _, fe := range n.FEs {
+		if fe.Dropped != 0 {
+			t.Fatal("fabric must not drop")
+		}
+	}
+}
+
+func TestStoreAndForwardLatencyGrowsWithSize(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreAndForward = true
+	n := newTestNet(t, cfg, clos1(t))
+	lat := map[int]sim.Time{}
+	n.OnDeliver = func(p *Packet) { lat[p.Size] = p.Latency() }
+	n.Inject(0, 0, 1, 0, 0, 64)
+	n.Run(n.Sim.Now() + sim.Millisecond)
+	n.Inject(0, 0, 1, 1, 0, 9000)
+	n.Run(n.Sim.Now() + sim.Millisecond)
+	if lat[64] == 0 || lat[9000] == 0 {
+		t.Fatal("not delivered")
+	}
+	if lat[9000] <= lat[64] {
+		t.Fatalf("store-and-forward latency must grow with size: %v vs %v", lat[64], lat[9000])
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.HostPortsPerFA = 0
+	if _, err := New(cfg, clos1(t)); err == nil {
+		t.Fatal("zero host ports must be rejected")
+	}
+	cfg = testConfig()
+	cfg.CellSize = 8
+	if _, err := New(cfg, clos1(t)); err == nil {
+		t.Fatal("tiny cell size must be rejected")
+	}
+}
+
+func TestFailLinkErrors(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos1(t))
+	if err := n.FailDevice(topo.NodeID{Kind: topo.KindFA, Index: 0}); err == nil {
+		t.Fatal("failing an FA should be rejected")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"stardust/internal/cell"
+	"stardust/internal/reach"
+	"stardust/internal/sim"
+)
+
+// link is one direction of a serial link: a serializer at the sender plus
+// propagation delay. Each wire() call creates two links (one per
+// direction) and cross-references them.
+type link struct {
+	net    *Network
+	down   bool // failed (cut fiber / silenced device)
+	faulty bool // error rate over threshold: advertised as faulty (§5.10)
+
+	// Sender side.
+	psPerByte int64
+	busyUntil sim.Time
+
+	// Receiver side.
+	deliverCell func(*cell.Cell)
+	deliverMsg  func(any)
+
+	peer *link // reverse direction
+}
+
+func newLink(n *Network, bps float64) *link {
+	return &link{net: n, psPerByte: int64(8e12 / bps)}
+}
+
+func (l *link) peerLink() *link { return l.peer }
+
+func (l *link) fail()    { l.down = true }
+func (l *link) restore() { l.down = false }
+
+// sendCell serializes a data cell onto the wire; delivery happens after
+// store-and-forward serialization plus propagation. Returns the time the
+// sender's serializer frees up.
+func (l *link) sendCell(c *cell.Cell) sim.Time {
+	if l.down {
+		return l.net.Sim.Now() // silently lost; reachability will heal
+	}
+	now := l.net.Sim.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txDone := start + sim.Time(int64(c.TotalSize())*l.psPerByte)
+	l.busyUntil = txDone
+	arrive := txDone + l.net.Cfg.LinkDelay
+	dl := l // capture
+	l.net.Sim.At(arrive, func() {
+		if dl.down {
+			return
+		}
+		dl.deliverCell(c)
+	})
+	return txDone
+}
+
+// queueDepthTime returns how much serialization backlog is pending on the
+// sender, in time units.
+func (l *link) backlog() sim.Time {
+	now := l.net.Sim.Now()
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil - now
+}
+
+// sendMsg delivers a control message (credit request, credit, reachability
+// message) after propagation delay only; control traffic is delay-modelled
+// (see package comment).
+func (l *link) sendMsg(m any) {
+	if l.down {
+		return
+	}
+	arrive := l.net.Sim.Now() + l.net.Cfg.LinkDelay + sim.Time(int64(reach.MessageBytes)*l.psPerByte)
+	dl := l
+	l.net.Sim.At(arrive, func() {
+		if dl.down {
+			return
+		}
+		dl.deliverMsg(m)
+	})
+}
+
+// wire connects two endpoints with a full-duplex link.
+func wire(n *Network, a, b endpointRef) {
+	ab := newLink(n, n.Cfg.LinkBps)
+	ba := newLink(n, n.Cfg.LinkBps)
+	ab.peer, ba.peer = ba, ab
+	attach(n, a, ab, ba) // a transmits on ab, receives on ba
+	attach(n, b, ba, ab)
+}
+
+// attach registers tx as the endpoint's outgoing link at its port and
+// points rx's delivery functions at the endpoint.
+func attach(n *Network, ep endpointRef, tx, rx *link) {
+	if ep.fa != nil {
+		fa, port := ep.fa, ep.port
+		fa.uplinks[port] = tx
+		rx.deliverCell = func(c *cell.Cell) { fa.onFabricCell(port, c) }
+		rx.deliverMsg = func(m any) { fa.onCtrl(port, m) }
+		return
+	}
+	fe, port := ep.fe, ep.port
+	fe.links[port] = tx
+	rx.deliverCell = func(c *cell.Cell) { fe.onCell(port, c) }
+	rx.deliverMsg = func(m any) { fe.onCtrl(port, m) }
+}
+
+// Control-plane message types exchanged between devices.
+
+// creditRequest is a VOQ state report toward the destination FA's egress
+// scheduler (§3.3: non-empty VOQs request permission to send).
+type creditRequest struct {
+	SrcFA   uint16
+	DstFA   uint16
+	DstPort uint8
+	TC      uint8
+	Backlog int64 // current queued bytes; 0 withdraws
+}
+
+// creditGrant entitles a VOQ to release Bytes toward (DstFA, DstPort).
+type creditGrant struct {
+	SrcFA   uint16 // the requester being credited
+	DstFA   uint16
+	DstPort uint8
+	TC      uint8
+	Bytes   int64
+}
+
+// reachMsg wraps a reachability advertisement chunk (§5.8).
+type reachMsg struct {
+	msg reach.Message
+}

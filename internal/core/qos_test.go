@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stardust/internal/sched"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// End-to-end QoS: two traffic classes share one oversubscribed egress
+// port with WRR weights 3:1; delivered bytes must split accordingly
+// (§3.3: "typically a combination of round-robin, strict priority and
+// weighted among VOQs of different Traffic Classes").
+func TestEndToEndWeightedClasses(t *testing.T) {
+	cfg := testConfig()
+	cfg.Credit.Classes = map[uint8]sched.ClassConfig{
+		0: {Priority: 0, Weight: 3},
+		1: {Priority: 0, Weight: 1},
+	}
+	n := newTestNet(t, cfg, clos1(t))
+	delivered := map[uint8]int64{}
+	n.OnDeliver = func(p *Packet) { delivered[p.TC] += int64(p.Size) }
+
+	// Two sources each blast one class at the same destination port, well
+	// above its 100G capacity, for a fixed window.
+	const pkt = 1500
+	stop := n.Sim.Now() + 400*sim.Microsecond
+	inject := func(src uint16, tc uint8) {
+		var loop func()
+		loop = func() {
+			if n.Sim.Now() >= stop {
+				return
+			}
+			n.Inject(src, 0, 0, 0, tc, pkt)
+			n.Sim.After(60*sim.Nanosecond, loop) // 200G offered per class
+		}
+		n.Sim.After(0, loop)
+	}
+	inject(1, 0)
+	inject(2, 1)
+	n.Run(stop + 100*sim.Microsecond)
+
+	if delivered[0] == 0 || delivered[1] == 0 {
+		t.Fatalf("a class starved: %v", delivered)
+	}
+	ratio := float64(delivered[0]) / float64(delivered[1])
+	if math.Abs(ratio-3) > 0.5 {
+		t.Fatalf("WRR 3:1 not honored end to end: ratio %.2f (%v)", ratio, delivered)
+	}
+}
+
+// Strict priority end to end: the high class takes the whole port while
+// backlogged; the low class drains only from leftover capacity.
+func TestEndToEndStrictPriority(t *testing.T) {
+	cfg := testConfig()
+	cfg.Credit.Classes = map[uint8]sched.ClassConfig{
+		0: {Priority: 1, Weight: 1}, // high
+		1: {Priority: 0, Weight: 1}, // low
+	}
+	n := newTestNet(t, cfg, clos1(t))
+	delivered := map[uint8]int64{}
+	n.OnDeliver = func(p *Packet) { delivered[p.TC] += int64(p.Size) }
+
+	const pkt = 1500
+	stop := n.Sim.Now() + 300*sim.Microsecond
+	inject := func(src uint16, tc uint8) {
+		var loop func()
+		loop = func() {
+			if n.Sim.Now() >= stop {
+				return
+			}
+			n.Inject(src, 0, 0, 0, tc, pkt)
+			n.Sim.After(110*sim.Nanosecond, loop) // ~109G offered per class
+		}
+		n.Sim.After(0, loop)
+	}
+	inject(1, 0)
+	inject(2, 1)
+	// Measure the split at the end of the contention window; afterwards
+	// the high VOQ drains, withdraws, and the low class legitimately gets
+	// the port.
+	n.Run(stop)
+	if delivered[0] == 0 {
+		t.Fatal("high class starved")
+	}
+	frac := float64(delivered[1]) / float64(delivered[0]+delivered[1])
+	if frac > 0.05 {
+		t.Fatalf("low class got %.1f%% during strict-priority contention", 100*frac)
+	}
+	lowAtStop := delivered[1]
+	n.Run(stop + 200*sim.Microsecond)
+	if delivered[1] <= lowAtStop {
+		t.Fatal("low class never drained after the high class finished")
+	}
+}
+
+// Determinism: identical seeds must produce byte-identical outcomes.
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, sim.Time) {
+		cfg := testConfig()
+		c, _ := topo.NewClos2(8, 4, 4, 8, 8, 2)
+		n, err := New(cfg, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.WarmUp(5 * sim.Millisecond)
+		var last sim.Time
+		n.OnDeliver = func(p *Packet) { last = p.Delivered }
+		for i := 0; i < 300; i++ {
+			n.Inject(uint16(i%8), 0, uint16((i+3)%8), uint8(i%2), 0, 200+i%1300)
+		}
+		n.Run(n.Sim.Now() + 2*sim.Millisecond)
+		return n.Delivered, n.DeliveredB, last
+	}
+	d1, b1, t1 := run()
+	d2, b2, t2 := run()
+	if d1 != d2 || b1 != b2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%d,%v) vs (%d,%d,%v)", d1, b1, t1, d2, b2, t2)
+	}
+}
+
+// §8's vision: Fabric Adapters reduced to single-port smart NICs attached
+// directly to Fabric Elements — "connecting a NIC to a Fabric Element is
+// the same as to a ToR". The same core machinery must run a NIC-per-host
+// network.
+func TestNICVisionSinglePortAdapters(t *testing.T) {
+	cfg := testConfig()
+	cfg.HostPortsPerFA = 1 // the Fabric Adapter *is* the NIC
+	cfg.HostPortBps = 100e9
+	// 16 NICs x 2 uplinks over 4 single-tier elements.
+	c, err := topo.NewClos1(16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.WarmUp(5 * sim.Millisecond) {
+		t.Fatal("NIC fabric did not converge")
+	}
+	delivered := 0
+	n.OnDeliver = func(p *Packet) { delivered++ }
+	for i := 0; i < 15; i++ {
+		n.Inject(uint16(i), 0, uint16(i+1), 0, 0, 1500)
+	}
+	n.Run(n.Sim.Now() + 2*sim.Millisecond)
+	if delivered != 15 {
+		t.Fatalf("NIC-mode delivered %d of 15", delivered)
+	}
+}
+
+// The FE's mean queue depth accessor must reflect load.
+func TestFEQueueDepthAccessor(t *testing.T) {
+	n := newTestNet(t, testConfig(), clos1(t))
+	for i := 0; i < 200; i++ {
+		n.Inject(0, 0, 1, 0, 0, 1500)
+	}
+	n.Run(n.Sim.Now() + sim.Millisecond)
+	any := false
+	for _, fe := range n.FEs {
+		if fe.MeanQueueDepth() > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no FE recorded queue occupancy")
+	}
+}
+
+// §5.10: a link whose error rate crosses the threshold marks itself
+// faulty on reachability cells; receivers exclude it from forwarding, and
+// it rejoins only after the threshold of clean keepalives.
+func TestFaultyLinkExclusionAndRecovery(t *testing.T) {
+	cfg := testConfig()
+	n := newTestNet(t, cfg, clos2(t))
+	id := topo.NodeID{Kind: topo.KindFA, Index: 0}
+	if err := n.SetLinkFaulty(id, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(n.Sim.Now() + 5*cfg.ReachInterval)
+	if n.FAs[0].Table().Links(5).Get(2) {
+		t.Fatal("faulty link still eligible for forwarding")
+	}
+	// Traffic keeps flowing over the clean links.
+	delivered := 0
+	n.OnDeliver = func(*Packet) { delivered++ }
+	for i := 0; i < 100; i++ {
+		n.Inject(0, 0, 5, 0, 0, 900)
+	}
+	n.Run(n.Sim.Now() + 2*sim.Millisecond)
+	if delivered != 100 {
+		t.Fatalf("delivered %d of 100 with one faulty link", delivered)
+	}
+	// Clear the fault: after threshold clean messages the link rejoins.
+	if err := n.SetLinkFaulty(id, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(n.Sim.Now() + 10*cfg.ReachInterval)
+	if !n.FAs[0].Table().Links(5).Get(2) {
+		t.Fatal("recovered link not re-admitted")
+	}
+}

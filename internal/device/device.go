@@ -1,0 +1,185 @@
+// Package device models the data-path throughput experiment of §6.1.1
+// (Fig 8): four switch designs sharing one source RTL lineage — the
+// NetFPGA reference packet switch, the NDP switch, a Stardust cell switch
+// fed with non-packed cells, and the Stardust packed-cell switch — running
+// at a configurable core clock over a W-byte datapath.
+//
+// The model prices every design in datapath cycles per packet:
+//
+//   - reference:  ceil(S/W) payload beats + 1 arbiter bubble per packet
+//   - NDP:        ceil((S+16)/W) beats (trimmed-header metadata travels
+//     in-band) + 1 bubble
+//   - cells:      2 beats per 64B cell, packets quantized to whole cells
+//     (a packet one byte over a cell boundary burns a nearly
+//     empty cell, §3.4)
+//   - packed:     2 beats per cell with cells filled across packet
+//     boundaries, so cost is fractional in packets
+//
+// Packet boundaries and cell headers ride the sideband (TLAST/TUSER), as
+// in the NetFPGA AXI4-Stream fabric. Throughput for a given packet size is
+// min(1, available cycles / demanded cycles) of the wire's goodput. The
+// model reproduces the anchors of §6.1.1: the reference switch reaches
+// full line rate for every size only at 180 MHz, NDP misses line rate at
+// 65/97/129B even at 200 MHz, and packing wins by up to ~15% / ~30% /
+// ~50% against the reference / NDP / non-packed cells at 150 MHz.
+package device
+
+import (
+	"math"
+
+	"stardust/internal/analytic"
+)
+
+// Design enumerates the four compared implementations.
+type Design int
+
+// The four designs of Fig 8.
+const (
+	Reference Design = iota // NetFPGA 4x10GE reference switch
+	NDP                     // NDP switch (reference + trimming/priority logic)
+	Cells                   // Stardust datapath fed non-packed cells
+	Packed                  // Stardust packed cells
+)
+
+var designNames = map[Design]string{
+	Reference: "Reference Switch",
+	NDP:       "NDP Switch",
+	Cells:     "Switch - Cells",
+	Packed:    "Stardust - Packed Cells",
+}
+
+func (d Design) String() string { return designNames[d] }
+
+// AllDesigns lists the designs in the paper's legend order.
+var AllDesigns = []Design{Reference, Cells, NDP, Packed}
+
+// Switch models one device under test.
+type Switch struct {
+	Design      Design
+	ClockHz     float64 // datapath clock (150e6 in Fig 8)
+	BusBytes    int     // datapath width (32 for NetFPGA SUME)
+	Ports       int     // 4
+	PortBps     float64 // 10e9
+	CellBytes   int     // 64 (two beats per table lookup, §6.1.1)
+	FrameBytes  int     // in-stream per-packet framing inside packed cells
+	NDPOverhead int     // extra in-band bytes processed per packet by NDP
+}
+
+// NetFPGA returns the Fig 8 configuration for the given design and clock.
+func NetFPGA(d Design, clockHz float64) Switch {
+	return Switch{
+		Design:      d,
+		ClockHz:     clockHz,
+		BusBytes:    32,
+		Ports:       4,
+		PortBps:     10e9,
+		CellBytes:   64,
+		FrameBytes:  4,
+		NDPOverhead: 16,
+	}
+}
+
+// WireRatePPS returns the aggregate line-rate packet arrival rate for
+// packets of size s (on-wire gap included).
+func (sw Switch) WireRatePPS(s int) float64 {
+	return float64(sw.Ports) * sw.PortBps / (8 * float64(s+analytic.EthernetGap))
+}
+
+// LineGoodputBps returns the best possible goodput at size s: the wire
+// rate minus inter-packet overhead.
+func (sw Switch) LineGoodputBps(s int) float64 {
+	return float64(sw.Ports) * sw.PortBps * float64(s) / float64(s+analytic.EthernetGap)
+}
+
+// CyclesPerPacket returns the (possibly fractional) datapath cycles one
+// packet of size s costs this design.
+//
+// The reference switch's per-packet arbiter turnaround overlaps with the
+// payload beats of packets longer than two beats, so its cost is
+// max(ceil(S/W), 3): exactly the calibration at which it sustains line
+// rate for every size at 180 MHz but not at 150 MHz (§6.1.1). NDP adds a
+// non-overlapped cycle for trim/priority handling plus 16B of in-band
+// trimmed-header metadata.
+func (sw Switch) CyclesPerPacket(s int) float64 {
+	w := float64(sw.BusBytes)
+	switch sw.Design {
+	case Reference:
+		return math.Max(math.Ceil(float64(s)/w), 3)
+	case NDP:
+		return math.Max(math.Ceil(float64(s+sw.NDPOverhead)/w), 3) + 1
+	case Cells:
+		// Packets quantized to whole cells; each cell moves in
+		// CellBytes/W beats regardless of fill.
+		cells := math.Ceil(float64(s+sw.FrameBytes) / float64(sw.CellBytes))
+		return cells * float64(sw.CellBytes) / w
+	case Packed:
+		return float64(s+sw.FrameBytes) / w
+	}
+	panic("device: unknown design")
+}
+
+// Throughput returns the achieved fraction of line rate for packets of
+// size s: available cycles over demanded cycles, capped at 1.
+func (sw Switch) Throughput(s int) float64 {
+	demand := sw.WireRatePPS(s) * sw.CyclesPerPacket(s)
+	if demand <= sw.ClockHz {
+		return 1
+	}
+	return sw.ClockHz / demand
+}
+
+// GoodputBps returns the delivered goodput in bits/s at packet size s
+// (Fig 8a's y-axis, aggregated over the four ports).
+func (sw Switch) GoodputBps(s int) float64 {
+	return sw.Throughput(s) * sw.LineGoodputBps(s)
+}
+
+// MixThroughput returns the fraction of offered load delivered for a
+// packet-size mix (Fig 8b): sizes[i] appears with weight weights[i]. The
+// bottleneck is the shared datapath, so the fraction is capacity over
+// aggregate cycle demand at line rate.
+func (sw Switch) MixThroughput(sizes []int, weights []float64) float64 {
+	var wsum float64
+	for _, w := range weights {
+		wsum += w
+	}
+	// Offered load: line rate with the mixed sizes. Compute the demanded
+	// cycles per offered byte and compare with capacity per byte.
+	var meanWire, meanCycles float64
+	for i, s := range sizes {
+		p := weights[i] / wsum
+		meanWire += p * float64(s+analytic.EthernetGap)
+		meanCycles += p * sw.CyclesPerPacket(s)
+	}
+	pps := float64(sw.Ports) * sw.PortBps / (8 * meanWire)
+	demand := pps * meanCycles
+	if demand <= sw.ClockHz {
+		return 1
+	}
+	return sw.ClockHz / demand
+}
+
+// Fig8aRow is one x-position of Fig 8(a).
+type Fig8aRow struct {
+	PacketBytes int
+	Gbps        map[Design]float64
+}
+
+// Fig8a evaluates all four designs at the given clock for the given packet
+// sizes (nil = 64..1518 sweep).
+func Fig8a(clockHz float64, sizes []int) []Fig8aRow {
+	if sizes == nil {
+		for s := 64; s <= 1518; s += 2 {
+			sizes = append(sizes, s)
+		}
+	}
+	rows := make([]Fig8aRow, len(sizes))
+	for i, s := range sizes {
+		row := Fig8aRow{PacketBytes: s, Gbps: map[Design]float64{}}
+		for _, d := range AllDesigns {
+			row.Gbps[d] = NetFPGA(d, clockHz).GoodputBps(s) / 1e9
+		}
+		rows[i] = row
+	}
+	return rows
+}

@@ -1,0 +1,157 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStardustNearLineRateAllSizes(t *testing.T) {
+	sw := NetFPGA(Packed, 150e6)
+	for s := 64; s <= 1518; s++ {
+		if th := sw.Throughput(s); th < 0.965 {
+			t.Fatalf("Stardust at %dB: %.3f of line rate", s, th)
+		}
+	}
+}
+
+func TestReferenceFullLineRateOnlyAt180MHz(t *testing.T) {
+	// §6.1.1: "The Reference Switch achieves full line rate for all packet
+	// sizes only at a clock frequency of 180MHz".
+	at180 := NetFPGA(Reference, 180e6)
+	for s := 64; s <= 1518; s++ {
+		if at180.Throughput(s) < 0.9999 {
+			t.Fatalf("reference at 180MHz below line rate at %dB", s)
+		}
+	}
+	at150 := NetFPGA(Reference, 150e6)
+	worst := 1.0
+	for s := 64; s <= 1518; s++ {
+		if th := at150.Throughput(s); th < worst {
+			worst = th
+		}
+	}
+	if worst > 0.95 {
+		t.Fatalf("reference at 150MHz should miss line rate somewhere, worst=%.3f", worst)
+	}
+	at175 := NetFPGA(Reference, 175e6)
+	ok := true
+	for s := 64; s <= 1518; s++ {
+		if at175.Throughput(s) < 0.9999 {
+			ok = false
+		}
+	}
+	if ok {
+		t.Fatal("reference already at line rate below 180MHz; anchor too loose")
+	}
+}
+
+func TestNDPFailsAt65_97_129EvenAt200MHz(t *testing.T) {
+	sw := NetFPGA(NDP, 200e6)
+	for _, s := range []int{65, 97, 129} {
+		if sw.Throughput(s) >= 0.9999 {
+			t.Fatalf("NDP at %dB reached line rate at 200MHz", s)
+		}
+	}
+}
+
+func TestFig8aAnchorsAt150MHz(t *testing.T) {
+	pack := NetFPGA(Packed, 150e6)
+	ref := NetFPGA(Reference, 150e6)
+	ndp := NetFPGA(NDP, 150e6)
+	cells := NetFPGA(Cells, 150e6)
+
+	maxGain := func(other Switch) float64 {
+		worst := 0.0
+		for s := 64; s <= 1518; s++ {
+			g := pack.Throughput(s)/other.Throughput(s) - 1
+			if g > worst {
+				worst = g
+			}
+		}
+		return worst
+	}
+	// "up to 15%, 30% and 49% better than the Reference Switch, NDP, and
+	// non-packed cells" — shape anchors with tolerance for the model.
+	if g := maxGain(ref); g < 0.10 || g > 0.25 {
+		t.Fatalf("gain vs reference = %.2f, want ~0.15", g)
+	}
+	// The printed "up to 30%" is over Fig 8a's plotted range; the 65B
+	// anchor (NDP misses line rate even at 200 MHz) forces a worst case
+	// beyond 33% at 150 MHz, so accept the wider band and record the
+	// divergence in EXPERIMENTS.md.
+	if g := maxGain(ndp); g < 0.25 || g > 0.70 {
+		t.Fatalf("gain vs NDP = %.2f, want ~0.30-0.60", g)
+	}
+	if g := maxGain(cells); g < 0.40 || g > 0.70 {
+		t.Fatalf("gain vs cells = %.2f, want ~0.49", g)
+	}
+}
+
+func TestCellQuantizationSawtooth(t *testing.T) {
+	// A packet one byte over the cell payload boundary wastes almost a full
+	// cell in the non-packed design (§3.4) but not in the packed one.
+	cells := NetFPGA(Cells, 150e6)
+	// With 64B cells and 4B framing the boundary is at S+4 = 64 -> S=60.
+	atBoundary := cells.CyclesPerPacket(60)
+	overBoundary := cells.CyclesPerPacket(61)
+	if overBoundary <= atBoundary {
+		t.Fatal("no quantization jump")
+	}
+	pack := NetFPGA(Packed, 150e6)
+	if pack.CyclesPerPacket(61)-pack.CyclesPerPacket(60) > 0.04 {
+		t.Fatal("packed design should be smooth across the boundary")
+	}
+}
+
+// Property: throughput is in (0,1], goodput never exceeds the wire
+// goodput, and the packed design never loses to the non-packed design.
+func TestPropertyThroughputBounds(t *testing.T) {
+	f := func(sRaw uint16, clkRaw uint8) bool {
+		s := int(sRaw%1455) + 64
+		clk := float64(clkRaw%150+50) * 1e6
+		for _, d := range AllDesigns {
+			sw := NetFPGA(d, clk)
+			th := sw.Throughput(s)
+			if th <= 0 || th > 1 {
+				return false
+			}
+			if sw.GoodputBps(s) > sw.LineGoodputBps(s)+1 {
+				return false
+			}
+		}
+		return NetFPGA(Packed, clk).Throughput(s) >= NetFPGA(Cells, clk).Throughput(s)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixThroughputOrdering(t *testing.T) {
+	// Fig 8b: on every trace mix, Stardust >= Switch >= Cells.
+	sizes := []int{64, 256, 575, 1500}
+	weights := []float64{0.4, 0.2, 0.2, 0.2}
+	pack := NetFPGA(Packed, 150e6).MixThroughput(sizes, weights)
+	ref := NetFPGA(Reference, 150e6).MixThroughput(sizes, weights)
+	cells := NetFPGA(Cells, 150e6).MixThroughput(sizes, weights)
+	if !(pack >= ref && ref >= cells) {
+		t.Fatalf("ordering violated: pack=%.3f ref=%.3f cells=%.3f", pack, ref, cells)
+	}
+	if pack < 0.97 {
+		t.Fatalf("Stardust mix throughput %.3f, want ~1", pack)
+	}
+}
+
+func TestFig8aRows(t *testing.T) {
+	rows := Fig8a(150e6, []int{64, 512, 1500})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Gbps) != 4 {
+			t.Fatalf("missing designs at %dB", r.PacketBytes)
+		}
+		if r.Gbps[Packed] > 40.0 {
+			t.Fatalf("goodput above 40G at %dB", r.PacketBytes)
+		}
+	}
+}

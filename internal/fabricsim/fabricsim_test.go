@@ -1,0 +1,171 @@
+package fabricsim
+
+import (
+	"math"
+	"testing"
+
+	"stardust/internal/queueing"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := Fig9Config(0.8)
+	cfg.NumFA = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("degenerate topology accepted")
+	}
+	cfg = Fig9Config(0.8)
+	cfg.FE1Up = 63 // not a multiple of NumFE2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("bad FE1Up accepted")
+	}
+}
+
+func TestLosslessUnderSubscribed(t *testing.T) {
+	for _, util := range []float64{0.66, 0.8, 0.92} {
+		cfg := Scaled(util, 4)
+		cfg.Slots = 6000
+		res := run(t, cfg)
+		if res.CellsDropped != 0 {
+			t.Fatalf("util=%.2f: dropped %d cells", util, res.CellsDropped)
+		}
+		if res.CellsDelivered == 0 {
+			t.Fatalf("util=%.2f: nothing delivered", util)
+		}
+		// Delivered load on last-stage links must match offered.
+		if math.Abs(res.EffectiveUtil-util) > 0.05*util+0.02 {
+			t.Fatalf("util=%.2f: effective %v", util, res.EffectiveUtil)
+		}
+	}
+}
+
+// Fig 9 (right): queue-size distribution decays exponentially with a rate
+// tracking the M/D/1 model.
+func TestQueueDistributionMatchesMD1(t *testing.T) {
+	util := 0.8
+	cfg := Scaled(util, 4)
+	cfg.Slots = 20000
+	res := run(t, cfg)
+
+	md1, _ := queueing.NewMD1(util)
+	want := md1.QueueCCDF(40)
+	got := res.QueueHist.CCDF()
+
+	// Compare at moderate depths where both have solid mass.
+	for _, n := range []int{2, 5, 10, 15} {
+		g, w := got[n], want[n]
+		if w <= 0 {
+			continue
+		}
+		ratio := g / w
+		if ratio < 0.25 || ratio > 4 {
+			t.Fatalf("P(Q>=%d): sim %v vs M/D/1 %v (ratio %v)", n, g, w, ratio)
+		}
+	}
+}
+
+// Queue tails grow with utilization (the exponential rate weakens), and
+// latency distributions shift right — the ordering visible in Fig 9.
+func TestTailOrderingAcrossUtilizations(t *testing.T) {
+	var p99s []float64
+	var means []float64
+	for _, util := range []float64{0.66, 0.8, 0.92} {
+		cfg := Scaled(util, 4)
+		cfg.Slots = 8000
+		res := run(t, cfg)
+		p99s = append(p99s, res.Latency.Quantile(0.99))
+		means = append(means, res.MeanQueue)
+	}
+	for i := 1; i < len(p99s); i++ {
+		if p99s[i] <= p99s[i-1] {
+			t.Fatalf("p99 latency not increasing with load: %v", p99s)
+		}
+		if means[i] <= means[i-1] {
+			t.Fatalf("mean queue not increasing with load: %v", means)
+		}
+	}
+}
+
+// §6.2: "even at 95% utilization, the latency is bound by 13 microseconds".
+func TestLatencyBoundAt95(t *testing.T) {
+	cfg := Scaled(0.95, 4)
+	cfg.Slots = 12000
+	res := run(t, cfg)
+	p999 := res.Latency.Quantile(0.999)
+	if p999 > 13 {
+		t.Fatalf("p99.9 latency %v us exceeds the paper's 13us bound", p999)
+	}
+	// And the floor is a couple of microseconds (4 hops of serialization
+	// plus 4x100m fiber).
+	if min := res.Latency.Quantile(0.001); min < 1.5 || min > 5 {
+		t.Fatalf("latency floor %v us implausible", min)
+	}
+}
+
+// Fig 9's 1.2-load curve: with FCI the over-subscribed fabric sheds load at
+// the sources and the effective utilization settles near 0.9 with no loss
+// in the fabric interior.
+func TestOversubscribedWithFCI(t *testing.T) {
+	cfg := Scaled(1.2, 4)
+	cfg.Slots = 20000
+	res := run(t, cfg)
+	if res.ThrottleMean >= 0.99 {
+		t.Fatal("FCI never throttled at 120% load")
+	}
+	if res.EffectiveUtil < 0.8 || res.EffectiveUtil > 1.0 {
+		t.Fatalf("effective util %v, want ~0.9 (§6.2)", res.EffectiveUtil)
+	}
+	dropFrac := float64(res.CellsDropped) / float64(res.CellsOffered)
+	if dropFrac > 0.02 {
+		t.Fatalf("fabric dropped %.3f of cells; FCI should prevent loss", dropFrac)
+	}
+}
+
+func TestOversubscribedWithoutFCIDrops(t *testing.T) {
+	cfg := Scaled(1.2, 4)
+	cfg.FCI = false
+	cfg.Slots = 8000
+	res := run(t, cfg)
+	if res.CellsDropped == 0 {
+		t.Fatal("120% load without FCI must overflow queues")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Scaled(0.8, 8)
+	cfg.Slots = 2000
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.CellsDelivered != b.CellsDelivered || a.MeanQueue != b.MeanQueue {
+		t.Fatal("same seed must reproduce identical results")
+	}
+	cfg.Seed = 2
+	c := run(t, cfg)
+	if a.CellsDelivered == c.CellsDelivered && a.MeanQueue == c.MeanQueue {
+		t.Fatal("different seed gave identical results (suspicious)")
+	}
+}
+
+func TestFullFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fabric in -short mode")
+	}
+	cfg := Fig9Config(0.8)
+	cfg.Slots = 1200
+	cfg.WarmupSlots = 400
+	res := run(t, cfg)
+	if res.CellsDropped != 0 {
+		t.Fatalf("dropped %d", res.CellsDropped)
+	}
+	if math.Abs(res.EffectiveUtil-0.8) > 0.05 {
+		t.Fatalf("effective util %v", res.EffectiveUtil)
+	}
+}

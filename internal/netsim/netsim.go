@@ -1,0 +1,170 @@
+// Package netsim is the packet-level network simulator used for the
+// protocol comparison of §6.3 (Fig 10) — the role htsim plays in the
+// paper. It provides serialization queues with tail-drop and ECN marking,
+// propagation pipes, and a k-ary fat-tree plumbing with per-flow ECMP path
+// selection. Transport endpoints (TCP NewReno, DCTCP, DCQCN, MPTCP and the
+// Stardust Fabric Adapter model) live in package tcp and netsim's
+// stardust.go.
+package netsim
+
+import (
+	"fmt"
+
+	"stardust/internal/sim"
+)
+
+// Bps is a link rate in bits per second.
+type Bps float64
+
+// Handler consumes packets; queues, pipes and endpoints all implement it.
+type Handler interface {
+	Receive(p *Packet)
+}
+
+// Packet is the unit moved through the simulated network. A packet carries
+// its forward route and advances itself hop by hop.
+type Packet struct {
+	Size  int   // bytes on the wire
+	Seq   int64 // first byte carried (data) / echoed cumulative ack (ACK)
+	Ack   bool
+	CE    bool // congestion-experienced mark (set by queues)
+	Echo  bool // ECN echo on an ACK
+	Flow  any  // owning endpoint state (opaque to the network)
+	route []Handler
+	hop   int
+}
+
+// SetRoute installs the forward route and resets the hop cursor.
+func (p *Packet) SetRoute(route []Handler) {
+	p.route = route
+	p.hop = 0
+}
+
+// SendOn advances the packet to its next hop. Packets that run off the end
+// of their route are dropped (the route must terminate in an endpoint that
+// does not call SendOn).
+func (p *Packet) SendOn() {
+	if p.hop >= len(p.route) {
+		return
+	}
+	h := p.route[p.hop]
+	p.hop++
+	h.Receive(p)
+}
+
+// Queue is a store-and-forward output queue draining at a fixed rate, with
+// tail-drop at MaxBytes and optional ECN marking above ECNThreshBytes
+// (instantaneous queue, DCTCP-style).
+type Queue struct {
+	Name           string
+	Sim            *sim.Simulator
+	Rate           Bps
+	MaxBytes       int
+	ECNThreshBytes int // 0 disables marking
+
+	q     []*Packet
+	head  int
+	bytes int
+	busy  bool
+
+	// Stats
+	Drops     uint64
+	Marks     uint64
+	Forwarded uint64
+	PeakBytes int
+}
+
+// NewQueue builds a queue bound to the simulator.
+func NewQueue(s *sim.Simulator, name string, rate Bps, maxBytes int, ecnThresh int) *Queue {
+	if rate <= 0 || maxBytes <= 0 {
+		panic("netsim: queue needs positive rate and capacity")
+	}
+	return &Queue{Name: name, Sim: s, Rate: rate, MaxBytes: maxBytes, ECNThreshBytes: ecnThresh}
+}
+
+func (q *Queue) txTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / float64(q.Rate) * float64(sim.Second))
+}
+
+// Bytes returns the current occupancy.
+func (q *Queue) Bytes() int { return q.bytes }
+
+// Receive implements Handler.
+func (q *Queue) Receive(p *Packet) {
+	if q.bytes+p.Size > q.MaxBytes {
+		q.Drops++
+		return
+	}
+	if q.ECNThreshBytes > 0 && q.bytes >= q.ECNThreshBytes {
+		p.CE = true
+		q.Marks++
+	}
+	q.q = append(q.q, p)
+	q.bytes += p.Size
+	if q.bytes > q.PeakBytes {
+		q.PeakBytes = q.bytes
+	}
+	if !q.busy {
+		q.busy = true
+		q.serve()
+	}
+}
+
+func (q *Queue) serve() {
+	if q.head >= len(q.q) {
+		q.q = q.q[:0]
+		q.head = 0
+		q.busy = false
+		return
+	}
+	p := q.q[q.head]
+	q.q[q.head] = nil
+	q.head++
+	if q.head > 256 && q.head*2 >= len(q.q) {
+		q.q = append(q.q[:0], q.q[q.head:]...)
+		q.head = 0
+	}
+	q.Sim.After(q.txTime(p.Size), func() {
+		q.bytes -= p.Size
+		q.Forwarded++
+		p.SendOn()
+		q.serve()
+	})
+}
+
+// Pipe is a pure propagation delay.
+type Pipe struct {
+	Sim   *sim.Simulator
+	Delay sim.Time
+}
+
+// NewPipe builds a pipe.
+func NewPipe(s *sim.Simulator, delay sim.Time) *Pipe { return &Pipe{Sim: s, Delay: delay} }
+
+// Receive implements Handler.
+func (p *Pipe) Receive(pkt *Packet) {
+	p.Sim.After(p.Delay, pkt.SendOn)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*Packet)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(p *Packet) { f(p) }
+
+// Counter is a terminal handler counting packets and bytes (a debugging
+// sink).
+type Counter struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Receive implements Handler.
+func (c *Counter) Receive(p *Packet) {
+	c.Packets++
+	c.Bytes += uint64(p.Size)
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("queue %s: %dB queued, %d fwd, %d drops, %d marks", q.Name, q.bytes, q.Forwarded, q.Drops, q.Marks)
+}

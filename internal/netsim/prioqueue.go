@@ -1,0 +1,82 @@
+package netsim
+
+import "stardust/internal/sim"
+
+// PriorityQueue is a two-band strict-priority output queue (Appendix F's
+// traffic-class scenario): band-0 (high) packets always transmit before
+// band-1 (low). Bands share the byte budget; when full, low-priority
+// packets are dropped first, then arriving highs tail-drop.
+type PriorityQueue struct {
+	Name     string
+	Sim      *sim.Simulator
+	Rate     Bps
+	MaxBytes int
+
+	// Classify returns the band (0 = high, 1 = low) for a packet.
+	Classify func(*Packet) int
+
+	bands [2][]*Packet
+	bytes int
+	busy  bool
+
+	Drops     [2]uint64
+	Forwarded [2]uint64
+}
+
+// NewPriorityQueue builds a two-band strict priority queue.
+func NewPriorityQueue(s *sim.Simulator, name string, rate Bps, maxBytes int, classify func(*Packet) int) *PriorityQueue {
+	return &PriorityQueue{Name: name, Sim: s, Rate: rate, MaxBytes: maxBytes, Classify: classify}
+}
+
+// Receive implements Handler.
+func (q *PriorityQueue) Receive(p *Packet) {
+	band := 0
+	if q.Classify != nil {
+		band = q.Classify(p) & 1
+	}
+	if q.bytes+p.Size > q.MaxBytes {
+		// Evict queued low-priority bytes for an arriving high.
+		if band == 0 {
+			for len(q.bands[1]) > 0 && q.bytes+p.Size > q.MaxBytes {
+				victim := q.bands[1][len(q.bands[1])-1]
+				q.bands[1] = q.bands[1][:len(q.bands[1])-1]
+				q.bytes -= victim.Size
+				q.Drops[1]++
+			}
+		}
+		if q.bytes+p.Size > q.MaxBytes {
+			q.Drops[band]++
+			return
+		}
+	}
+	q.bands[band] = append(q.bands[band], p)
+	q.bytes += p.Size
+	if !q.busy {
+		q.busy = true
+		q.serve()
+	}
+}
+
+func (q *PriorityQueue) serve() {
+	var p *Packet
+	var band int
+	for b := 0; b < 2; b++ {
+		if len(q.bands[b]) > 0 {
+			p = q.bands[b][0]
+			q.bands[b] = q.bands[b][1:]
+			band = b
+			break
+		}
+	}
+	if p == nil {
+		q.busy = false
+		return
+	}
+	tx := sim.Time(float64(p.Size*8) / float64(q.Rate) * float64(sim.Second))
+	q.Sim.After(tx, func() {
+		q.bytes -= p.Size
+		q.Forwarded[band]++
+		p.SendOn()
+		q.serve()
+	})
+}

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"testing"
+
+	"stardust/internal/sim"
+)
+
+func prioSetup(s *sim.Simulator) (*PriorityQueue, *Counter, *Counter) {
+	q := NewPriorityQueue(s, "pq", 8e9, 10_000, func(p *Packet) int {
+		if tag, ok := p.Flow.(int); ok {
+			return tag
+		}
+		return 0
+	})
+	var hi, lo Counter
+	return q, &hi, &lo
+}
+
+func TestPriorityQueueStrictOrder(t *testing.T) {
+	s := sim.New()
+	q, hi, lo := prioSetup(s)
+	var order []int
+	tap := func(band int, c *Counter) Handler {
+		return HandlerFunc(func(p *Packet) {
+			order = append(order, band)
+			c.Receive(p)
+		})
+	}
+	// Enqueue lows first, then highs; highs must still exit first (after
+	// the low currently in service).
+	for i := 0; i < 3; i++ {
+		p := &Packet{Size: 1000, Flow: 1}
+		p.SetRoute([]Handler{q, tap(1, lo)})
+		p.SendOn()
+	}
+	for i := 0; i < 3; i++ {
+		p := &Packet{Size: 1000, Flow: 0}
+		p.SetRoute([]Handler{q, tap(0, hi)})
+		p.SendOn()
+	}
+	s.Run()
+	if hi.Packets != 3 || lo.Packets != 3 {
+		t.Fatalf("hi=%d lo=%d", hi.Packets, lo.Packets)
+	}
+	// First dequeue was already committed (a low); all highs before the
+	// remaining lows.
+	want := []int{1, 0, 0, 0, 1, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPriorityQueueEvictsLowForHigh(t *testing.T) {
+	s := sim.New()
+	q := NewPriorityQueue(s, "pq", 1e6 /* slow */, 3000, func(p *Packet) int {
+		return p.Flow.(int)
+	})
+	var delivered Counter
+	push := func(band int) {
+		p := &Packet{Size: 1000, Flow: band}
+		p.SetRoute([]Handler{q, &delivered})
+		p.SendOn()
+	}
+	push(1)
+	push(1)
+	push(1) // queue full of lows (one in service, two queued)
+	push(0) // high arrival evicts a queued low
+	if q.Drops[1] != 1 {
+		t.Fatalf("low drops = %d, want 1 (evicted)", q.Drops[1])
+	}
+	if q.Drops[0] != 0 {
+		t.Fatalf("high dropped: %d", q.Drops[0])
+	}
+	// With only lows left and the buffer full, further lows tail-drop.
+	push(1)
+	if q.Drops[1] != 2 {
+		t.Fatalf("low drops = %d, want 2", q.Drops[1])
+	}
+}
+
+func TestPriorityQueueHighDropsWhenFullOfHighs(t *testing.T) {
+	s := sim.New()
+	q := NewPriorityQueue(s, "pq", 1e6, 3000, func(p *Packet) int { return 0 })
+	var c Counter
+	for i := 0; i < 5; i++ {
+		p := &Packet{Size: 1000, Flow: 0}
+		p.SetRoute([]Handler{q, &c})
+		p.SendOn()
+	}
+	if q.Drops[0] != 2 {
+		t.Fatalf("high drops = %d, want 2", q.Drops[0])
+	}
+}
+
+func TestPriorityQueueForwardedCounters(t *testing.T) {
+	s := sim.New()
+	q, hi, lo := prioSetup(s)
+	for i := 0; i < 4; i++ {
+		p := &Packet{Size: 500, Flow: i % 2}
+		dst := hi
+		if i%2 == 1 {
+			dst = lo
+		}
+		p.SetRoute([]Handler{q, dst})
+		p.SendOn()
+	}
+	s.Run()
+	if q.Forwarded[0] != 2 || q.Forwarded[1] != 2 {
+		t.Fatalf("forwarded = %v", q.Forwarded)
+	}
+}
+
+func TestQueueStringer(t *testing.T) {
+	s := sim.New()
+	q := NewQueue(s, "x", 1e9, 1000, 0)
+	if q.String() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestHandlerFuncAndCounter(t *testing.T) {
+	called := false
+	h := HandlerFunc(func(p *Packet) { called = true })
+	h.Receive(&Packet{Size: 1})
+	if !called {
+		t.Fatal("HandlerFunc did not dispatch")
+	}
+	var c Counter
+	c.Receive(&Packet{Size: 7})
+	c.Receive(&Packet{Size: 3})
+	if c.Packets != 2 || c.Bytes != 10 {
+		t.Fatalf("counter = %+v", c)
+	}
+}
+
+func TestPacketRouteExhaustion(t *testing.T) {
+	// A packet running off its route must simply stop (no panic).
+	p := &Packet{Size: 1}
+	p.SetRoute(nil)
+	p.SendOn()
+	var c Counter
+	p.SetRoute([]Handler{&c})
+	p.SendOn()
+	p.SendOn() // past the end
+	if c.Packets != 1 {
+		t.Fatalf("delivered %d", c.Packets)
+	}
+}
+
+func TestQueuePanicsOnBadConfig(t *testing.T) {
+	s := sim.New()
+	for _, fn := range []func(){
+		func() { NewQueue(s, "q", 0, 100, 0) },
+		func() { NewQueue(s, "q", 1e9, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,313 @@
+package netsim
+
+import (
+	"fmt"
+
+	"stardust/internal/sched"
+	"stardust/internal/sim"
+)
+
+// StardustConfig parameterizes the abstract Stardust model used in the
+// §6.3 htsim comparison (Appendix G): 512B cells, 4KB credits, 3% credit
+// speed-up, ingress VOQs at the source Fabric Adapter and a round-robin
+// egress scheduler per destination port.
+type StardustConfig struct {
+	CellBytes   int     // cell size on the wire (512)
+	CellHeader  int     // header bytes within each cell (8)
+	CreditBytes int64   // credit quantum (4096)
+	SpeedUp     float64 // credit rate / port rate (1.03)
+
+	HostRate   Bps      // edge port rate (10G)
+	TrunkRate  Bps      // aggregate uplink rate per Fabric Adapter
+	LinkDelay  sim.Time // per-hop propagation
+	FabricHops int      // hops across the fabric (4 in a 2-tier Clos)
+	CtrlDelay  sim.Time // control-message (request/credit) one-way delay
+
+	VOQBytes   int // per-VOQ ingress buffer (§3.3: MBs to GBs at the FA)
+	NICBytes   int // host NIC queue into the source FA
+	TrunkBytes int // trunk queue capacity
+	PortBytes  int // egress port queue capacity
+	// Egress watermarks (§4.1): the port's credit scheduler pauses above
+	// PauseBytes and resumes below ResumeBytes, keeping the egress buffer
+	// just full enough to ride through scheduling jitter.
+	PauseBytes  int
+	ResumeBytes int
+}
+
+// DefaultStardust returns the Appendix G configuration for a fat-tree with
+// uplinks aggregate uplink capacity per edge device.
+func DefaultStardust(hostRate Bps, uplinks int, linkDelay sim.Time) StardustConfig {
+	return StardustConfig{
+		CellBytes:   512,
+		CellHeader:  8,
+		CreditBytes: 4096,
+		SpeedUp:     1.03,
+		HostRate:    hostRate,
+		// The fabric runs with a small speed-up over the edge (§6.2 uses
+		// 1.05), so the 3% credit speed-up cannot slowly flood the trunks.
+		TrunkRate:   Bps(float64(hostRate) * float64(uplinks) * 1.05),
+		LinkDelay:   linkDelay,
+		FabricHops:  4,
+		CtrlDelay:   2 * linkDelay,
+		VOQBytes:    8 << 20, // the FA's deep ingress buffer absorbs bursts (§5.4)
+		NICBytes:    2 << 20,
+		TrunkBytes:  1 << 20,
+		PortBytes:   100 * 9000,
+		PauseBytes:  4 * 9000,
+		ResumeBytes: 2 * 9000,
+	}
+}
+
+// StardustNet models the Stardust data center as a transport substrate:
+// host packets enter a per-flow VOQ at their source Fabric Adapter, wait
+// for credits from the destination port's scheduler, and cross the fabric
+// as cells sprayed over the adapter's uplinks (modelled as a fluid trunk —
+// §5.3's measured near-perfect balancing). Reassembled packets continue on
+// their original route, so TCP endpoints plug in unchanged.
+type StardustNet struct {
+	Cfg StardustConfig
+	Sim *sim.Simulator
+
+	hosts    int
+	hostsPer int // hosts per edge device (ToR / Fabric Adapter)
+
+	upTrunk   []*Queue // per edge device: into the fabric
+	downTrunk []*Queue // per edge device: out of the fabric
+	port      []*Queue // per host: egress port
+	hostUp    []*Queue // per host: NIC into the source FA
+	fabric    *Pipe
+
+	scheds  []*sched.PortScheduler // per destination host
+	timers  []*sim.Timer
+	voqs    map[voqKey]*stardustVOQ
+	nextVID uint16
+
+	// Stats
+	CellsSent   uint64
+	CreditsSent uint64
+	VOQDrops    uint64
+}
+
+type voqKey struct {
+	src, dst int // host indices
+}
+
+// NewStardustNet builds the substrate for hosts end hosts with hostsPer
+// hosts per edge device.
+func NewStardustNet(s *sim.Simulator, cfg StardustConfig, hosts, hostsPer int) (*StardustNet, error) {
+	if hosts < 2 || hostsPer < 1 || hosts%hostsPer != 0 {
+		return nil, fmt.Errorf("netsim: bad stardust sizing %d/%d", hosts, hostsPer)
+	}
+	if cfg.CellBytes <= cfg.CellHeader {
+		return nil, fmt.Errorf("netsim: cell too small")
+	}
+	n := &StardustNet{
+		Cfg:      cfg,
+		Sim:      s,
+		hosts:    hosts,
+		hostsPer: hostsPer,
+		fabric:   NewPipe(s, sim.Time(cfg.FabricHops)*cfg.LinkDelay),
+		voqs:     make(map[voqKey]*stardustVOQ),
+	}
+	edges := hosts / hostsPer
+	for e := 0; e < edges; e++ {
+		n.upTrunk = append(n.upTrunk, NewQueue(s, fmt.Sprintf("sd-up%d", e), cfg.TrunkRate, cfg.TrunkBytes, 0))
+		n.downTrunk = append(n.downTrunk, NewQueue(s, fmt.Sprintf("sd-dn%d", e), cfg.TrunkRate, cfg.TrunkBytes, 0))
+	}
+	for h := 0; h < hosts; h++ {
+		n.port = append(n.port, NewQueue(s, fmt.Sprintf("sd-port%d", h), cfg.HostRate, cfg.PortBytes, 0))
+		n.hostUp = append(n.hostUp, NewQueue(s, fmt.Sprintf("sd-nic%d", h), cfg.HostRate, cfg.NICBytes, 0))
+		sc := sched.New(sched.Config{
+			PortRateBps:     float64(cfg.HostRate),
+			CreditBytes:     cfg.CreditBytes,
+			SpeedupFraction: cfg.SpeedUp - 1,
+		})
+		n.scheds = append(n.scheds, sc)
+	}
+	// Credit generation loops, one per destination host port.
+	for h := 0; h < hosts; h++ {
+		h := h
+		tmr := sim.NewTimer(s)
+		n.timers = append(n.timers, tmr)
+		var loop func()
+		loop = func() {
+			sc := n.scheds[h]
+			// Egress-buffer watermarks gate credit generation (§4.1).
+			if occ := n.port[h].Bytes(); occ > n.Cfg.PauseBytes {
+				sc.Pause()
+			} else if occ < n.Cfg.ResumeBytes {
+				sc.Resume()
+			}
+			if c, ok := sc.NextCredit(); ok {
+				n.CreditsSent++
+				k := voqKey{src: int(c.To.SrcFA), dst: h}
+				bytes := c.Bytes
+				s.After(n.Cfg.CtrlDelay, func() {
+					if v := n.voqs[k]; v != nil {
+						v.grant(bytes)
+					}
+				})
+			}
+			tmr.Arm(sc.CreditInterval(), loop)
+		}
+		tmr.Arm(n.scheds[h].CreditInterval(), loop)
+	}
+	return n, nil
+}
+
+// edge returns the edge device of a host.
+func (n *StardustNet) edge(h int) int { return h / n.hostsPer }
+
+// Route returns the forward route for a flow src -> dst: NIC queue, VOQ
+// capture, then (after reassembly) the destination port queue and a final
+// propagation hop. The caller appends the receiving endpoint.
+func (n *StardustNet) Route(src, dst int) []Handler {
+	v := n.voq(src, dst)
+	final := NewPipe(n.Sim, n.Cfg.LinkDelay)
+	return []Handler{n.hostUp[src], NewPipe(n.Sim, n.Cfg.LinkDelay), v, n.port[dst], final}
+}
+
+func (n *StardustNet) voq(src, dst int) *stardustVOQ {
+	k := voqKey{src, dst}
+	if v, ok := n.voqs[k]; ok {
+		return v
+	}
+	n.nextVID++
+	v := &stardustVOQ{
+		net: n, key: k, id: n.nextVID,
+	}
+	n.voqs[k] = v
+	return v
+}
+
+// TotalDrops counts drops across all Stardust queues.
+func (n *StardustNet) TotalDrops() uint64 {
+	var d uint64
+	for _, q := range n.upTrunk {
+		d += q.Drops
+	}
+	for _, q := range n.downTrunk {
+		d += q.Drops
+	}
+	for _, q := range n.port {
+		d += q.Drops
+	}
+	for _, q := range n.hostUp {
+		d += q.Drops
+	}
+	return d + n.VOQDrops
+}
+
+// FabricDrops counts drops inside the fabric trunks only (§5.5: must stay
+// zero under credit pacing).
+func (n *StardustNet) FabricDrops() uint64 {
+	var d uint64
+	for _, q := range n.upTrunk {
+		d += q.Drops
+	}
+	for _, q := range n.downTrunk {
+		d += q.Drops
+	}
+	return d
+}
+
+// stardustVOQ captures packets at the source Fabric Adapter until credits
+// release them as cells (§3.3).
+type stardustVOQ struct {
+	net *StardustNet
+	key voqKey
+	id  uint16
+
+	q       []*Packet
+	bytes   int64
+	credit  int64
+	pending bool // request outstanding at the scheduler
+}
+
+// Receive implements Handler: a packet arrives from the host NIC.
+func (v *stardustVOQ) Receive(p *Packet) {
+	if v.bytes+int64(p.Size) > int64(v.net.Cfg.VOQBytes) {
+		v.net.VOQDrops++
+		return // ingress tail-drop, as a ToR would (§3.1)
+	}
+	v.q = append(v.q, p)
+	v.bytes += int64(p.Size)
+	v.refreshRequest()
+	// Consume any banked credit immediately.
+	if v.credit > 0 {
+		v.release()
+	}
+}
+
+func (v *stardustVOQ) refreshRequest() {
+	k := v.key
+	backlog := v.bytes
+	v.net.Sim.After(v.net.Cfg.CtrlDelay, func() {
+		v.net.scheds[k.dst].Request(sched.Requester{SrcFA: uint16(k.src), TC: 0}, backlog)
+	})
+}
+
+func (v *stardustVOQ) grant(bytes int64) {
+	v.credit += bytes
+	v.release()
+	v.refreshRequest()
+}
+
+// release dequeues whole packets against the credit balance and ships them
+// as cells across the fabric (§3.4 packing: the batch is fragmented as one
+// unit; we account the cell-header tax on each cell).
+func (v *stardustVOQ) release() {
+	for v.credit > 0 && len(v.q) > 0 {
+		p := v.q[0]
+		v.q = v.q[1:]
+		v.bytes -= int64(p.Size)
+		v.credit -= int64(p.Size)
+		v.ship(p)
+	}
+	if len(v.q) == 0 && v.credit > 0 {
+		v.credit = 0 // unused credit on an empty VOQ is forfeited
+	}
+}
+
+// reasmState tracks one packet's cells at the destination adapter.
+type reasmState struct {
+	orig      *Packet
+	remaining int
+}
+
+// cellRef is the Flow payload of a cell packet.
+type cellRef struct {
+	state *reasmState
+}
+
+func (v *stardustVOQ) ship(p *Packet) {
+	n := v.net
+	payload := n.Cfg.CellBytes - n.Cfg.CellHeader
+	state := &reasmState{orig: p, remaining: p.Size}
+	src, dst := n.edge(v.key.src), n.edge(v.key.dst)
+	route := []Handler{n.upTrunk[src], n.fabric, n.downTrunk[dst], HandlerFunc(n.reassemble)}
+	for sent := 0; sent < p.Size; sent += payload {
+		chunk := payload
+		if sent+chunk > p.Size {
+			chunk = p.Size - sent
+		}
+		c := &Packet{Size: chunk + n.Cfg.CellHeader, Flow: cellRef{state: state}}
+		c.SetRoute(route)
+		n.CellsSent++
+		c.SendOn()
+	}
+}
+
+// reassemble runs at the destination adapter: when the last cell of a
+// packet arrives, the original packet continues on its route (egress port
+// queue, then the endpoint).
+func (n *StardustNet) reassemble(c *Packet) {
+	ref, ok := c.Flow.(cellRef)
+	if !ok {
+		return
+	}
+	ref.state.remaining -= c.Size - n.Cfg.CellHeader
+	if ref.state.remaining <= 0 {
+		ref.state.orig.SendOn()
+	}
+}

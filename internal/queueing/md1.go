@@ -1,0 +1,135 @@
+// Package queueing implements the M/D/1 discrete queueing model of §4.2.1,
+// used as the analytical reference for Fabric Element link-queue behaviour:
+// Poisson cell arrivals at rate 1/fs per fabric-cell-time, deterministic
+// discharge of one cell per fabric-cell-time.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MD1 models an M/D/1 queue with service time 1 and arrival rate Rho < 1.
+type MD1 struct {
+	Rho float64
+}
+
+// NewMD1 returns the model for a link at the given utilization (1/fs in the
+// paper's terms). Utilization must be in (0, 1) for a stable queue.
+func NewMD1(rho float64) (*MD1, error) {
+	if rho <= 0 || rho >= 1 {
+		return nil, fmt.Errorf("queueing: M/D/1 requires 0 < rho < 1, got %v", rho)
+	}
+	return &MD1{Rho: rho}, nil
+}
+
+// poissonPMF returns e^-rho * rho^k / k! computed stably.
+func poissonPMF(rho float64, k int) float64 {
+	logp := -rho + float64(k)*math.Log(rho) - lgammaInt(k+1)
+	return math.Exp(logp)
+}
+
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// QueuePMF returns P(Q = n) for n in [0, max], the stationary distribution
+// of the number of customers in the system at departure epochs (which, by
+// PASTA, equals the time-stationary distribution for M/D/1). It uses the
+// classical embedded-Markov-chain recursion:
+//
+//	p_{n+1} = ( p_n - p_0*a_n - sum_{k=1..n} p_k * a_{n-k+1} ) / a_0
+//
+// where a_k is the Poisson probability of k arrivals during one service.
+func (m *MD1) QueuePMF(max int) []float64 {
+	rho := m.Rho
+	a := make([]float64, max+2)
+	for k := range a {
+		a[k] = poissonPMF(rho, k)
+	}
+	p := make([]float64, max+1)
+	p[0] = 1 - rho
+	if max >= 1 {
+		p[1] = (1 - rho) * (1 - a[0]) / a[0]
+	}
+	for n := 1; n < max; n++ {
+		// p_{n+1} from balance: p_n = p_0 a_n? Use standard recursion:
+		// p_{n+1} = [ p_n - (p_0 + p_1) a_n - sum_{k=2..n} p_k a_{n+1-k} ] / a_0
+		s := p[n] - (p[0]+p[1])*a[n]
+		for k := 2; k <= n; k++ {
+			s -= p[k] * a[n+1-k]
+		}
+		v := s / a[0]
+		if v < 0 {
+			v = 0 // numerical underflow deep in the tail
+		}
+		p[n+1] = v
+	}
+	return p
+}
+
+// QueueCCDF returns P(Q >= n) for n in [0, max].
+func (m *MD1) QueueCCDF(max int) []float64 {
+	pmf := m.QueuePMF(max)
+	out := make([]float64, max+1)
+	// Tail beyond max is approximated geometrically from the last two
+	// points so the CCDF does not artificially drop to zero.
+	tail := 0.0
+	if max >= 2 && pmf[max-1] > 0 {
+		r := pmf[max] / pmf[max-1]
+		if r > 0 && r < 1 {
+			tail = pmf[max] * r / (1 - r)
+		}
+	}
+	cum := tail
+	for n := max; n >= 0; n-- {
+		cum += pmf[n]
+		out[n] = math.Min(cum, 1)
+	}
+	return out
+}
+
+// MeanQueue returns E[Q], the mean number in system, from the
+// Pollaczek-Khinchine formula specialised to deterministic service:
+// E[Q] = rho + rho^2 / (2 (1 - rho)).
+func (m *MD1) MeanQueue() float64 {
+	return m.Rho + m.Rho*m.Rho/(2*(1-m.Rho))
+}
+
+// MeanWait returns the mean waiting time (in service-time units) excluding
+// service: W = rho / (2 (1 - rho)).
+func (m *MD1) MeanWait() float64 {
+	return m.Rho / (2 * (1 - m.Rho))
+}
+
+// TailDecayRate returns the asymptotic geometric decay rate r of the queue
+// tail, i.e. P(Q >= n) ~ C * r^n. For M/D/1 it is the root of
+// r = e^{-rho (1 - r)} ... solved for the relevant branch; the paper's
+// approximation o(fs^{-2N}) corresponds to r ≈ rho^2 for fs = 1/rho.
+func (m *MD1) TailDecayRate() float64 {
+	// Solve z = exp(rho (z - 1)) for z > 1 (z = 1/r).
+	rho := m.Rho
+	z := 1 / (rho * rho) // paper's approximation as the starting point
+	for i := 0; i < 100; i++ {
+		f := math.Exp(rho*(z-1)) - z
+		fp := rho*math.Exp(rho*(z-1)) - 1
+		nz := z - f/fp
+		if nz <= 1 {
+			nz = (z + 1) / 2
+		}
+		if math.Abs(nz-z) < 1e-14*z {
+			z = nz
+			break
+		}
+		z = nz
+	}
+	return 1 / z
+}
+
+// PaperTailBound returns the paper's §4.2.1 approximation of the
+// probability of queue build-up of size n on a link with fabric speed-up
+// fs: o(fs^{-2n}), i.e. (1/fs)^{2n}.
+func PaperTailBound(fs float64, n int) float64 {
+	return math.Pow(1/fs, float64(2*n))
+}

@@ -1,0 +1,152 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMD1Validation(t *testing.T) {
+	for _, rho := range []float64{0, -0.1, 1, 1.5} {
+		if _, err := NewMD1(rho); err == nil {
+			t.Fatalf("rho=%v should be rejected", rho)
+		}
+	}
+	if _, err := NewMD1(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuePMFIsDistribution(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.66, 0.8, 0.92, 0.95} {
+		m, _ := NewMD1(rho)
+		pmf := m.QueuePMF(400)
+		var sum float64
+		for _, p := range pmf {
+			if p < 0 || p > 1 {
+				t.Fatalf("rho=%v: invalid probability %v", rho, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("rho=%v: PMF sums to %v", rho, sum)
+		}
+		if math.Abs(pmf[0]-(1-rho)) > 1e-12 {
+			t.Fatalf("rho=%v: P(0)=%v, want %v", rho, pmf[0], 1-rho)
+		}
+	}
+}
+
+func TestMeanMatchesPollaczekKhinchine(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.66, 0.9} {
+		m, _ := NewMD1(rho)
+		pmf := m.QueuePMF(2000)
+		var mean float64
+		for n, p := range pmf {
+			mean += float64(n) * p
+		}
+		want := m.MeanQueue()
+		if math.Abs(mean-want) > 1e-3*want+1e-6 {
+			t.Fatalf("rho=%v: PMF mean %v, P-K %v", rho, mean, want)
+		}
+	}
+}
+
+func TestMeanWait(t *testing.T) {
+	m, _ := NewMD1(0.8)
+	// Little's law: E[Q] = rho + lambda*W  (service excluded from W).
+	if got, want := m.MeanQueue(), m.Rho+m.Rho*m.MeanWait(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Little's law violated: %v vs %v", got, want)
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	m, _ := NewMD1(0.92)
+	ccdf := m.QueueCCDF(200)
+	if math.Abs(ccdf[0]-1) > 1e-9 {
+		t.Fatalf("CCDF[0] = %v, want 1", ccdf[0])
+	}
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i] > ccdf[i-1]+1e-12 {
+			t.Fatalf("CCDF not monotone at %d", i)
+		}
+	}
+}
+
+// The queue-size tail must decay exponentially with rate close to
+// TailDecayRate, and the paper's fs^-2N approximation must upper-bound-ish
+// track it (same order of magnitude for moderate utilization).
+func TestTailDecay(t *testing.T) {
+	m, _ := NewMD1(0.8)
+	ccdf := m.QueueCCDF(60)
+	r := m.TailDecayRate()
+	if r <= 0 || r >= 1 {
+		t.Fatalf("decay rate %v out of range", r)
+	}
+	// Empirical per-step decay in the tail should approach r. Stay in a
+	// region where the PMF is far above float cancellation noise.
+	got := ccdf[35] / ccdf[34]
+	if math.Abs(got-r) > 0.02 {
+		t.Fatalf("empirical decay %v, analytic %v", got, r)
+	}
+	// Paper approximation: r ~ rho^2.
+	if math.Abs(r-0.8*0.8) > 0.12 {
+		t.Fatalf("decay rate %v too far from paper's rho^2=%v", r, 0.64)
+	}
+}
+
+func TestPaperTailBound(t *testing.T) {
+	// fs = 1.25 (80% utilization): bound at N=5 is 0.8^10.
+	got := PaperTailBound(1.25, 5)
+	want := math.Pow(0.8, 10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// Monte-Carlo validation: simulate the discrete M/D/1 (Poisson arrivals per
+// slot, one departure per slot) and compare the queue distribution with the
+// analytic PMF.
+func TestMD1AgainstSimulation(t *testing.T) {
+	rho := 0.8
+	m, _ := NewMD1(rho)
+	pmf := m.QueuePMF(200)
+
+	rng := rand.New(rand.NewSource(1234))
+	q := 0
+	counts := make([]int, 201)
+	const slots = 2_000_000
+	for i := 0; i < slots; i++ {
+		// Serve-then-arrive slot ordering: a cell arriving during slot i
+		// can start transmission no earlier than slot i+1 (store-and-
+		// forward of the cell). The stationary distribution of this chain
+		// equals the continuous-time M/D/1 system-size distribution.
+		if q > 0 {
+			q--
+		}
+		q += poissonDraw(rng, rho)
+		if q <= 200 {
+			counts[q]++
+		}
+	}
+	for n := 0; n <= 20; n++ {
+		got := float64(counts[n]) / slots
+		want := pmf[n]
+		if want > 1e-3 && math.Abs(got-want) > 0.15*want+0.002 {
+			t.Fatalf("P(Q=%d): sim %v, analytic %v", n, got, want)
+		}
+	}
+}
+
+func poissonDraw(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

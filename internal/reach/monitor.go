@@ -1,0 +1,76 @@
+package reach
+
+import "stardust/internal/sim"
+
+// LinkState is the health of one link as seen by its receiver.
+type LinkState int
+
+// Link states.
+const (
+	LinkDownState LinkState = iota
+	LinkUpState
+)
+
+// Monitor tracks one link's keepalive stream (§5.9, §5.10): a link is
+// declared down when no reachability message arrives for Threshold
+// intervals, and declared valid again only after Threshold consecutive
+// good messages.
+type Monitor struct {
+	Interval  sim.Time // expected message spacing (c/f)
+	Threshold int      // consecutive evidence required to flip state (th)
+
+	state    LinkState
+	lastSeen sim.Time
+	goodRun  int
+}
+
+// NewMonitor returns a monitor that starts in the down state (a link must
+// prove itself before use).
+func NewMonitor(interval sim.Time, threshold int) *Monitor {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Monitor{Interval: interval, Threshold: threshold, lastSeen: -1 << 62}
+}
+
+// State returns the current link state.
+func (m *Monitor) State() LinkState { return m.state }
+
+// OnMessage records a good reachability message (or a faulty
+// self-declaration, which counts as bad evidence). It returns true when
+// the link state flipped.
+func (m *Monitor) OnMessage(now sim.Time, faulty bool) bool {
+	m.lastSeen = now
+	if faulty {
+		m.goodRun = 0
+		if m.state == LinkUpState {
+			m.state = LinkDownState
+			return true
+		}
+		return false
+	}
+	if m.state == LinkUpState {
+		return false
+	}
+	m.goodRun++
+	if m.goodRun >= m.Threshold {
+		m.state = LinkUpState
+		m.goodRun = 0
+		return true
+	}
+	return false
+}
+
+// Tick checks for keepalive loss at the given time. It returns true when
+// the link just transitioned to down.
+func (m *Monitor) Tick(now sim.Time) bool {
+	if m.state == LinkDownState {
+		return false
+	}
+	if now-m.lastSeen > sim.Time(int64(m.Interval)*int64(m.Threshold)) {
+		m.state = LinkDownState
+		m.goodRun = 0
+		return true
+	}
+	return false
+}

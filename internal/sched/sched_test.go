@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"stardust/internal/sim"
+)
+
+func TestCreditInterval(t *testing.T) {
+	// 50Gbps port, 4KB credit, 2% speedup: 4096*8/(50e9*1.02) = 642.5ns.
+	s := New(DefaultConfig(50e9))
+	got := s.CreditInterval()
+	secs := float64(4096*8) / (50e9 * 1.02)
+	want := sim.Time(secs * float64(sim.Second))
+	if math.Abs(float64(got-want)) > 2 {
+		t.Fatalf("interval = %v, want %v", got, want)
+	}
+}
+
+func TestMinCreditBytes(t *testing.T) {
+	// §4.1 worked example: 10 Tbps FA, 1 GHz, credit every 2 clocks -> 2000B.
+	if got := MinCreditBytes(10e12, 1e9, 2); got != 2500 {
+		// 10e12/(1e9/2)/8 = 2500... the paper's arithmetic says 2000B by
+		// treating 10T/(0.5G)=20000 bits = 2500B; the printed value 2000B
+		// presumably rounds 16Kb. Assert our self-consistent math.
+		t.Fatalf("MinCreditBytes = %d, want 2500 (self-consistent)", got)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	for src := uint16(0); src < 4; src++ {
+		if err := s.Request(Requester{SrcFA: src}, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := map[uint16]int{}
+	for i := 0; i < 400; i++ {
+		c, ok := s.NextCredit()
+		if !ok {
+			t.Fatal("starved with demand present")
+		}
+		counts[c.To.SrcFA]++
+	}
+	for src, n := range counts {
+		if n != 100 {
+			t.Fatalf("src %d got %d credits, want 100 (counts=%v)", src, n, counts)
+		}
+	}
+}
+
+func TestBacklogPersistsUntilWithdraw(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	s.Request(Requester{SrcFA: 1}, 10000)
+	// The estimate exhausts after ~3 credits, but the requester stays
+	// enrolled until it explicitly reports empty — evicting on the
+	// estimate would starve the VOQ during the control round trip.
+	for i := 0; i < 10; i++ {
+		if _, ok := s.NextCredit(); !ok {
+			t.Fatalf("credit %d withheld before withdraw", i)
+		}
+	}
+	if s.Demand() != 1 {
+		t.Fatalf("demand = %d, want 1", s.Demand())
+	}
+	s.Request(Requester{SrcFA: 1}, 0) // the VOQ drained: withdraw
+	if _, ok := s.NextCredit(); ok {
+		t.Fatal("credit issued after withdraw")
+	}
+	if s.Demand() != 0 {
+		t.Fatal("demand should be zero")
+	}
+}
+
+func TestWithdraw(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	s.Request(Requester{SrcFA: 1}, 1<<20)
+	s.Request(Requester{SrcFA: 2}, 1<<20)
+	s.Request(Requester{SrcFA: 1}, 0) // withdraw
+	for i := 0; i < 10; i++ {
+		c, ok := s.NextCredit()
+		if !ok {
+			t.Fatal("starved")
+		}
+		if c.To.SrcFA != 2 {
+			t.Fatalf("credit to withdrawn source %d", c.To.SrcFA)
+		}
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	if err := s.Request(Requester{SrcFA: 1, TC: 5}, 100); err == nil {
+		t.Fatal("unknown TC must be rejected")
+	}
+}
+
+func TestStrictPriority(t *testing.T) {
+	cfg := DefaultConfig(50e9)
+	cfg.Classes = map[uint8]ClassConfig{
+		0: {Priority: 0, Weight: 1}, // low
+		1: {Priority: 1, Weight: 1}, // high
+	}
+	s := New(cfg)
+	s.Request(Requester{SrcFA: 1, TC: 0}, 1<<20)
+	s.Request(Requester{SrcFA: 2, TC: 1}, 1<<20)
+	for i := 0; i < 20; i++ {
+		c, ok := s.NextCredit()
+		if !ok || c.To.TC != 1 {
+			t.Fatalf("strict priority violated at %d: %+v", i, c)
+		}
+	}
+	// Withdraw the high class; low must now be served.
+	s.Request(Requester{SrcFA: 2, TC: 1}, 0)
+	c, ok := s.NextCredit()
+	if !ok || c.To.TC != 0 {
+		t.Fatalf("low class starved after high withdrew: %+v", c)
+	}
+}
+
+func TestWeightedRoundRobin(t *testing.T) {
+	cfg := DefaultConfig(50e9)
+	cfg.Classes = map[uint8]ClassConfig{
+		0: {Priority: 0, Weight: 3},
+		1: {Priority: 0, Weight: 1},
+	}
+	s := New(cfg)
+	s.Request(Requester{SrcFA: 1, TC: 0}, 1<<30)
+	s.Request(Requester{SrcFA: 2, TC: 1}, 1<<30)
+	counts := map[uint8]int{}
+	for i := 0; i < 400; i++ {
+		c, ok := s.NextCredit()
+		if !ok {
+			t.Fatal("starved")
+		}
+		counts[c.To.TC]++
+	}
+	if counts[0] != 300 || counts[1] != 100 {
+		t.Fatalf("WRR split = %v, want 3:1", counts)
+	}
+}
+
+func TestFCIThrottleAndRecovery(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	base := s.CreditInterval()
+	// Many marked cells within one interval count as a single cut,
+	// applied at the next credit tick.
+	for i := 0; i < 50; i++ {
+		s.OnFCI()
+	}
+	s.NextCredit()
+	afterOne := s.Throttle()
+	if afterOne >= 1 {
+		t.Fatal("FCI cut not applied at the tick")
+	}
+	if want := 1 - DefaultConfig(50e9).FCIBeta; afterOne < want-1e-9 {
+		t.Fatalf("burst of marks must cut once per tick: throttle %v, want %v", afterOne, want)
+	}
+	// Sustained marks keep cutting tick after tick.
+	for i := 0; i < 30; i++ {
+		s.OnFCI()
+		s.NextCredit()
+	}
+	throttled := s.CreditInterval()
+	if throttled <= base {
+		t.Fatalf("FCI did not slow credits: %v <= %v", throttled, base)
+	}
+	if s.Throttle() < 0.1 {
+		t.Fatalf("throttle %v below floor", s.Throttle())
+	}
+	// Recovery: ticks without FCI restore the rate.
+	s.Request(Requester{SrcFA: 1}, 1<<30)
+	for i := 0; i < 200; i++ {
+		s.NextCredit()
+	}
+	if got := s.CreditInterval(); got != base {
+		t.Fatalf("throttle did not recover: %v != %v", got, base)
+	}
+}
+
+func TestPauseResume(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	s.Request(Requester{SrcFA: 1}, 1<<20)
+	s.Pause()
+	if _, ok := s.NextCredit(); ok {
+		t.Fatal("credit issued while paused")
+	}
+	if !s.Paused() {
+		t.Fatal("Paused() wrong")
+	}
+	s.Resume()
+	if _, ok := s.NextCredit(); !ok {
+		t.Fatal("no credit after resume")
+	}
+}
+
+func TestStarvationCounter(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	if _, ok := s.NextCredit(); ok {
+		t.Fatal("credit from empty scheduler")
+	}
+	if s.Starved != 1 {
+		t.Fatalf("Starved = %d", s.Starved)
+	}
+}
+
+// The aggregate credit rate toward a port must match the port rate
+// (1+speedup) regardless of how many sources share it — §5.4's incast
+// guarantee that sources split the egress bandwidth evenly.
+func TestIncastCreditSplit(t *testing.T) {
+	s := New(DefaultConfig(50e9))
+	const sources = 128
+	for src := uint16(0); src < sources; src++ {
+		s.Request(Requester{SrcFA: src}, 1<<30)
+	}
+	counts := map[uint16]int{}
+	const grants = sources * 10
+	for i := 0; i < grants; i++ {
+		c, ok := s.NextCredit()
+		if !ok {
+			t.Fatal("starved")
+		}
+		counts[c.To.SrcFA]++
+	}
+	for src, n := range counts {
+		if n != 10 {
+			t.Fatalf("src %d received %d credits, want 10", src, n)
+		}
+	}
+}

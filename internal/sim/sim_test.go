@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRun(t *testing.T) {
+	s := New()
+	s.Run()
+	if s.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", s.Now())
+	}
+	if s.Processed != 0 {
+		t.Fatalf("Processed = %d, want 0", s.Processed)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	s := New()
+	var fired Time = -1
+	s.At(100, func() {
+		s.At(50, func() { fired = s.Now() }) // in the past
+	})
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(1000, func() {
+		s.After(234, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 1234 {
+		t.Fatalf("After fired at %d, want 1234", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i*100, func() { count++ })
+	}
+	s.RunUntil(500)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", s.Now())
+	}
+	s.RunUntil(2000)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	// Clock advances to the deadline even with no events.
+	if s.Now() != 2000 {
+		t.Fatalf("Now = %d, want 2000", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", s.Pending())
+	}
+	s.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count after resume = %d, want 10", count)
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	fired := false
+	tm.Arm(500, func() { fired = true })
+	if !tm.Armed() {
+		t.Fatal("timer should be armed")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if tm.Armed() {
+		t.Fatal("timer should be disarmed after firing")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	fired := false
+	tm.Arm(500, func() { fired = true })
+	s.At(100, func() { tm.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerRearm(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	var fireTimes []Time
+	tm.Arm(500, func() { fireTimes = append(fireTimes, s.Now()) })
+	s.At(100, func() {
+		tm.Arm(1000, func() { fireTimes = append(fireTimes, s.Now()) })
+	})
+	s.Run()
+	if len(fireTimes) != 1 || fireTimes[0] != 1100 {
+		t.Fatalf("fireTimes = %v, want [1100]", fireTimes)
+	}
+}
+
+func TestTimerPeriodic(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			tm.Arm(10, tick)
+		}
+	}
+	tm.Arm(10, tick)
+	s.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if s.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", s.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1e12 {
+		t.Fatalf("Second = %d", Second)
+	}
+	if got := (2500 * Nanosecond).Microseconds(); got != 2.5 {
+		t.Fatalf("Microseconds = %v, want 2.5", got)
+	}
+	if got := (3 * Microsecond).Seconds(); got != 3e-6 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (5 * Nanosecond).Nanoseconds(); got != 5 {
+		t.Fatalf("Nanoseconds = %v", got)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New()
+		var fired []Time
+		for _, d := range delays {
+			s.At(Time(d), func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved scheduling from inside events preserves global order.
+func TestPropertyNestedScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New()
+	var last Time
+	ok := true
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if s.Now() < last {
+			ok = false
+		}
+		last = s.Now()
+		if depth <= 0 {
+			return
+		}
+		n := rng.Intn(3)
+		for i := 0; i < n; i++ {
+			d := Time(rng.Intn(1000))
+			s.After(d, func() { spawn(depth - 1) })
+		}
+	}
+	for i := 0; i < 50; i++ {
+		s.At(Time(rng.Intn(10000)), func() { spawn(4) })
+	}
+	s.Run()
+	if !ok {
+		t.Fatal("time went backwards during nested scheduling")
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(Time(i), fn)
+		if s.Pending() > 1024 {
+			s.RunUntil(Time(i))
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,271 @@
+// Package stats provides the small statistics toolkit used throughout the
+// Stardust reproduction: streaming moments, fixed-bin histograms, empirical
+// CDFs and discrete distributions for workload generation.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the running sample variance (0 for fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so no observation is lost.
+type Histogram struct {
+	Lo, Hi float64
+	bins   []int64
+	n      int64
+	sum    float64
+}
+
+// NewHistogram creates a histogram with nbins equal bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 {
+		panic("stats: NewHistogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int64, nbins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+	h.sum += x
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the mean of the raw observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Bins returns a copy of the bin counts.
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// PMF returns the fraction of observations in each bin.
+func (h *Histogram) PMF() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	for i, c := range h.bins {
+		out[i] = float64(c) / float64(h.n)
+	}
+	return out
+}
+
+// Quantile returns an approximate q-quantile (0<=q<=1) using bin midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var cum int64
+	for i, c := range h.bins {
+		cum += c
+		if cum > target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.bins) - 1)
+}
+
+// WriteTSV dumps "bin-center<TAB>probability" rows for plotting.
+func (h *Histogram) WriteTSV(w io.Writer) error {
+	for i, p := range h.PMF() {
+		if _, err := fmt.Fprintf(w, "%g\t%g\n", h.BinCenter(i), p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CCDF returns, for each bin i, the probability of an observation falling in
+// bin i or any later bin (a survival function over bins). This is the form
+// used by Fig 9(right) of the paper.
+func (h *Histogram) CCDF() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	var cum int64
+	for i := len(h.bins) - 1; i >= 0; i-- {
+		cum += h.bins[i]
+		out[i] = float64(cum) / float64(h.n)
+	}
+	return out
+}
+
+// Sample is an exact collection of observations supporting quantiles and
+// CDF export. Use it when the cardinality is modest (e.g. per-flow FCTs).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x); s.sorted = false }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the exact q-quantile by nearest-rank.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := int(q * float64(len(s.xs)))
+	if i >= len(s.xs) {
+		i = len(s.xs) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return s.xs[i]
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Sorted returns the observations in ascending order (shared slice; do not
+// mutate).
+func (s *Sample) Sorted() []float64 {
+	s.sort()
+	return s.xs
+}
+
+// CDF returns (values, cumulative fractions) suitable for plotting a CDF.
+func (s *Sample) CDF() (xs, ps []float64) {
+	s.sort()
+	xs = make([]float64, len(s.xs))
+	ps = make([]float64, len(s.xs))
+	copy(xs, s.xs)
+	for i := range ps {
+		ps[i] = float64(i+1) / float64(len(s.xs))
+	}
+	return xs, ps
+}
+
+// FractionAtLeast returns the fraction of observations >= x.
+func (s *Sample) FractionAtLeast(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, x)
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}

@@ -1,0 +1,211 @@
+package tcp
+
+import (
+	"testing"
+
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+)
+
+// DCTCP's alpha must converge toward the marking fraction under sustained
+// congestion and decay toward zero once congestion clears.
+func TestDCTCPAlphaDynamics(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	cfg.DCTCP = true
+	q, fwd, rev := dumbbell(s, 10e9, 100*9000, 10*9000)
+	src := NewSource(s, cfg, "f", 0, nil)
+	sink := NewSink(s, cfg, src, rev)
+	src.fwd = append(fwd, sink)
+	src.Start()
+	s.RunUntil(30 * sim.Millisecond)
+	if src.alpha <= 0.01 {
+		t.Fatalf("alpha %v did not rise under congestion", src.alpha)
+	}
+	if q.Marks == 0 {
+		t.Fatal("bottleneck never marked")
+	}
+	// The queue must oscillate near the threshold, not the tail.
+	if q.PeakBytes > 40*9000 {
+		t.Fatalf("DCTCP queue peaked at %d bytes", q.PeakBytes)
+	}
+}
+
+// RTO recovery: a total blackout (all packets of a window lost) must be
+// repaired by the retransmission timer, not hang forever.
+func TestRTORecoversFromBlackout(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	// A queue so small that slow-start bursts lose whole windows.
+	_, fwd, rev := dumbbell(s, 10e9, 1*9000, 0)
+	src := NewSource(s, cfg, "f", 500_000, nil)
+	sink := NewSink(s, cfg, src, rev)
+	src.fwd = append(fwd, sink)
+	src.Start()
+	s.RunUntil(400 * sim.Millisecond)
+	if !src.Done {
+		t.Fatalf("flow stuck: acked %d, rtx %d, timeouts %d", src.DeliveredB, src.Retransmits, src.Timeouts)
+	}
+	if src.Timeouts == 0 {
+		t.Fatal("expected at least one RTO with a single-packet buffer")
+	}
+}
+
+// LIA formula invariant (RFC 6356): for equal-RTT subflows, the aggregate
+// window increase per acked byte never exceeds what a single NewReno flow
+// with the combined window would gain — the "do no harm" property at the
+// controller level.
+func TestLIAAggregateIncreaseBounded(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	for _, windows := range [][]float64{
+		{9000, 9000, 9000, 9000},
+		{90000, 9000, 9000, 9000},
+		{50000, 50000},
+		{9000},
+	} {
+		m := NewMPTCP(s, cfg, "m", 0, make([][]netsim.Handler, len(windows)))
+		var total float64
+		for i, w := range windows {
+			m.Subflows[i].cwnd = w
+			m.Subflows[i].srtt = 100 * sim.Microsecond
+			total += w
+		}
+		const acked = 9000
+		var aggregate float64
+		for _, sub := range m.Subflows {
+			before := sub.cwnd
+			m.liaIncrease(sub, acked*int64(sub.cwnd)/int64(total)+1)
+			aggregate += sub.cwnd - before
+		}
+		// A single flow of window `total` gains acked*MSS/total per ack.
+		single := float64(acked) * float64(cfg.MSS) / total
+		if aggregate > single*1.2+1 {
+			t.Fatalf("windows %v: aggregate increase %.1f exceeds single-flow %.1f",
+				windows, aggregate, single)
+		}
+	}
+}
+
+// The per-subflow cap: no subflow may grow faster than plain NewReno
+// would on its own window.
+func TestLIAPerSubflowCap(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	m := NewMPTCP(s, cfg, "m", 0, make([][]netsim.Handler, 2))
+	// Tiny subflow next to a huge one: alpha favors the big window, but
+	// the small subflow's increase stays capped at its own Reno rate.
+	m.Subflows[0].cwnd = 9000
+	m.Subflows[1].cwnd = 900000
+	for _, sub := range m.Subflows {
+		sub.srtt = 100 * sim.Microsecond
+	}
+	before := m.Subflows[0].cwnd
+	m.liaIncrease(m.Subflows[0], 9000)
+	inc := m.Subflows[0].cwnd - before
+	reno := 9000.0 * float64(cfg.MSS) / before
+	if inc > reno+1e-9 {
+		t.Fatalf("subflow increase %.1f exceeds its Reno cap %.1f", inc, reno)
+	}
+}
+
+// End-to-end sanity: a coupled MPTCP connection sharing a bottleneck with
+// one TCP flow must not exceed its uncoupled packet-share bound by more
+// than the synchronization noise of this coarse AIMD model.
+func TestMPTCPSharedBottleneckBound(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	shared := netsim.NewQueue(s, "shared", 10e9, 100*9000, 0)
+	pipe := netsim.NewPipe(s, 10*sim.Microsecond)
+	revT := netsim.NewQueue(s, "revT", 10e9, 100*9000, 0)
+	tcpFlow := NewSource(s, cfg, "tcp", 0, nil)
+	tcpSink := NewSink(s, cfg, tcpFlow, []netsim.Handler{revT, pipe, Ack})
+	tcpFlow.fwd = []netsim.Handler{shared, pipe, tcpSink}
+	m := NewMPTCP(s, cfg, "m", 0, make([][]netsim.Handler, 4))
+	for _, sub := range m.Subflows {
+		revQ := netsim.NewQueue(s, "revM", 10e9, 100*9000, 0)
+		sink := NewSink(s, cfg, sub, []netsim.Handler{revQ, pipe, Ack})
+		sub.fwd = []netsim.Handler{shared, pipe, sink}
+	}
+	tcpFlow.Start()
+	m.Start()
+	s.RunUntil(100 * sim.Millisecond)
+	if tcpFlow.DeliveredB == 0 {
+		t.Fatal("TCP starved")
+	}
+	ratio := float64(m.DeliveredB()) / float64(tcpFlow.DeliveredB)
+	// 4 subflows vs 1 flow: packet-share is 4x; allow synchronization
+	// noise above it but fail on uncoupled-style runaway.
+	if ratio > 6 {
+		t.Fatalf("MPTCP took %.1fx of the TCP flow", ratio)
+	}
+	total := float64(m.DeliveredB()+tcpFlow.DeliveredB) * 8 / 100e-3
+	if total < 8e9 {
+		t.Fatalf("bottleneck underutilized: %.2f Gbps", total/1e9)
+	}
+}
+
+// DCQCN rate recovery: after congestion clears, the sender climbs back
+// toward line rate through fast recovery and additive increase.
+func TestDCQCNRateRecovery(t *testing.T) {
+	s := sim.New()
+	d := NewDCQCN(s, "d", 9000, 10e9, 0, nil)
+	q := netsim.NewQueue(s, "q", 10e9, 300*9000, 0)
+	pipe := netsim.NewPipe(s, 10*sim.Microsecond)
+	rq := netsim.NewQueue(s, "rev", 10e9, 300*9000, 0)
+	sink := NewDCQCNSink(s, d, []netsim.Handler{rq, pipe, DCQCNAck})
+	d.fwd = []netsim.Handler{q, pipe, sink}
+	d.Start()
+	// Synthetic CNP burst cuts the rate.
+	s.At(sim.Millisecond, func() {
+		for i := 0; i < 5; i++ {
+			d.OnCNP()
+		}
+	})
+	s.RunUntil(2 * sim.Millisecond)
+	cut := d.Rate()
+	if cut >= 10e9 {
+		t.Fatal("CNPs did not cut the rate")
+	}
+	s.RunUntil(60 * sim.Millisecond)
+	if d.Rate() < netsim.Bps(0.95*10e9) {
+		t.Fatalf("rate did not recover: %.2fG after 58ms", float64(d.Rate())/1e9)
+	}
+}
+
+// The ACK endpoint must ignore packets whose Flow is not a Source (no
+// panic on foreign traffic).
+func TestAckEndpointForeignFlow(t *testing.T) {
+	Ack.Receive(&netsim.Packet{Flow: "not a source", Seq: 1})
+	DCQCNAck.Receive(&netsim.Packet{Flow: 3.14, Seq: 1})
+}
+
+// A finite flow smaller than one MSS still completes.
+func TestSubMSSFlow(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig()
+	_, fwd, rev := dumbbell(s, 10e9, 100*9000, 0)
+	src := NewSource(s, cfg, "tiny", 400, nil)
+	sink := NewSink(s, cfg, src, rev)
+	src.fwd = append(fwd, sink)
+	src.Start()
+	s.RunUntil(10 * sim.Millisecond)
+	if !src.Done || src.DeliveredB != 400 {
+		t.Fatalf("tiny flow: done=%v acked=%d", src.Done, src.DeliveredB)
+	}
+}
+
+// Quota accounting: concurrent subflows never oversell the pool.
+func TestQuotaExactness(t *testing.T) {
+	q := NewQuota(10_000)
+	var total int64
+	for q.Remaining() > 0 {
+		total += q.Take(3000)
+	}
+	if total != 10_000 {
+		t.Fatalf("quota assigned %d of 10000", total)
+	}
+	if q.Take(1) != 0 {
+		t.Fatal("overdraw")
+	}
+}

@@ -1,0 +1,273 @@
+package tcp
+
+import (
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+)
+
+// DCQCN implements the rate-based congestion control of [82] as used in
+// the §6.3 comparison: ECN-marked packets trigger CNPs from the
+// notification point (receiver) at most once per CNP interval; the
+// reaction point (sender) cuts its rate multiplicatively by alpha/2 and
+// recovers through fast-recovery halving steps followed by additive
+// increase.
+type DCQCN struct {
+	Sim  *sim.Simulator
+	Name string
+
+	MSS       int
+	LineRate  netsim.Bps
+	FlowBytes int64 // 0 = long-running
+
+	fwd []netsim.Handler
+
+	rate      netsim.Bps
+	target    netsim.Bps
+	alpha     float64
+	g         float64
+	stage     int // fast-recovery iterations since last CNP
+	rAI       netsim.Bps
+	minRate   netsim.Bps
+	incTimer  *sim.Timer
+	alphaTmr  *sim.Timer
+	cnpSeen   bool
+	sending   bool
+	chain     bool // a pace() chain is scheduled
+	highest   int64
+	cumAck    int64
+	rtoTimer  *sim.Timer
+	rtoPeriod sim.Time
+
+	Done       bool
+	DoneAt     sim.Time
+	OnComplete func(*DCQCN)
+	startAt    sim.Time
+
+	// Stats
+	CNPs        uint64
+	Retransmits uint64
+	DeliveredB  int64
+}
+
+// DCQCNTimer is the rate-increase and alpha-update period (55us in [82]).
+const DCQCNTimer = 55 * sim.Microsecond
+
+// CNPInterval is the minimum gap between CNPs from the notification point
+// (50us in [82]).
+const CNPInterval = 50 * sim.Microsecond
+
+// NewDCQCN creates a sender at line rate.
+func NewDCQCN(s *sim.Simulator, name string, mss int, lineRate netsim.Bps, flowBytes int64, fwd []netsim.Handler) *DCQCN {
+	d := &DCQCN{
+		Sim:       s,
+		Name:      name,
+		MSS:       mss,
+		LineRate:  lineRate,
+		FlowBytes: flowBytes,
+		fwd:       fwd,
+		rate:      lineRate,
+		target:    lineRate,
+		g:         1.0 / 256,
+		rAI:       40e6, // 40 Mbps additive step [82]
+		minRate:   1e6,
+		rtoPeriod: 4 * sim.Millisecond,
+	}
+	d.incTimer = sim.NewTimer(s)
+	d.alphaTmr = sim.NewTimer(s)
+	d.rtoTimer = sim.NewTimer(s)
+	return d
+}
+
+// SetRoute installs the forward route (must end at the DCQCNSink).
+func (d *DCQCN) SetRoute(route []netsim.Handler) { d.fwd = route }
+
+// Start begins paced transmission.
+func (d *DCQCN) Start() {
+	d.startAt = d.Sim.Now()
+	d.sending = true
+	d.pace()
+	d.armAlphaDecay()
+	d.armRTO()
+}
+
+// StartAt schedules Start.
+func (d *DCQCN) StartAt(t sim.Time) { d.Sim.At(t, d.Start) }
+
+// FCT returns the completion time.
+func (d *DCQCN) FCT() sim.Time { return d.DoneAt - d.startAt }
+
+// Rate returns the current sending rate.
+func (d *DCQCN) Rate() netsim.Bps { return d.rate }
+
+func (d *DCQCN) pace() {
+	if d.Done || !d.sending {
+		d.chain = false
+		return
+	}
+	if d.FlowBytes > 0 && d.highest >= d.FlowBytes {
+		// Everything sent; wait for acks (retransmit timer handles loss).
+		d.chain = false
+		return
+	}
+	d.chain = true
+	size := int64(d.MSS)
+	if d.FlowBytes > 0 && d.highest+size > d.FlowBytes {
+		size = d.FlowBytes - d.highest
+	}
+	p := &netsim.Packet{Size: int(size), Seq: d.highest, Flow: d}
+	p.SetRoute(d.fwd)
+	p.SendOn()
+	d.highest += size
+	gap := sim.Time(float64(size*8) / float64(d.rate) * float64(sim.Second))
+	d.Sim.After(gap, d.pace)
+}
+
+// OnAck handles a cumulative ack from the notification point.
+func (d *DCQCN) OnAck(ack int64) {
+	if d.Done {
+		return
+	}
+	if ack > d.cumAck {
+		d.cumAck = ack
+		d.DeliveredB = ack
+		d.armRTO()
+	}
+	if d.FlowBytes > 0 && d.cumAck >= d.FlowBytes {
+		d.Done = true
+		d.DoneAt = d.Sim.Now()
+		d.incTimer.Cancel()
+		d.alphaTmr.Cancel()
+		d.rtoTimer.Cancel()
+		if d.OnComplete != nil {
+			d.OnComplete(d)
+		}
+	}
+}
+
+// OnCNP handles a congestion notification packet: multiplicative decrease
+// and reset of the recovery state machine.
+func (d *DCQCN) OnCNP() {
+	if d.Done {
+		return
+	}
+	d.CNPs++
+	d.cnpSeen = true
+	d.alpha = (1-d.g)*d.alpha + d.g
+	d.target = d.rate
+	d.rate = netsim.Bps(float64(d.rate) * (1 - d.alpha/2))
+	if d.rate < d.minRate {
+		d.rate = d.minRate
+	}
+	d.stage = 0
+	d.incTimer.Arm(DCQCNTimer, d.increase)
+}
+
+func (d *DCQCN) increase() {
+	if d.Done {
+		return
+	}
+	if d.stage < 5 {
+		// Fast recovery: halve toward the target.
+		d.rate = (d.rate + d.target) / 2
+		d.stage++
+	} else {
+		// Additive increase.
+		d.target += d.rAI
+		if d.target > d.LineRate {
+			d.target = d.LineRate
+		}
+		d.rate = (d.rate + d.target) / 2
+	}
+	if d.rate > d.LineRate {
+		d.rate = d.LineRate
+	}
+	d.incTimer.Arm(DCQCNTimer, d.increase)
+}
+
+func (d *DCQCN) armAlphaDecay() {
+	d.alphaTmr.Arm(DCQCNTimer, func() {
+		if !d.cnpSeen {
+			d.alpha *= 1 - d.g
+		}
+		d.cnpSeen = false
+		d.armAlphaDecay()
+	})
+}
+
+func (d *DCQCN) armRTO() {
+	d.rtoTimer.Arm(d.rtoPeriod, func() {
+		if d.Done {
+			return
+		}
+		// No cumulative progress for a full period: go back to the hole.
+		// DCQCN fabrics are near-lossless so this is a rare recovery path.
+		d.Retransmits++
+		d.highest = d.cumAck
+		if !d.chain {
+			d.pace()
+		}
+		d.armRTO()
+	})
+}
+
+// DCQCNSink is the notification point: cumulative acks per packet plus
+// CNPs for marked packets, rate-limited to one per CNPInterval.
+type DCQCNSink struct {
+	Sim     *sim.Simulator
+	Src     *DCQCN
+	rev     []netsim.Handler
+	cumAck  int64
+	ooo     map[int64]int
+	lastCNP sim.Time
+
+	ReceivedB int64
+}
+
+// NewDCQCNSink builds the receiver; rev must end at DCQCNAck.
+func NewDCQCNSink(s *sim.Simulator, src *DCQCN, rev []netsim.Handler) *DCQCNSink {
+	return &DCQCNSink{Sim: s, Src: src, rev: rev, ooo: make(map[int64]int), lastCNP: -1 << 60}
+}
+
+// Receive implements netsim.Handler.
+func (k *DCQCNSink) Receive(p *netsim.Packet) {
+	k.ReceivedB += int64(p.Size)
+	if p.Seq == k.cumAck {
+		k.cumAck += int64(p.Size)
+		for {
+			sz, ok := k.ooo[k.cumAck]
+			if !ok {
+				break
+			}
+			delete(k.ooo, k.cumAck)
+			k.cumAck += int64(sz)
+		}
+	} else if p.Seq > k.cumAck {
+		k.ooo[p.Seq] = p.Size
+	}
+	if p.CE && k.Sim.Now()-k.lastCNP >= CNPInterval {
+		k.lastCNP = k.Sim.Now()
+		cnp := &netsim.Packet{Size: 64, Ack: true, Echo: true, Seq: k.cumAck, Flow: k.Src}
+		cnp.SetRoute(k.rev)
+		cnp.SendOn()
+		return
+	}
+	ack := &netsim.Packet{Size: 64, Ack: true, Seq: k.cumAck, Flow: k.Src}
+	ack.SetRoute(k.rev)
+	ack.SendOn()
+}
+
+// DCQCNAckEndpoint terminates the reverse route for DCQCN flows.
+type DCQCNAckEndpoint struct{}
+
+// Receive implements netsim.Handler.
+func (DCQCNAckEndpoint) Receive(p *netsim.Packet) {
+	if src, ok := p.Flow.(*DCQCN); ok {
+		if p.Echo {
+			src.OnCNP()
+		}
+		src.OnAck(p.Seq)
+	}
+}
+
+// DCQCNAck is a shared endpoint.
+var DCQCNAck DCQCNAckEndpoint

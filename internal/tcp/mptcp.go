@@ -1,0 +1,110 @@
+package tcp
+
+import (
+	"fmt"
+
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+)
+
+// MPTCP is a multipath TCP connection: N NewReno subflows over distinct
+// ECMP paths with Linked-Increases (LIA, RFC 6356) coupling, as used by
+// the §6.3 comparison [72].
+type MPTCP struct {
+	Sim      *sim.Simulator
+	Subflows []*Source
+	Total    int64
+
+	ackedTotal int64
+	Done       bool
+	DoneAt     sim.Time
+	OnComplete func(*MPTCP)
+	startAt    sim.Time
+}
+
+// NewMPTCP creates a connection with one subflow per forward/reverse route
+// pair. totalBytes == 0 means a long-running connection.
+func NewMPTCP(s *sim.Simulator, cfg Config, name string, totalBytes int64, fwd [][]netsim.Handler) *MPTCP {
+	if len(fwd) == 0 {
+		panic("tcp: MPTCP needs at least one subflow route")
+	}
+	m := &MPTCP{Sim: s, Total: totalBytes}
+	var quota *Quota
+	if totalBytes > 0 {
+		quota = NewQuota(totalBytes)
+	}
+	for i, route := range fwd {
+		sub := NewSource(s, cfg, fmt.Sprintf("%s/%d", name, i), 0, route)
+		if quota != nil {
+			sub.quota = quota
+			sub.end = 0
+		}
+		sub.couple = m.liaIncrease
+		sub.OnAcked = m.onAcked
+		m.Subflows = append(m.Subflows, sub)
+	}
+	return m
+}
+
+// Start launches all subflows.
+func (m *MPTCP) Start() {
+	m.startAt = m.Sim.Now()
+	for _, s := range m.Subflows {
+		s.Start()
+	}
+}
+
+// StartAt schedules Start.
+func (m *MPTCP) StartAt(t sim.Time) { m.Sim.At(t, m.Start) }
+
+// FCT returns the connection-level completion time.
+func (m *MPTCP) FCT() sim.Time { return m.DoneAt - m.startAt }
+
+// DeliveredB returns total bytes acked across subflows.
+func (m *MPTCP) DeliveredB() int64 { return m.ackedTotal }
+
+func (m *MPTCP) onAcked(n int64) {
+	m.ackedTotal += n
+	if m.Total > 0 && !m.Done && m.ackedTotal >= m.Total {
+		m.Done = true
+		m.DoneAt = m.Sim.Now()
+		if m.OnComplete != nil {
+			m.OnComplete(m)
+		}
+	}
+}
+
+// liaIncrease implements the RFC 6356 coupled increase: for each ACK on
+// subflow r,
+//
+//	cwnd_r += min( alpha * acked * MSS / cwnd_total , acked * MSS / cwnd_r )
+//
+// with alpha = cwnd_total * max_r(cwnd_r/rtt_r^2) / (sum_r cwnd_r/rtt_r)^2.
+func (m *MPTCP) liaIncrease(r *Source, acked int64) {
+	var total float64
+	var maxTerm float64
+	var sumTerm float64
+	for _, s := range m.Subflows {
+		rtt := s.srtt.Seconds()
+		if rtt <= 0 {
+			rtt = 100e-6
+		}
+		total += s.cwnd
+		t := s.cwnd / (rtt * rtt)
+		if t > maxTerm {
+			maxTerm = t
+		}
+		sumTerm += s.cwnd / rtt
+	}
+	if total <= 0 || sumTerm <= 0 {
+		r.cwnd += float64(acked) * float64(r.Cfg.MSS) / r.cwnd
+		return
+	}
+	alpha := total * maxTerm / (sumTerm * sumTerm)
+	inc := alpha * float64(acked) * float64(r.Cfg.MSS) / total
+	cap := float64(acked) * float64(r.Cfg.MSS) / r.cwnd
+	if inc > cap {
+		inc = cap
+	}
+	r.cwnd += inc
+}

@@ -1,0 +1,108 @@
+package topo
+
+import "fmt"
+
+// FatTree is a standard k-ary fat-tree [Al-Fares et al.]: k pods, each with
+// k/2 edge and k/2 aggregation switches, (k/2)^2 core switches, and k^3/4
+// hosts. All indices are dense integers so simulators can use slices.
+type FatTree struct {
+	K     int
+	Hosts int // k^3/4
+	Edges int // k^2/2
+	Aggs  int // k^2/2
+	Cores int // (k/2)^2
+}
+
+// NewFatTree builds the k-ary fat-tree descriptor. k must be even and >= 4.
+func NewFatTree(k int) (*FatTree, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree k must be even and >= 4, got %d", k)
+	}
+	return &FatTree{
+		K:     k,
+		Hosts: k * k * k / 4,
+		Edges: k * k / 2,
+		Aggs:  k * k / 2,
+		Cores: k * k / 4,
+	}, nil
+}
+
+// HostEdge returns the edge switch a host attaches to.
+func (f *FatTree) HostEdge(host int) int { return host / (f.K / 2) }
+
+// EdgePod returns the pod an edge switch belongs to.
+func (f *FatTree) EdgePod(edge int) int { return edge / (f.K / 2) }
+
+// AggPod returns the pod an aggregation switch belongs to.
+func (f *FatTree) AggPod(agg int) int { return agg / (f.K / 2) }
+
+// AggOfPod returns the a-th aggregation switch of pod p.
+func (f *FatTree) AggOfPod(p, a int) int { return p*(f.K/2) + a }
+
+// CoreOf returns the core switch reached by aggregation-position a's c-th
+// uplink; it is the same core for position a in every pod, which is what
+// makes the fat-tree rearrangeably non-blocking.
+func (f *FatTree) CoreOf(a, c int) int { return a*(f.K/2) + c }
+
+// PathsBetween returns the number of distinct shortest paths between two
+// hosts: 1 on the same edge, k/2 within a pod, (k/2)^2 across pods.
+func (f *FatTree) PathsBetween(src, dst int) int {
+	se, de := f.HostEdge(src), f.HostEdge(dst)
+	if se == de {
+		return 1
+	}
+	if f.EdgePod(se) == f.EdgePod(de) {
+		return f.K / 2
+	}
+	return (f.K / 2) * (f.K / 2)
+}
+
+// Hop identifies one directed hop of a route; simulators map hops to their
+// queue+pipe objects.
+type Hop struct {
+	Level int // 0 host->edge, 1 edge->agg, 2 agg->core, 3 core->agg, 4 agg->edge, 5 edge->host
+	From  int // device index at the hop's source level
+	To    int // device index at the hop's destination level
+}
+
+// Route enumerates the directed hops from src host to dst host using path
+// choice "choice" (0 <= choice < PathsBetween(src,dst)). Deterministic:
+// the same choice always yields the same path, which is how per-flow ECMP
+// hashing is modelled.
+func (f *FatTree) Route(src, dst, choice int) []Hop {
+	se, de := f.HostEdge(src), f.HostEdge(dst)
+	if src == dst {
+		return nil
+	}
+	if se == de {
+		return []Hop{
+			{Level: 0, From: src, To: se},
+			{Level: 5, From: se, To: dst},
+		}
+	}
+	sp, dp := f.EdgePod(se), f.EdgePod(de)
+	if sp == dp {
+		a := choice % (f.K / 2)
+		agg := f.AggOfPod(sp, a)
+		return []Hop{
+			{Level: 0, From: src, To: se},
+			{Level: 1, From: se, To: agg},
+			{Level: 4, From: agg, To: de},
+			{Level: 5, From: de, To: dst},
+		}
+	}
+	h := f.K / 2
+	a := choice % h
+	c := (choice / h) % h
+	upAgg := f.AggOfPod(sp, a)
+	core := f.CoreOf(a, c)
+	downAgg := f.AggOfPod(dp, a)
+	return []Hop{
+		{Level: 0, From: src, To: se},
+		{Level: 1, From: se, To: upAgg},
+		{Level: 2, From: upAgg, To: core},
+		{Level: 3, From: core, To: downAgg},
+		{Level: 4, From: downAgg, To: de},
+		{Level: 5, From: de, To: dst},
+	}
+}

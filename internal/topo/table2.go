@@ -1,0 +1,195 @@
+// Package topo implements the Fat-tree topology mathematics of the paper's
+// Appendix A (Table 2, Fig 2) and builds the concrete topology instances
+// used by the simulators: 1- and 2-tier Stardust Clos fabrics and k-ary
+// fat-trees.
+//
+// Terminology follows the paper: a network has edge devices (ToRs / Fabric
+// Adapters) plus n tiers of fabric switches; k is the switch radix in ports
+// (link bundles), t the number of ToR uplink ports, l the number of serial
+// links per bundle.
+package topo
+
+import "fmt"
+
+// Params describes a fat-tree family per Table 1 of the paper.
+type Params struct {
+	K int // switch radix (ports = link bundles per switch)
+	T int // ToR uplink ports
+	L int // serial links per bundle
+}
+
+// ElementCounts holds one row of Table 2 for a given number of tiers.
+type ElementCounts struct {
+	Tiers          int
+	MaxToRs        float64 // k^n / 2^(n-1)
+	MaxSwitches    float64 // (2n-1)/2^(n-1) * t * k^(n-1)
+	SwitchesPerToR float64 // (2n-1) * t / k
+	LinkBundles    float64 // as printed in Table 2
+	LinksPerToR    float64 // LinkBundles * l / MaxToRs
+}
+
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= base
+	}
+	return out
+}
+
+// Table2 reproduces one row of the paper's Table 2 exactly as printed.
+//
+// Note: the printed table is not self-consistent for every n — the printed
+// link-bundle entries for n=1,2 (t*k and t*k^2) do not follow the printed
+// general-n formula (1-1/2^(n-1))*t*k^n. We reproduce the printed rows for
+// n=1..4 and use the printed general formula beyond, which is what the
+// paper reports.
+func Table2(p Params, tiers int) ElementCounts {
+	if tiers < 1 {
+		panic("topo: tiers must be >= 1")
+	}
+	k, t, l := float64(p.K), float64(p.T), float64(p.L)
+	n := tiers
+	ec := ElementCounts{
+		Tiers:          n,
+		MaxToRs:        pow(k, n) / pow(2, n-1),
+		MaxSwitches:    float64(2*n-1) / pow(2, n-1) * t * pow(k, n-1),
+		SwitchesPerToR: float64(2*n-1) * t / k,
+	}
+	switch n {
+	case 1:
+		ec.LinkBundles = t * k
+	case 2:
+		ec.LinkBundles = t * k * k
+	default:
+		ec.LinkBundles = (1 - 1/pow(2, n-1)) * t * pow(k, n)
+	}
+	ec.LinksPerToR = ec.LinkBundles * l / ec.MaxToRs
+	return ec
+}
+
+// DerivedCounts returns the physically self-consistent element counts for an
+// n-tier fully provisioned fat-tree built from radix-k switches: every tier
+// boundary carries exactly the total ToR uplink bandwidth, so the number of
+// link bundles is n * t * k^n / 2^(n-1). These are the counts used by the
+// cost, power, and device-count models (Fig 2b, 2c, Fig 11), where internal
+// consistency matters.
+func DerivedCounts(p Params, tiers int) ElementCounts {
+	if tiers < 1 {
+		panic("topo: tiers must be >= 1")
+	}
+	k, t, l := float64(p.K), float64(p.T), float64(p.L)
+	n := tiers
+	ec := ElementCounts{
+		Tiers:          n,
+		MaxToRs:        pow(k, n) / pow(2, n-1),
+		MaxSwitches:    float64(2*n-1) / pow(2, n-1) * t * pow(k, n-1),
+		SwitchesPerToR: float64(2*n-1) * t / k,
+		LinkBundles:    float64(n) * t * pow(k, n) / pow(2, n-1),
+	}
+	ec.LinksPerToR = ec.LinkBundles * l / ec.MaxToRs
+	return ec
+}
+
+// DeviceConfig describes a single switch device used to build a network, in
+// the style of §2.2's 12.8 Tbps example.
+type DeviceConfig struct {
+	Name       string
+	Ports      int     // radix k (number of link bundles)
+	PortGbps   float64 // bandwidth per port
+	LinkBundle int     // serial links per port (l)
+}
+
+// TotalTbps returns the device's aggregate bandwidth.
+func (d DeviceConfig) TotalTbps() float64 {
+	return float64(d.Ports) * d.PortGbps / 1000
+}
+
+// String implements fmt.Stringer.
+func (d DeviceConfig) String() string {
+	return fmt.Sprintf("%s %dx%.0fG (l=%d)", d.Name, d.Ports, d.PortGbps, d.LinkBundle)
+}
+
+// The four 12.8 Tbps configurations compared throughout §2.2 and Fig 2.
+var (
+	FT400Gx32   = DeviceConfig{Name: "FT 400Gx32", Ports: 32, PortGbps: 400, LinkBundle: 8}
+	FT200Gx64   = DeviceConfig{Name: "FT 200Gx64", Ports: 64, PortGbps: 200, LinkBundle: 4}
+	FT100Gx128  = DeviceConfig{Name: "FT 100Gx128", Ports: 128, PortGbps: 100, LinkBundle: 2}
+	Stardust50G = DeviceConfig{Name: "Stardust 50Gx256", Ports: 256, PortGbps: 50, LinkBundle: 1}
+
+	// Fig2Devices lists the series plotted in Fig 2 in the paper's order.
+	Fig2Devices = []DeviceConfig{FT400Gx32, FT200Gx64, FT100Gx128, Stardust50G}
+)
+
+// NetworkPlan captures the sizing of a DCN instance built from one device
+// family for a given number of end hosts, following Fig 2's assumptions:
+// each edge device connects HostsPerToR servers (100G each in the paper),
+// and the remaining device bandwidth feeds the fabric.
+type NetworkPlan struct {
+	Device      DeviceConfig
+	Tiers       int
+	Hosts       int
+	ToRs        int
+	Switches    int
+	Devices     int // ToRs + Switches
+	LinkBundles int // inter-switch bundles (ToR downlinks excluded)
+	SerialLinks int // LinkBundles * l
+}
+
+// HostsPerToR is the paper's assumption of 40 servers per edge device.
+const HostsPerToR = 40
+
+// HostGbps is the per-server access rate assumed in Fig 2 (100G, l=2).
+const HostGbps = 100
+
+// UplinkPorts returns t: the number of fabric-facing ports on an edge device
+// built from dev, after HostsPerToR*HostGbps of downlink capacity is
+// reserved, assuming no over-subscription.
+func UplinkPorts(dev DeviceConfig) int {
+	down := float64(HostsPerToR * HostGbps)
+	up := dev.TotalTbps()*1000 - down
+	if up < 0 {
+		return 0
+	}
+	return int(up / dev.PortGbps)
+}
+
+// MaxHosts returns the maximum number of end hosts in an n-tier network of
+// the given device family (Fig 2a).
+func MaxHosts(dev DeviceConfig, tiers int) float64 {
+	return HostsPerToR * pow(float64(dev.Ports), tiers) / pow(2, tiers-1)
+}
+
+// MinTiers returns the smallest number of tiers able to connect hosts end
+// hosts, capped at max (returns max+1 if even max tiers are insufficient).
+func MinTiers(dev DeviceConfig, hosts float64, max int) int {
+	for n := 1; n <= max; n++ {
+		if MaxHosts(dev, n) >= hosts {
+			return n
+		}
+	}
+	return max + 1
+}
+
+// Plan sizes a (possibly partially populated) network connecting hosts end
+// hosts with the given device family, using the minimal number of tiers
+// (Fig 2b, 2c). Partial population scales switch and link counts with the
+// actual number of ToRs, per §5.1's gradual-growth property.
+func Plan(dev DeviceConfig, hosts int) NetworkPlan {
+	n := MinTiers(dev, float64(hosts), 8)
+	p := Params{K: dev.Ports, T: UplinkPorts(dev), L: dev.LinkBundle}
+	ec := DerivedCounts(p, n)
+	tors := (hosts + HostsPerToR - 1) / HostsPerToR
+	switches := int(ec.SwitchesPerToR*float64(tors) + 0.9999)
+	// Bundles per ToR times the actual ToR count (partial population).
+	bundles := int(ec.LinkBundles / ec.MaxToRs * float64(tors))
+	return NetworkPlan{
+		Device:      dev,
+		Tiers:       n,
+		Hosts:       hosts,
+		ToRs:        tors,
+		Switches:    switches,
+		Devices:     tors + switches,
+		LinkBundles: bundles,
+		SerialLinks: bundles * p.L,
+	}
+}

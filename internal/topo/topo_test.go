@@ -1,0 +1,328 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Abs(b)+1e-9 }
+
+func TestTable2PrintedRows(t *testing.T) {
+	p := Params{K: 8, T: 4, L: 2}
+	k, tt, l := 8.0, 4.0, 2.0
+	cases := []struct {
+		tiers                               int
+		tors, switches, perToR, bundles, lp float64
+	}{
+		{1, k, tt, tt / k, tt * k, tt * l},
+		{2, k * k / 2, 1.5 * tt * k, 3 * tt / k, tt * k * k, 2 * tt * l},
+		{3, k * k * k / 4, 1.25 * tt * k * k, 5 * tt / k, 0.75 * tt * k * k * k, 3 * tt * l},
+		{4, k * k * k * k / 8, 7.0 / 8 * tt * k * k * k, 7 * tt / k, 7.0 / 8 * tt * k * k * k * k, 7 * tt * l},
+	}
+	for _, c := range cases {
+		ec := Table2(p, c.tiers)
+		if !approx(ec.MaxToRs, c.tors, 0) {
+			t.Errorf("tiers=%d MaxToRs=%v want %v", c.tiers, ec.MaxToRs, c.tors)
+		}
+		if !approx(ec.MaxSwitches, c.switches, 0) {
+			t.Errorf("tiers=%d MaxSwitches=%v want %v", c.tiers, ec.MaxSwitches, c.switches)
+		}
+		if !approx(ec.SwitchesPerToR, c.perToR, 0) {
+			t.Errorf("tiers=%d SwitchesPerToR=%v want %v", c.tiers, ec.SwitchesPerToR, c.perToR)
+		}
+		if !approx(ec.LinkBundles, c.bundles, 0) {
+			t.Errorf("tiers=%d LinkBundles=%v want %v", c.tiers, ec.LinkBundles, c.bundles)
+		}
+		if !approx(ec.LinksPerToR, c.lp, 0) {
+			t.Errorf("tiers=%d LinksPerToR=%v want %v", c.tiers, ec.LinksPerToR, c.lp)
+		}
+	}
+}
+
+// Property: max network size is O((k/2)^n) — Table 2's footnote.
+func TestPropertyTable2Growth(t *testing.T) {
+	f := func(kRaw, nRaw uint8) bool {
+		k := int(kRaw%64)*2 + 4 // even, 4..130
+		n := int(nRaw%4) + 1
+		p := Params{K: k, T: k / 2, L: 1}
+		ec := Table2(p, n)
+		want := pow(float64(k), n) / pow(2, n-1)
+		return ec.MaxToRs == want && ec.MaxToRs >= pow(float64(k)/2, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDerivedCountsConsistency(t *testing.T) {
+	// Every tier boundary must carry exactly the total ToR uplink count, so
+	// bundles = n * ToRs * t.
+	for n := 1; n <= 5; n++ {
+		p := Params{K: 16, T: 8, L: 2}
+		ec := DerivedCounts(p, n)
+		wantBundles := float64(n) * ec.MaxToRs * float64(p.T)
+		if !approx(ec.LinkBundles, wantBundles, 1e-12) {
+			t.Errorf("tiers=%d bundles=%v want %v", n, ec.LinkBundles, wantBundles)
+		}
+	}
+}
+
+func TestFig2aAnchors(t *testing.T) {
+	// §2.2: "A link bundle of one enables a 1-Tier network of over ten
+	// thousand servers, whereas ... link bundle of eight is limited to an
+	// eighth of this number."
+	h1 := MaxHosts(Stardust50G, 1)
+	if h1 != 40*256 {
+		t.Fatalf("Stardust 1-tier hosts = %v, want 10240", h1)
+	}
+	h8 := MaxHosts(FT400Gx32, 1)
+	if h8*8 != h1 {
+		t.Fatalf("L=8 1-tier hosts = %v, want 1/8 of %v", h8, h1)
+	}
+	// "For a 2-Tier network, a link bundle of eight allows connecting only
+	// 20K hosts, compared with x64 the number of hosts using a link bundle
+	// of one."
+	h8t2 := MaxHosts(FT400Gx32, 2)
+	if h8t2 != 20480 {
+		t.Fatalf("L=8 2-tier hosts = %v, want 20480", h8t2)
+	}
+	h1t2 := MaxHosts(Stardust50G, 2)
+	if h1t2 != 64*h8t2 {
+		t.Fatalf("L=1 2-tier hosts = %v, want 64x%v", h1t2, h8t2)
+	}
+}
+
+func TestUplinkPorts(t *testing.T) {
+	// 12.8T device, 4T of host-facing capacity -> 8.8T of uplink.
+	if got := UplinkPorts(FT400Gx32); got != 22 {
+		t.Fatalf("400G uplinks = %d, want 22", got)
+	}
+	if got := UplinkPorts(Stardust50G); got != 176 {
+		t.Fatalf("50G uplinks = %d, want 176", got)
+	}
+}
+
+func TestMinTiers(t *testing.T) {
+	if got := MinTiers(Stardust50G, 10000, 4); got != 1 {
+		t.Fatalf("MinTiers(10k) = %d, want 1", got)
+	}
+	if got := MinTiers(Stardust50G, 11000, 4); got != 2 {
+		t.Fatalf("MinTiers(11k) = %d, want 2", got)
+	}
+	if got := MinTiers(FT400Gx32, 1e9, 3); got != 4 {
+		t.Fatalf("impossible network should return max+1, got %d", got)
+	}
+}
+
+func TestPlanMonotonicity(t *testing.T) {
+	// More hosts never takes fewer devices or links; Stardust (l=1) always
+	// needs at most the tiers of bundled devices for the same host count.
+	prevDev, prevLinks := 0, 0
+	for _, h := range []int{1000, 5000, 20000, 100000, 500000, 1000000} {
+		p := Plan(Stardust50G, h)
+		if p.Devices < prevDev || p.SerialLinks < prevLinks {
+			t.Fatalf("plan not monotone at %d hosts: %+v", h, p)
+		}
+		prevDev, prevLinks = p.Devices, p.SerialLinks
+		pb := Plan(FT400Gx32, h)
+		if pb.Tiers < p.Tiers {
+			t.Fatalf("bundled device needs fewer tiers (%d) than Stardust (%d) at %d hosts", pb.Tiers, p.Tiers, h)
+		}
+		if h > 20000 && pb.Devices <= p.Devices {
+			t.Fatalf("at %d hosts expected Stardust to use fewer devices: stardust=%d ft=%d", h, p.Devices, pb.Devices)
+		}
+	}
+}
+
+func TestClos1(t *testing.T) {
+	c, err := NewClos1(24, 36, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FE1Down != 24*36/12 {
+		t.Fatalf("FE1Down = %d", c.FE1Down)
+	}
+	if len(c.Links) != 24*36 {
+		t.Fatalf("links = %d", len(c.Links))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every FA must reach every FE.
+	for i := 0; i < c.NumFA; i++ {
+		seen := make(map[int]bool)
+		for _, l := range c.Links {
+			if l.A == (NodeID{KindFA, i}) {
+				seen[l.B.Index] = true
+			}
+		}
+		if len(seen) != c.NumFE1 {
+			t.Fatalf("FA%d reaches %d FEs, want %d", i, len(seen), c.NumFE1)
+		}
+	}
+}
+
+func TestClos1Errors(t *testing.T) {
+	if _, err := NewClos1(0, 8, 4); err == nil {
+		t.Fatal("expected error for zero FAs")
+	}
+	if _, err := NewClos1(3, 7, 4); err == nil {
+		t.Fatal("expected error for non-divisible links")
+	}
+}
+
+func TestFig9Clos(t *testing.T) {
+	c := Fig9Clos()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFA != 256 || c.FAUplinks != 32 || c.NumFE1 != 128 || c.NumFE2 != 64 {
+		t.Fatalf("unexpected Fig9 shape: %+v", c)
+	}
+	if len(c.Links) != 256*32+128*64 {
+		t.Fatalf("links = %d, want %d", len(c.Links), 256*32+128*64)
+	}
+	// Boundary capacities must match (§6.2 setup).
+	if c.NumFA*c.FAUplinks != c.NumFE1*c.FE1Down {
+		t.Fatal("tier 0-1 mismatch")
+	}
+	if c.NumFE1*c.FE1Up != c.NumFE2*c.FE2Down {
+		t.Fatal("tier 1-2 mismatch")
+	}
+	// Every FE1 must reach every FE2 (needed for any-to-any cell spraying).
+	for f := 0; f < c.NumFE1; f++ {
+		seen := make(map[int]bool)
+		for _, l := range c.Links {
+			if l.A == (NodeID{KindFE1, f}) && l.B.Kind == KindFE2 {
+				seen[l.B.Index] = true
+			}
+		}
+		if len(seen) != c.NumFE2 {
+			t.Fatalf("FE1 %d reaches %d spines, want %d", f, len(seen), c.NumFE2)
+		}
+	}
+}
+
+func TestClos2Errors(t *testing.T) {
+	if _, err := NewClos2(4, 4, 4, 5, 4, 2); err == nil {
+		t.Fatal("expected boundary mismatch error")
+	}
+	if _, err := NewClos2(4, 4, 4, 4, 0, 2); err == nil {
+		t.Fatal("expected spine error")
+	}
+	if _, err := NewClos2(4, 4, 4, 4, 6, 4); err == nil {
+		t.Fatal("expected fe1Up multiple error")
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	f, err := NewFatTree(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hosts != 432 || f.Edges != 72 || f.Aggs != 72 || f.Cores != 36 {
+		t.Fatalf("k=12 counts wrong: %+v", f)
+	}
+	if _, err := NewFatTree(5); err == nil {
+		t.Fatal("odd k must fail")
+	}
+	if _, err := NewFatTree(2); err == nil {
+		t.Fatal("k=2 must fail")
+	}
+}
+
+func TestFatTreeRouteStructure(t *testing.T) {
+	f, _ := NewFatTree(8)
+	// Same edge.
+	r := f.Route(0, 1, 0)
+	if len(r) != 2 || r[0].Level != 0 || r[1].Level != 5 {
+		t.Fatalf("same-edge route wrong: %v", r)
+	}
+	// Same pod, different edge: hosts 0 and k/2 (edge 0 and 1, pod 0).
+	r = f.Route(0, 4, 1)
+	if len(r) != 4 {
+		t.Fatalf("intra-pod route wrong: %v", r)
+	}
+	// Cross pod.
+	r = f.Route(0, f.Hosts-1, 3)
+	if len(r) != 6 || r[2].Level != 2 || r[3].Level != 3 {
+		t.Fatalf("cross-pod route wrong: %v", r)
+	}
+	if n := f.PathsBetween(0, f.Hosts-1); n != 16 {
+		t.Fatalf("cross-pod paths = %d, want 16", n)
+	}
+	if n := f.PathsBetween(0, 4); n != 4 {
+		t.Fatalf("intra-pod paths = %d, want 4", n)
+	}
+	if n := f.PathsBetween(0, 1); n != 1 {
+		t.Fatalf("same-edge paths = %d, want 1", n)
+	}
+}
+
+// Property: every route is loop-free, starts at src's edge, ends at dst's
+// edge, and the up/down structure is valid for all path choices.
+func TestPropertyFatTreeRoutes(t *testing.T) {
+	f, _ := NewFatTree(8)
+	check := func(srcRaw, dstRaw, choiceRaw uint16) bool {
+		src := int(srcRaw) % f.Hosts
+		dst := int(dstRaw) % f.Hosts
+		if src == dst {
+			return f.Route(src, dst, 0) == nil
+		}
+		choice := int(choiceRaw) % f.PathsBetween(src, dst)
+		r := f.Route(src, dst, choice)
+		if len(r) == 0 {
+			return false
+		}
+		if r[0].Level != 0 || r[0].From != src || r[0].To != f.HostEdge(src) {
+			return false
+		}
+		last := r[len(r)-1]
+		if last.Level != 5 || last.To != dst || last.From != f.HostEdge(dst) {
+			return false
+		}
+		// Hops must chain: each hop's To is the next hop's From when levels
+		// connect the same device class.
+		for i := 1; i < len(r); i++ {
+			if r[i].From != r[i-1].To {
+				return false
+			}
+		}
+		// Core choice must map to an agg of the same position on both
+		// sides (fat-tree wiring invariant).
+		if len(r) == 6 {
+			up, down := r[1].To, r[4].From
+			if up%(f.K/2) != down%(f.K/2) {
+				return false
+			}
+			core := r[2].To
+			if core/(f.K/2) != up%(f.K/2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct choices produce distinct paths for cross-pod pairs.
+func TestPropertyFatTreePathDiversity(t *testing.T) {
+	f, _ := NewFatTree(8)
+	src, dst := 0, f.Hosts-1
+	n := f.PathsBetween(src, dst)
+	seen := make(map[[2]int]bool)
+	for c := 0; c < n; c++ {
+		r := f.Route(src, dst, c)
+		key := [2]int{r[1].To, r[2].To} // (upAgg, core) identifies the path
+		if seen[key] {
+			t.Fatalf("choice %d repeats path %v", c, key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d distinct paths of %d", len(seen), n)
+	}
+}

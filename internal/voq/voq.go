@@ -1,0 +1,190 @@
+// Package voq implements the Fabric Adapter's ingress virtual output
+// queues (§3.3): one queue per (destination Fabric Adapter, destination
+// port, traffic class), backed by a shared buffer with tail-drop on
+// long-term over-subscription, and credit-driven dequeue with surplus
+// accounting (§4.1).
+package voq
+
+import (
+	"fmt"
+
+	"stardust/internal/cell"
+)
+
+// Key identifies one VOQ: destination Fabric Adapter, destination port on
+// that adapter, and traffic class. The number of VOQs is determined by the
+// total number of downlink ports on Fabric Adapters and the number of
+// traffic classes, not by routable addresses (§4.1).
+type Key struct {
+	DstFA   uint16
+	DstPort uint8
+	TC      uint8
+}
+
+func (k Key) String() string { return fmt.Sprintf("FA%d:p%d:tc%d", k.DstFA, k.DstPort, k.TC) }
+
+// Queue is a single VOQ. Empty VOQs consume no buffering resources (§3.3);
+// the Manager creates them lazily and prunes them when drained.
+type Queue struct {
+	Key     Key
+	packets []cell.PacketRef
+	head    int
+	bytes   int64
+	// credit is the byte balance granted by the egress scheduler and not
+	// yet consumed; it may go negative when a whole packet overshoots the
+	// grant, which is the paper's "surplus data stored for later
+	// accounting" (§3.3).
+	credit int64
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.packets) - q.head }
+
+// Bytes returns the queued bytes.
+func (q *Queue) Bytes() int64 { return q.bytes }
+
+// CreditBalance returns the unconsumed credit (negative = surplus already
+// sent).
+func (q *Queue) CreditBalance() int64 { return q.credit }
+
+func (q *Queue) push(p cell.PacketRef) {
+	q.packets = append(q.packets, p)
+	q.bytes += int64(p.Size)
+}
+
+func (q *Queue) pop() (cell.PacketRef, bool) {
+	if q.Len() == 0 {
+		return cell.PacketRef{}, false
+	}
+	p := q.packets[q.head]
+	q.head++
+	q.bytes -= int64(p.Size)
+	// Compact occasionally so memory tracks occupancy.
+	if q.head > 64 && q.head*2 >= len(q.packets) {
+		q.packets = append(q.packets[:0], q.packets[q.head:]...)
+		q.head = 0
+	}
+	return p, true
+}
+
+// Manager owns all VOQs of one Fabric Adapter and the shared ingress
+// buffer.
+type Manager struct {
+	capacity int64 // shared ingress buffer in bytes (megabytes to gigabytes, §3.3)
+	used     int64
+	queues   map[Key]*Queue
+
+	// OnActivate, when non-nil, fires when a VOQ transitions from empty to
+	// non-empty — the moment the FA must request credits from the
+	// destination's egress scheduler (§3.3).
+	OnActivate func(Key, *Queue)
+
+	// Stats
+	Enqueued   uint64
+	Dropped    uint64 // tail drops: long-term over-subscription (§3.1)
+	DroppedB   uint64
+	DequeuedB  uint64
+	MaxUsedB   int64
+	ActivePeak int
+}
+
+// NewManager creates a manager with the given shared buffer capacity in
+// bytes.
+func NewManager(capacityBytes int64) *Manager {
+	if capacityBytes <= 0 {
+		panic("voq: capacity must be positive")
+	}
+	return &Manager{capacity: capacityBytes, queues: make(map[Key]*Queue)}
+}
+
+// Used returns the occupied buffer bytes.
+func (m *Manager) Used() int64 { return m.used }
+
+// Capacity returns the shared buffer size in bytes.
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// Active returns the number of non-empty VOQs.
+func (m *Manager) Active() int { return len(m.queues) }
+
+// Queue returns the VOQ for k, or nil if it is empty/absent.
+func (m *Manager) Queue(k Key) *Queue { return m.queues[k] }
+
+// Enqueue stores a packet arriving from a host. It returns false when the
+// shared buffer is exhausted and the packet is dropped, exactly as a ToR
+// would drop under persistent over-subscription (§3.1).
+func (m *Manager) Enqueue(k Key, p cell.PacketRef) bool {
+	if m.used+int64(p.Size) > m.capacity {
+		m.Dropped++
+		m.DroppedB += uint64(p.Size)
+		return false
+	}
+	q := m.queues[k]
+	fresh := false
+	if q == nil {
+		q = &Queue{Key: k}
+		m.queues[k] = q
+		fresh = true
+	} else if q.Len() == 0 {
+		fresh = true
+	}
+	q.push(p)
+	m.used += int64(p.Size)
+	m.Enqueued++
+	if m.used > m.MaxUsedB {
+		m.MaxUsedB = m.used
+	}
+	if len(m.queues) > m.ActivePeak {
+		m.ActivePeak = len(m.queues)
+	}
+	if fresh && m.OnActivate != nil {
+		m.OnActivate(k, q)
+	}
+	return true
+}
+
+// Grant applies a credit of creditBytes to VOQ k and dequeues the packets
+// it entitles: whole packets are released while the queue's credit balance
+// is positive; the final packet may overshoot, leaving a negative balance
+// (surplus) that future credits repay (§3.3, §4.1). Returns the released
+// batch (possibly empty when the VOQ is empty or still repaying surplus).
+func (m *Manager) Grant(k Key, creditBytes int64) []cell.PacketRef {
+	q := m.queues[k]
+	if q == nil {
+		return nil
+	}
+	q.credit += creditBytes
+	var batch []cell.PacketRef
+	for q.credit > 0 {
+		p, ok := q.pop()
+		if !ok {
+			break
+		}
+		q.credit -= int64(p.Size)
+		m.used -= int64(p.Size)
+		m.DequeuedB += uint64(p.Size)
+		batch = append(batch, p)
+	}
+	if q.Len() == 0 {
+		// Unused positive credit on an empty queue is forfeited; empty
+		// VOQs must not consume resources.
+		delete(m.queues, k)
+	}
+	return batch
+}
+
+// Backlog returns the queued bytes for k (0 if empty).
+func (m *Manager) Backlog(k Key) int64 {
+	if q := m.queues[k]; q != nil {
+		return q.bytes
+	}
+	return 0
+}
+
+// Keys returns the keys of all non-empty VOQs (order unspecified).
+func (m *Manager) Keys() []Key {
+	out := make([]Key, 0, len(m.queues))
+	for k := range m.queues {
+		out = append(out, k)
+	}
+	return out
+}

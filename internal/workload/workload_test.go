@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketMixesWellFormed(t *testing.T) {
+	for _, name := range Traces {
+		sizes, weights := PacketMix(name)
+		if len(sizes) != len(weights) || len(sizes) == 0 {
+			t.Fatalf("%s: malformed mix", name)
+		}
+		var sum float64
+		for i, w := range weights {
+			if w <= 0 || sizes[i] < 64 || sizes[i] > 1500 {
+				t.Fatalf("%s: bad entry %d", name, i)
+			}
+			sum += w
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: weights sum to %v", name, sum)
+		}
+	}
+}
+
+func TestTraceCharacter(t *testing.T) {
+	// Hadoop must skew large, Web small (the property Fig 8b relies on).
+	hadoop := PacketSampler(TraceHadoop).Mean()
+	web := PacketSampler(TraceWeb).Mean()
+	db := PacketSampler(TraceDB).Mean()
+	if hadoop < 1000 {
+		t.Fatalf("hadoop mean %v too small", hadoop)
+	}
+	if web > 600 {
+		t.Fatalf("web mean %v too large", web)
+	}
+	if db < web || db > hadoop {
+		t.Fatalf("db mean %v should sit between web and hadoop", db)
+	}
+}
+
+func TestWebFlowSizes(t *testing.T) {
+	d := WebFlowSizes()
+	rng := rand.New(rand.NewSource(1))
+	small, large := 0, 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := d.Sample(rng)
+		if v < 300 || v > 1e7 {
+			t.Fatalf("flow size %v out of range", v)
+		}
+		if v <= 10e3 {
+			small++
+		}
+		if v >= 1e6 {
+			large++
+		}
+	}
+	if frac := float64(small) / draws; frac < 0.55 || frac > 0.75 {
+		t.Fatalf("P(<=10KB) = %v, want ~0.65", frac)
+	}
+	if frac := float64(large) / draws; frac > 0.05 {
+		t.Fatalf("P(>=1MB) = %v, want <= 0.05 (heavy tail, not heavy body)", frac)
+	}
+}
+
+func TestNewIncast(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inc := NewIncast(rng, 100, 10, 450_000)
+	if len(inc.Backends) != 10 {
+		t.Fatalf("backends = %d", len(inc.Backends))
+	}
+	seen := map[int]bool{inc.Frontend: true}
+	for _, b := range inc.Backends {
+		if seen[b] {
+			t.Fatalf("duplicate node %d", b)
+		}
+		seen[b] = true
+	}
+	// Clamp: n >= nodes.
+	inc = NewIncast(rng, 5, 10, 1)
+	if len(inc.Backends) != 4 {
+		t.Fatalf("clamped backends = %d", len(inc.Backends))
+	}
+}
+
+func TestFlowArrivalsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	next := FlowArrivals(rng, 1000) // 1000 flows/s -> mean 1ms
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += next()
+	}
+	mean := sum / n
+	if mean < 0.0009 || mean > 0.0011 {
+		t.Fatalf("mean inter-arrival %v, want ~0.001", mean)
+	}
+}
+
+// Property: SplitFlow conserves bytes, respects the MTU, and only the last
+// packet is short.
+func TestPropertySplitFlow(t *testing.T) {
+	f := func(bytesRaw uint32, mtuRaw uint16) bool {
+		bytes := int64(bytesRaw % 10_000_000)
+		mtu := int(mtuRaw%9000) + 1
+		pkts := SplitFlow(bytes, mtu)
+		if bytes == 0 {
+			return len(pkts) == 0
+		}
+		var sum int64
+		for i, p := range pkts {
+			if p <= 0 || p > mtu {
+				return false
+			}
+			if i < len(pkts)-1 && p != mtu {
+				return false
+			}
+			sum += int64(p)
+		}
+		return sum == bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
