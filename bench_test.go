@@ -12,11 +12,44 @@ import (
 	"stardust/internal/device"
 	"stardust/internal/experiments"
 	"stardust/internal/fabricsim"
+	"stardust/internal/netsim"
 	"stardust/internal/queueing"
 	"stardust/internal/sim"
 	"stardust/internal/topo"
 	"stardust/internal/workload"
 )
+
+// BenchmarkPacketPath measures the per-packet cost (time and allocations)
+// of the netsim hot path: a saturated serialization queue draining into a
+// propagation pipe, a second queue, and a terminal counter. With the
+// packet free-list and the ring-buffer queue this path is allocation-free
+// in steady state.
+func BenchmarkPacketPath(b *testing.B) {
+	s := sim.New()
+	q1 := netsim.NewQueue(s, "q1", 100e9, 1<<20, 0)
+	q2 := netsim.NewQueue(s, "q2", 100e9, 1<<20, 0)
+	pipe := netsim.NewPipe(s, sim.Microsecond)
+	var sink netsim.Counter
+	route := []netsim.Handler{q1, pipe, q2, &sink}
+	pkt := 1500
+	gap := sim.Time(float64(pkt*8) / 100e9 * float64(sim.Second))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netsim.NewPacket()
+		p.Size = pkt
+		p.SetRoute(route)
+		s.AtAction(sim.Time(i)*gap, p, 0)
+		if s.Pending() > 512 {
+			s.RunUntil(sim.Time(i) * gap)
+		}
+	}
+	s.Run()
+	b.StopTimer()
+	if sink.Packets != uint64(b.N) {
+		b.Fatalf("delivered %d of %d packets", sink.Packets, b.N)
+	}
+}
 
 // BenchmarkFig2Scaling evaluates the Fig 2 scalability series: end hosts
 // vs tiers, and device/link counts for networks up to one million hosts.

@@ -1,47 +1,30 @@
 // Command stardust-fabric regenerates Fig 9: latency and queue-size
 // distributions of the two-tier cell fabric at several utilizations, with
-// the M/D/1 analytical reference.
+// the M/D/1 analytical reference. Each utilization is an independent
+// scenario instance, so -workers=N runs the sweep in parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"stardust/internal/experiments"
-	"stardust/internal/fabricsim"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
 	scale := flag.Int("scale", 4, "scale divisor of the 256-FA topology (1 = paper scale)")
 	util := flag.Float64("util", 0, "run a single utilization instead of the paper's set")
 	dist := flag.Bool("dist", false, "dump the full latency/queue distributions (TSV)")
+	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *dist && *util > 0 {
-		var cfg fabricsim.Config
-		if *scale <= 1 {
-			cfg = fabricsim.Fig9Config(*util)
-		} else {
-			cfg = fabricsim.Scaled(*util, *scale)
-		}
-		res, err := fabricsim.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println("# latency distribution (us, probability)")
-		res.Latency.WriteTSV(os.Stdout)
-		fmt.Println("# queue-size distribution (cells, probability)")
-		res.QueueHist.WriteTSV(os.Stdout)
-		return
+	p := engine.Params{
+		"scale": fmt.Sprint(*scale),
+		"dist":  fmt.Sprint(*dist),
 	}
-	var utils []float64
 	if *util > 0 {
-		utils = []float64{*util}
+		p["utils"] = fmt.Sprint(*util)
 	}
-	if err := experiments.WriteFig9(os.Stdout, *scale, utils); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	engine.Main(eng, []engine.Job{{Scenario: "fabric/fig9", Params: p}})
 }

@@ -1,17 +1,16 @@
 // Command stardust-htsim regenerates the §6.3 protocol comparison
 // (Fig 10a-c): permutation throughput, flow-completion times under
 // background load, and incast completion, for MPTCP, DCTCP, DCQCN and
-// Stardust.
+// Stardust. Each protocol (and incast fan-in) is an independent scenario
+// instance, so -workers=N runs them in parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
-	"stardust/internal/experiments"
-	"stardust/internal/sim"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
@@ -21,67 +20,24 @@ func main() {
 	protos := flag.String("protos", "all", "comma-separated protocols or all")
 	flows := flag.Int("flows", 100, "measured flows for -exp fct")
 	incastN := flag.String("incastN", "4,8,16,32", "backend counts for -exp incast")
+	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.DefaultHtsim()
-	cfg.K = *k
-	cfg.Duration = sim.Time(*durMs) * sim.Millisecond
-
-	var list []experiments.Protocol
-	if *protos == "all" {
-		list = experiments.Protocols
-	} else {
-		for _, p := range strings.Split(*protos, ",") {
-			list = append(list, experiments.Protocol(p))
-		}
+	base := engine.Params{
+		"k":      fmt.Sprint(*k),
+		"dur_ms": fmt.Sprint(*durMs),
+		"proto":  *protos,
 	}
-
+	var job engine.Job
 	switch *exp {
 	case "perm":
-		fmt.Printf("== Fig 10(a): permutation on a %d-host fat-tree (K=%d) ==\n", k3(*k), *k)
-		for _, p := range list {
-			r, err := experiments.Permutation(cfg, p)
-			if err != nil {
-				fatal(err)
-			}
-			experiments.WritePermutation(os.Stdout, r)
-		}
+		job = engine.Job{Scenario: "htsim/permutation", Params: base}
 	case "fct":
-		fmt.Printf("== Fig 10(b): Web-workload FCT under background load (K=%d) ==\n", *k)
-		for _, p := range list {
-			r, err := experiments.FCT(cfg, p, *flows)
-			if err != nil {
-				fatal(err)
-			}
-			experiments.WriteFCT(os.Stdout, r)
-		}
+		job = engine.Job{Scenario: "htsim/fct", Params: base.With("flows", fmt.Sprint(*flows))}
 	case "incast":
-		fmt.Printf("== Fig 10(c): incast, 450KB responses (K=%d) ==\n", *k)
-		var ns []int
-		for _, s := range strings.Split(*incastN, ",") {
-			var n int
-			fmt.Sscanf(s, "%d", &n)
-			if n > 0 {
-				ns = append(ns, n)
-			}
-		}
-		for _, p := range list {
-			for _, n := range ns {
-				r, err := experiments.Incast(cfg, p, n, 450_000)
-				if err != nil && r == nil {
-					fatal(err)
-				}
-				experiments.WriteIncast(os.Stdout, r)
-			}
-		}
+		job = engine.Job{Scenario: "htsim/incast", Params: base.With("n", *incastN)}
 	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		job = engine.Job{Scenario: "htsim/" + *exp, Params: base} // engine reports the unknown name
 	}
-}
-
-func k3(k int) int { return k * k * k / 4 }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	engine.Main(eng, []engine.Job{job})
 }

@@ -7,19 +7,21 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"stardust/internal/experiments"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
 	clock := flag.Float64("clock", 150e6, "datapath clock in Hz")
 	traces := flag.Bool("traces", true, "also print the Fig 8b trace mixes")
+	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	experiments.WriteFig8a(os.Stdout, *clock, nil)
+	p := engine.Params{"clock_hz": fmt.Sprintf("%.0f", *clock)}
+	jobs := []engine.Job{{Scenario: "pack/fig8a", Params: p}}
 	if *traces {
-		fmt.Println()
-		experiments.WriteFig8b(os.Stdout, *clock)
+		jobs = append(jobs, engine.Job{Scenario: "pack/fig8b", Params: p})
 	}
+	engine.Main(eng, jobs)
 }

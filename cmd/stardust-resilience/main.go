@@ -4,23 +4,19 @@
 package main
 
 import (
-	"fmt"
-	"os"
+	"flag"
 
-	"stardust/internal/experiments"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
-	experiments.WriteAppendixE(os.Stdout)
-	fmt.Println()
-	r, err := experiments.Recovery()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	experiments.WriteRecovery(os.Stdout, r)
-	fmt.Println()
-	experiments.WritePushPull(os.Stdout, experiments.PushPull(false))
-	fmt.Println()
-	experiments.WritePushPull(os.Stdout, experiments.PushPull(true))
+	eng := engine.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	engine.Main(eng, []engine.Job{
+		{Scenario: "scaling/appendixE"},
+		{Scenario: "fabric/recovery"},
+		{Scenario: "fabric/pushpull"},
+	})
 }

@@ -1,7 +1,7 @@
 // Command stardust-scale regenerates the paper's analytical tables and
 // figures: Fig 2 (scalability), Table 2 (element counts), Fig 3 (required
 // parallelism), Fig 10d (silicon area), Fig 11 (cost and power) and
-// Appendix E (resilience timing).
+// Appendix E (resilience timing), all through the scenario engine.
 package main
 
 import (
@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"os"
 
-	"stardust/internal/experiments"
-	"stardust/internal/topo"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
@@ -18,34 +18,28 @@ func main() {
 	k := flag.Int("k", 8, "switch radix for -fig table2")
 	t := flag.Int("t", 4, "ToR uplink ports for -fig table2")
 	l := flag.Int("l", 2, "links per bundle for -fig table2")
+	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	w := os.Stdout
-	show := func(name string) bool { return *fig == "all" || *fig == name }
-	if show("2") {
-		experiments.WriteFig2(w)
-		fmt.Fprintln(w)
+	table2 := engine.Job{Scenario: "scaling/table2", Params: engine.Params{
+		"k": fmt.Sprint(*k), "t": fmt.Sprint(*t), "l": fmt.Sprint(*l),
+	}}
+	byFig := map[string]engine.Job{
+		"2":      {Scenario: "scaling/fig2"},
+		"table2": table2,
+		"3":      {Scenario: "scaling/fig3"},
+		"10d":    {Scenario: "scaling/fig10d"},
+		"11":     {Scenario: "scaling/fig11"},
+		"appE":   {Scenario: "scaling/appendixE"},
 	}
-	if show("table2") {
-		experiments.WriteTable2(w, topo.Params{K: *k, T: *t, L: *l})
-		fmt.Fprintln(w)
+	var jobs []engine.Job
+	if *fig == "all" {
+		jobs = []engine.Job{byFig["2"], table2, byFig["3"], byFig["10d"], byFig["11"], byFig["appE"]}
+	} else if job, ok := byFig[*fig]; ok {
+		jobs = []engine.Job{job}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
 	}
-	if show("3") {
-		experiments.WriteFig3(w, nil)
-		fmt.Fprintln(w)
-	}
-	if show("10d") {
-		experiments.WriteFig10d(w)
-		fmt.Fprintln(w)
-	}
-	if show("11") {
-		if err := experiments.WriteFig11(w, nil); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(w)
-	}
-	if show("appE") {
-		experiments.WriteAppendixE(w)
-	}
+	engine.Main(eng, jobs)
 }

@@ -1,15 +1,16 @@
 // Command stardust-system regenerates the §6.1.2 single-tier system
 // measurement: line rate and latency versus packet size on an
 // Arista-7500E-style platform of Fabric Adapters and Fabric Elements.
+// Each packet size is an independent scenario instance, so -workers=N
+// runs the sweep in parallel.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"stardust/internal/experiments"
-	"stardust/internal/sim"
+	"stardust/internal/engine"
+	_ "stardust/internal/scenarios"
 )
 
 func main() {
@@ -17,17 +18,15 @@ func main() {
 	ports := flag.Int("ports", 16, "host ports per adapter")
 	packing := flag.Bool("packing", false, "enable packet packing (Arad: off)")
 	durUs := flag.Int("dur", 300, "measurement duration per size in us")
+	sizes := flag.String("sizes", "64,128,256,384,512,1024,1518", "comma-separated packet sizes")
+	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.ScaledArista()
-	cfg.NumFA = *numFA
-	cfg.PortsPerFA = *ports
-	cfg.Packing = *packing
-	cfg.Duration = sim.Time(*durUs) * sim.Microsecond
-	rows, err := experiments.Arista(cfg, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	experiments.WriteArista(os.Stdout, cfg, rows)
+	engine.Main(eng, []engine.Job{{Scenario: "system/arista", Params: engine.Params{
+		"fa":      fmt.Sprint(*numFA),
+		"ports":   fmt.Sprint(*ports),
+		"packing": fmt.Sprint(*packing),
+		"dur_us":  fmt.Sprint(*durUs),
+		"sizes":   *sizes,
+	}}})
 }

@@ -1,0 +1,3 @@
+module stardust
+
+go 1.24

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Emit writes results to w in the given format ("text", "json" or
+// "csv"; "" means text). The byte stream is fully determined by the
+// results' order and contents — never by timing — so identical jobs and
+// seeds emit identical bytes at any worker count.
+func Emit(w io.Writer, format string, results []RunResult) error {
+	switch format {
+	case "", "text":
+		return emitText(w, results)
+	case "json":
+		return emitJSON(w, results)
+	case "csv":
+		return emitCSV(w, results)
+	}
+	return fmt.Errorf("engine: unknown format %q (want text, json or csv)", format)
+}
+
+// emitText prints each instance's preformatted report, with a scenario
+// header whenever the scenario changes (so a per-protocol sweep reads as
+// one table under one heading).
+func emitText(w io.Writer, results []RunResult) error {
+	prev := ""
+	for _, r := range results {
+		if r.Name != prev {
+			if prev != "" {
+				fmt.Fprintln(w)
+			}
+			desc := ""
+			if sc, err := Lookup(r.Name); err == nil {
+				desc = sc.Desc
+			}
+			fmt.Fprintf(w, "== %s: %s ==\n", r.Name, desc)
+			prev = r.Name
+		}
+		if r.Err != nil {
+			fmt.Fprintf(w, "ERROR [%s]: %v\n", r.Params, r.Err)
+			continue
+		}
+		if _, err := io.WriteString(w, r.Result.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonResult is the stable JSON shape of one instance.
+type jsonResult struct {
+	Scenario string            `json:"scenario"`
+	Params   map[string]string `json:"params,omitempty"` // keys sorted by encoding/json
+	Seed     int64             `json:"seed"`
+	Metrics  []Metric          `json:"metrics,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+func emitJSON(w io.Writer, results []RunResult) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		jr := jsonResult{
+			Scenario: r.Name,
+			Params:   r.Params,
+			Seed:     r.Seed,
+			Metrics:  r.Result.Metrics,
+		}
+		if r.Err != nil {
+			jr.Error = r.Err.Error()
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitCSV writes long-format rows: scenario, params, seed, metric, value,
+// unit. One row per metric keeps heterogeneous scenarios in one table.
+func emitCSV(w io.Writer, results []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "params", "seed", "metric", "value", "unit"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		ps := r.Params.String()
+		seed := strconv.FormatInt(r.Seed, 10)
+		if r.Err != nil {
+			if err := cw.Write([]string{r.Name, ps, seed, "error", "0", r.Err.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, m := range r.Result.Metrics {
+			val := strconv.FormatFloat(m.Value, 'g', -1, 64)
+			if err := cw.Write([]string{r.Name, ps, seed, m.Name, val, m.Unit}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

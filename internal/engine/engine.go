@@ -1,0 +1,202 @@
+// Package engine is the unified scenario engine: every experiment in the
+// repository (the htsim protocol comparison, the cell-fabric simulation,
+// the single-tier system measurement, the analytical scaling figures, …)
+// is declared once as a Scenario in a global registry and executed through
+// one parallel runner.
+//
+// A Scenario is a named, parameterized unit of work. The runner expands
+// requested scenarios into independent instances (per-protocol,
+// per-utilization, per-packet-size sweep points), fans them across a
+// worker pool — each instance builds its own sim.Simulator, so per-run
+// determinism is preserved bit-for-bit — and emits results in request
+// order as text, JSON or CSV. Wall-clock timing goes to a separate writer
+// so the result stream itself is byte-identical across runs and worker
+// counts.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params carries scenario parameters as strings (the flag-friendly common
+// denominator) with typed accessors. A missing key falls back to the
+// scenario's registered default, then to the accessor's fallback.
+type Params map[string]string
+
+// Clone returns a deep copy.
+func (p Params) Clone() Params {
+	q := make(Params, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// Merge returns a copy of p with over's entries applied on top.
+func (p Params) Merge(over Params) Params {
+	q := p.Clone()
+	for k, v := range over {
+		q[k] = v
+	}
+	return q
+}
+
+// With returns a copy of p with one key set.
+func (p Params) With(key, val string) Params {
+	q := p.Clone()
+	q[key] = val
+	return q
+}
+
+// Str returns the string value of key, or def when absent/empty.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer value of key, or def when absent or malformed.
+func (p Params) Int(key string, def int) int {
+	if v, ok := p[key]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Int64 returns the int64 value of key, or def.
+func (p Params) Int64(key string, def int64) int64 {
+	if v, ok := p[key]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Float returns the float value of key, or def.
+func (p Params) Float(key string, def float64) float64 {
+	if v, ok := p[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// Bool returns the boolean value of key, or def.
+func (p Params) Bool(key string, def bool) bool {
+	if v, ok := p[key]; ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+	}
+	return def
+}
+
+// Ints splits a comma-separated list of integers; malformed or
+// non-positive entries are skipped. Returns def when the key is absent.
+func (p Params) Ints(key string, def []int) []int {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return def
+	}
+	var out []int
+	for _, s := range strings.Split(v, ",") {
+		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// Floats splits a comma-separated list of floats. Returns def when the
+// key is absent.
+func (p Params) Floats(key string, def []float64) []float64 {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return def
+	}
+	var out []float64
+	for _, s := range strings.Split(v, ",") {
+		if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+// String renders the params as "k=v k=v" with sorted keys (deterministic).
+func (p Params) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, p[k])
+	}
+	return b.String()
+}
+
+// Context is handed to a Scenario's Run with the fully resolved instance
+// parameters and the seed for this run.
+type Context struct {
+	Params Params
+	Seed   int64
+}
+
+// Metric is one named scalar of a scenario outcome; the ordered metric
+// list is the structured (JSON/CSV) face of a result.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Result is what a scenario instance produces: an ordered list of metrics
+// for structured emission plus a preformatted human-readable report.
+type Result struct {
+	Metrics []Metric `json:"metrics,omitempty"`
+	Text    string   `json:"-"`
+}
+
+// Add appends a metric and returns the result for chaining.
+func (r *Result) Add(name string, value float64, unit string) *Result {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+	return r
+}
+
+// Scenario declares one registered experiment.
+type Scenario struct {
+	// Name identifies the scenario, conventionally "family/figure"
+	// (e.g. "htsim/permutation", "fabric/fig9", "scaling/fig2").
+	Name string
+	// Desc is a one-line description shown by -list and as the text
+	// header.
+	Desc string
+	// Defaults documents the accepted parameters and their default
+	// values; requested params are merged on top.
+	Defaults Params
+	// Variants optionally expands one requested instance into several
+	// (one per protocol, per sweep point, …). The runner executes each
+	// variant as an independent parallel instance. nil = run as-is.
+	Variants func(p Params) []Params
+	// Run executes one instance.
+	Run func(c Context) (Result, error)
+}

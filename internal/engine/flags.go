@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Flags bundles the engine options every cmd binary shares. Bind them
+// onto a FlagSet with AddFlags, then hand the parsed value to Main.
+type Flags struct {
+	Workers int
+	Format  string
+	Seed    int64
+	List    bool
+	Timings bool
+}
+
+// AddFlags registers the common engine flags on fs and returns the
+// destination struct.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Workers, "workers", 0, "parallel scenario instances (0 = all CPUs)")
+	fs.StringVar(&f.Format, "format", "text", "output format: text, json, csv")
+	fs.Int64Var(&f.Seed, "seed", 1, "base RNG seed (same seed => byte-identical output)")
+	fs.BoolVar(&f.List, "list", false, "list registered scenarios and exit")
+	fs.BoolVar(&f.Timings, "timings", false, "print a wall-clock summary to stderr")
+	return f
+}
+
+// Options converts the parsed flags into runner options writing to
+// stdout (results) and stderr (timings).
+func (f *Flags) Options() Options {
+	o := Options{
+		Workers: f.Workers,
+		Seed:    f.Seed,
+		Format:  f.Format,
+		Out:     os.Stdout,
+	}
+	if f.Timings {
+		o.Timing = os.Stderr
+	}
+	return o
+}
+
+// WriteRegistry prints the scenario registry: name, description and the
+// accepted parameters with their defaults.
+func WriteRegistry(w io.Writer) {
+	for _, sc := range List() {
+		fmt.Fprintf(w, "%-20s %s\n", sc.Name, sc.Desc)
+		if len(sc.Defaults) > 0 {
+			keys := make([]string, 0, len(sc.Defaults))
+			for k := range sc.Defaults {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "%-20s params:", "")
+			for _, k := range keys {
+				fmt.Fprintf(w, " %s=%s", k, sc.Defaults[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Main is the shared entry point of the cmd binaries: it honors -list,
+// runs the jobs with the common options, and exits non-zero on failure.
+func Main(f *Flags, jobs []Job) {
+	if f.List {
+		WriteRegistry(os.Stdout)
+		return
+	}
+	if _, err := Run(f.Options(), jobs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The global scenario registry. Registration happens in package init
+// functions (internal/scenarios); lookups happen from cmd binaries and
+// tests. The mutex makes the registry safe for parallel tests.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]*Scenario)
+)
+
+// Register adds a scenario to the global registry. It panics on a
+// duplicate or malformed registration — both are programmer errors.
+func Register(s Scenario) {
+	if s.Name == "" || s.Run == nil {
+		panic("engine: scenario needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("engine: duplicate scenario " + s.Name)
+	}
+	sc := s
+	registry[s.Name] = &sc
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (*Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sc, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown scenario %q (run with -list to see the registry)", name)
+	}
+	return sc, nil
+}
+
+// List returns all registered scenarios sorted by name.
+func List() []*Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Match resolves a pattern to scenario names, sorted. A pattern is an
+// exact name, a family prefix ("htsim" matches "htsim/*"), or a
+// path.Match glob ("fabric/*", "*/fig*").
+func Match(pattern string) ([]string, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if _, ok := registry[pattern]; ok {
+		return []string{pattern}, nil
+	}
+	var names []string
+	for name := range registry {
+		if strings.HasPrefix(name, pattern+"/") {
+			names = append(names, name)
+			continue
+		}
+		if ok, err := path.Match(pattern, name); err == nil && ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("engine: no scenario matches %q", pattern)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job requests one scenario run. Params are merged over the scenario's
+// defaults; the scenario's Variants hook may then expand the job into
+// several instances (e.g. one per protocol).
+type Job struct {
+	Scenario string
+	Params   Params
+	Seed     int64 // 0 = use Options.Seed
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers sets the worker-pool width; <= 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the base seed for jobs that don't carry their own.
+	Seed int64
+	// Format selects the emission format: "text", "json" or "csv".
+	Format string
+	// Out receives the emitted results (deterministic byte stream).
+	Out io.Writer
+	// Timing, when non-nil, receives a wall-clock summary. It is kept
+	// separate from Out so the result stream stays byte-identical across
+	// runs and worker counts.
+	Timing io.Writer
+}
+
+// RunResult is the outcome of one scenario instance.
+type RunResult struct {
+	Name    string
+	Params  Params
+	Seed    int64
+	Result  Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// instance is one unit of parallel work after variant expansion.
+type instance struct {
+	sc     *Scenario
+	params Params
+	seed   int64
+}
+
+// expand resolves jobs against the registry and applies variant
+// expansion, preserving request order.
+func expand(opts Options, jobs []Job) ([]instance, error) {
+	var insts []instance
+	for _, j := range jobs {
+		sc, err := Lookup(j.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		base := Params{}
+		if sc.Defaults != nil {
+			base = sc.Defaults.Clone()
+		}
+		if j.Params != nil {
+			base = base.Merge(j.Params)
+		}
+		seed := j.Seed
+		if seed == 0 {
+			seed = opts.Seed
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		variants := []Params{base}
+		if sc.Variants != nil {
+			if v := sc.Variants(base); len(v) > 0 {
+				variants = v
+			}
+		}
+		for _, p := range variants {
+			insts = append(insts, instance{sc: sc, params: p, seed: seed})
+		}
+	}
+	return insts, nil
+}
+
+// Run expands jobs into instances, executes them on a worker pool, emits
+// the results to opts.Out in request order, and returns them. Instances
+// are independent simulations (each builds its own sim.Simulator), so the
+// same jobs with the same seed produce a byte-identical Out stream at any
+// worker count. The returned error is the first instance error, if any;
+// all instances run regardless.
+func Run(opts Options, jobs []Job) ([]RunResult, error) {
+	insts, err := expand(opts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]RunResult, len(insts))
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				in := insts[i]
+				t0 := time.Now()
+				res, err := runInstance(in)
+				results[i] = RunResult{
+					Name:    in.sc.Name,
+					Params:  in.params,
+					Seed:    in.seed,
+					Result:  res,
+					Err:     err,
+					Elapsed: time.Since(t0),
+				}
+			}
+		}()
+	}
+	for i := range insts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if opts.Out != nil {
+		if err := Emit(opts.Out, opts.Format, results); err != nil {
+			return results, err
+		}
+	}
+	if opts.Timing != nil {
+		var busy time.Duration
+		for _, r := range results {
+			busy += r.Elapsed
+		}
+		fmt.Fprintf(opts.Timing, "engine: %d instance(s) on %d worker(s): %v wall, %v cpu-busy\n",
+			len(results), workers, wall.Round(time.Millisecond), busy.Round(time.Millisecond))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("engine: %s (%s): %w", r.Name, r.Params, r.Err)
+		}
+	}
+	return results, nil
+}
+
+// runInstance executes one instance, converting a panic in scenario code
+// into an error so one bad instance cannot take down a sweep.
+func runInstance(in instance) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario panicked: %v", r)
+		}
+	}()
+	return in.sc.Run(Context{Params: in.params, Seed: in.seed})
+}

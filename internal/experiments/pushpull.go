@@ -40,7 +40,9 @@ func constSource(s *sim.Simulator, rate netsim.Bps, size int, route []netsim.Han
 		if s.Now() >= until {
 			return
 		}
-		p := &netsim.Packet{Size: size, Flow: tag}
+		p := netsim.NewPacket()
+		p.Size = size
+		p.Flow = tag
 		p.SetRoute(route)
 		p.SendOn()
 		jitter := 1 + 0.06*(rng.Float64()-0.5)

@@ -5,10 +5,17 @@
 // selection. Transport endpoints (TCP NewReno, DCTCP, DCQCN, MPTCP and the
 // Stardust Fabric Adapter model) live in package tcp and netsim's
 // stardust.go.
+//
+// The packet hot path is allocation-free in steady state: packets come
+// from a shared free list (NewPacket/Release), queues buffer them in
+// ring buffers that reuse their backing arrays under sustained load, and
+// queue draining and pipe propagation schedule pre-bound sim.Actions
+// instead of closures.
 package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"stardust/internal/sim"
 )
@@ -23,6 +30,10 @@ type Handler interface {
 
 // Packet is the unit moved through the simulated network. A packet carries
 // its forward route and advances itself hop by hop.
+//
+// Packets are pooled: obtain them with NewPacket and hand them back with
+// Release at the end of their life (terminal endpoints and dropping queues
+// do this). A released packet must not be touched again.
 type Packet struct {
 	Size  int   // bytes on the wire
 	Seq   int64 // first byte carried (data) / echoed cumulative ack (ACK)
@@ -32,6 +43,20 @@ type Packet struct {
 	Flow  any  // owning endpoint state (opaque to the network)
 	route []Handler
 	hop   int
+}
+
+// packetPool is the shared free list. It is safe for concurrent use, so
+// simulations running in parallel worker goroutines share one pool.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed packet from the shared free list.
+func NewPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// Release zeroes p and returns it to the free list. The caller must hold
+// the only live reference.
+func (p *Packet) Release() {
+	*p = Packet{}
+	packetPool.Put(p)
 }
 
 // SetRoute installs the forward route and resets the hop cursor.
@@ -52,6 +77,77 @@ func (p *Packet) SendOn() {
 	h.Receive(p)
 }
 
+// Act implements sim.Action so pipes and queues can schedule a packet's
+// next hop without allocating a closure.
+func (p *Packet) Act(uint64) { p.SendOn() }
+
+// pktRing is a growable circular buffer of packets. Unlike an
+// append-and-shift slice it reuses its backing array under sustained load:
+// the array only grows when more packets are simultaneously queued than
+// ever before.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = p
+	r.n++
+}
+
+// pop removes and returns the oldest packet, or nil.
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return p
+}
+
+// popTail removes and returns the newest packet, or nil.
+func (r *pktRing) popTail() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	i := r.head + r.n - 1
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	p := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	buf := make([]*Packet, max(16, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		buf[i] = r.buf[j]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
 // Queue is a store-and-forward output queue draining at a fixed rate, with
 // tail-drop at MaxBytes and optional ECN marking above ECNThreshBytes
 // (instantaneous queue, DCTCP-style).
@@ -62,8 +158,8 @@ type Queue struct {
 	MaxBytes       int
 	ECNThreshBytes int // 0 disables marking
 
-	q     []*Packet
-	head  int
+	ring  pktRing
+	cur   *Packet // packet currently serializing onto the wire
 	bytes int
 	busy  bool
 
@@ -93,43 +189,39 @@ func (q *Queue) Bytes() int { return q.bytes }
 func (q *Queue) Receive(p *Packet) {
 	if q.bytes+p.Size > q.MaxBytes {
 		q.Drops++
+		p.Release()
 		return
 	}
 	if q.ECNThreshBytes > 0 && q.bytes >= q.ECNThreshBytes {
 		p.CE = true
 		q.Marks++
 	}
-	q.q = append(q.q, p)
 	q.bytes += p.Size
 	if q.bytes > q.PeakBytes {
 		q.PeakBytes = q.bytes
 	}
-	if !q.busy {
-		q.busy = true
-		q.serve()
-	}
-}
-
-func (q *Queue) serve() {
-	if q.head >= len(q.q) {
-		q.q = q.q[:0]
-		q.head = 0
-		q.busy = false
+	if q.busy {
+		q.ring.push(p)
 		return
 	}
-	p := q.q[q.head]
-	q.q[q.head] = nil
-	q.head++
-	if q.head > 256 && q.head*2 >= len(q.q) {
-		q.q = append(q.q[:0], q.q[q.head:]...)
-		q.head = 0
+	q.busy = true
+	q.cur = p
+	q.Sim.AfterAction(q.txTime(p.Size), q, 0)
+}
+
+// Act implements sim.Action: the current packet finished serializing.
+func (q *Queue) Act(uint64) {
+	p := q.cur
+	q.cur = nil
+	q.bytes -= p.Size
+	q.Forwarded++
+	p.SendOn() // p may be released downstream; do not touch it again
+	if next := q.ring.pop(); next != nil {
+		q.cur = next
+		q.Sim.AfterAction(q.txTime(next.Size), q, 0)
+		return
 	}
-	q.Sim.After(q.txTime(p.Size), func() {
-		q.bytes -= p.Size
-		q.Forwarded++
-		p.SendOn()
-		q.serve()
-	})
+	q.busy = false
 }
 
 // Pipe is a pure propagation delay.
@@ -143,7 +235,7 @@ func NewPipe(s *sim.Simulator, delay sim.Time) *Pipe { return &Pipe{Sim: s, Dela
 
 // Receive implements Handler.
 func (p *Pipe) Receive(pkt *Packet) {
-	p.Sim.After(p.Delay, pkt.SendOn)
+	p.Sim.AfterAction(p.Delay, pkt, 0)
 }
 
 // HandlerFunc adapts a function to the Handler interface.
@@ -153,7 +245,7 @@ type HandlerFunc func(*Packet)
 func (f HandlerFunc) Receive(p *Packet) { f(p) }
 
 // Counter is a terminal handler counting packets and bytes (a debugging
-// sink).
+// sink). It releases delivered packets back to the free list.
 type Counter struct {
 	Packets uint64
 	Bytes   uint64
@@ -163,6 +255,7 @@ type Counter struct {
 func (c *Counter) Receive(p *Packet) {
 	c.Packets++
 	c.Bytes += uint64(p.Size)
+	p.Release()
 }
 
 func (q *Queue) String() string {

@@ -15,9 +15,11 @@ type PriorityQueue struct {
 	// Classify returns the band (0 = high, 1 = low) for a packet.
 	Classify func(*Packet) int
 
-	bands [2][]*Packet
-	bytes int
-	busy  bool
+	bands   [2]pktRing
+	cur     *Packet
+	curBand int
+	bytes   int
+	busy    bool
 
 	Drops     [2]uint64
 	Forwarded [2]uint64
@@ -28,6 +30,10 @@ func NewPriorityQueue(s *sim.Simulator, name string, rate Bps, maxBytes int, cla
 	return &PriorityQueue{Name: name, Sim: s, Rate: rate, MaxBytes: maxBytes, Classify: classify}
 }
 
+func (q *PriorityQueue) txTime(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / float64(q.Rate) * float64(sim.Second))
+}
+
 // Receive implements Handler.
 func (q *PriorityQueue) Receive(p *Packet) {
 	band := 0
@@ -35,48 +41,45 @@ func (q *PriorityQueue) Receive(p *Packet) {
 		band = q.Classify(p) & 1
 	}
 	if q.bytes+p.Size > q.MaxBytes {
-		// Evict queued low-priority bytes for an arriving high.
+		// Evict queued low-priority bytes for an arriving high, newest
+		// first (the in-service packet is never evicted).
 		if band == 0 {
-			for len(q.bands[1]) > 0 && q.bytes+p.Size > q.MaxBytes {
-				victim := q.bands[1][len(q.bands[1])-1]
-				q.bands[1] = q.bands[1][:len(q.bands[1])-1]
+			for q.bands[1].len() > 0 && q.bytes+p.Size > q.MaxBytes {
+				victim := q.bands[1].popTail()
 				q.bytes -= victim.Size
 				q.Drops[1]++
+				victim.Release()
 			}
 		}
 		if q.bytes+p.Size > q.MaxBytes {
 			q.Drops[band]++
+			p.Release()
 			return
 		}
 	}
-	q.bands[band] = append(q.bands[band], p)
 	q.bytes += p.Size
-	if !q.busy {
-		q.busy = true
-		q.serve()
-	}
-}
-
-func (q *PriorityQueue) serve() {
-	var p *Packet
-	var band int
-	for b := 0; b < 2; b++ {
-		if len(q.bands[b]) > 0 {
-			p = q.bands[b][0]
-			q.bands[b] = q.bands[b][1:]
-			band = b
-			break
-		}
-	}
-	if p == nil {
-		q.busy = false
+	if q.busy {
+		q.bands[band].push(p)
 		return
 	}
-	tx := sim.Time(float64(p.Size*8) / float64(q.Rate) * float64(sim.Second))
-	q.Sim.After(tx, func() {
-		q.bytes -= p.Size
-		q.Forwarded[band]++
-		p.SendOn()
-		q.serve()
-	})
+	q.busy = true
+	q.cur, q.curBand = p, band
+	q.Sim.AfterAction(q.txTime(p.Size), q, 0)
+}
+
+// Act implements sim.Action: the current packet finished serializing.
+func (q *PriorityQueue) Act(uint64) {
+	p, band := q.cur, q.curBand
+	q.cur = nil
+	q.bytes -= p.Size
+	q.Forwarded[band]++
+	p.SendOn() // p may be released downstream; do not touch it again
+	for b := 0; b < 2; b++ {
+		if next := q.bands[b].pop(); next != nil {
+			q.cur, q.curBand = next, b
+			q.Sim.AfterAction(q.txTime(next.Size), q, 0)
+			return
+		}
+	}
+	q.busy = false
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"stardust/internal/sched"
 	"stardust/internal/sim"
@@ -76,8 +77,10 @@ type StardustNet struct {
 	port      []*Queue // per host: egress port
 	hostUp    []*Queue // per host: NIC into the source FA
 	fabric    *Pipe
+	reasmH    HandlerFunc // shared terminal handler for cells
 
 	scheds  []*sched.PortScheduler // per destination host
+	credits []creditDelivery       // per destination host (sim.Action)
 	timers  []*sim.Timer
 	voqs    map[voqKey]*stardustVOQ
 	nextVID uint16
@@ -109,6 +112,7 @@ func NewStardustNet(s *sim.Simulator, cfg StardustConfig, hosts, hostsPer int) (
 		fabric:   NewPipe(s, sim.Time(cfg.FabricHops)*cfg.LinkDelay),
 		voqs:     make(map[voqKey]*stardustVOQ),
 	}
+	n.reasmH = n.reassemble
 	edges := hosts / hostsPer
 	for e := 0; e < edges; e++ {
 		n.upTrunk = append(n.upTrunk, NewQueue(s, fmt.Sprintf("sd-up%d", e), cfg.TrunkRate, cfg.TrunkBytes, 0))
@@ -124,9 +128,11 @@ func NewStardustNet(s *sim.Simulator, cfg StardustConfig, hosts, hostsPer int) (
 		})
 		n.scheds = append(n.scheds, sc)
 	}
+	n.credits = make([]creditDelivery, hosts)
 	// Credit generation loops, one per destination host port.
 	for h := 0; h < hosts; h++ {
 		h := h
+		n.credits[h] = creditDelivery{net: n, dst: h}
 		tmr := sim.NewTimer(s)
 		n.timers = append(n.timers, tmr)
 		var loop func()
@@ -140,19 +146,33 @@ func NewStardustNet(s *sim.Simulator, cfg StardustConfig, hosts, hostsPer int) (
 			}
 			if c, ok := sc.NextCredit(); ok {
 				n.CreditsSent++
-				k := voqKey{src: int(c.To.SrcFA), dst: h}
-				bytes := c.Bytes
-				s.After(n.Cfg.CtrlDelay, func() {
-					if v := n.voqs[k]; v != nil {
-						v.grant(bytes)
-					}
-				})
+				// Pack (source host, credit bytes) into the action arg so
+				// delivering a credit does not allocate.
+				arg := uint64(c.To.SrcFA)<<32 | uint64(uint32(c.Bytes))
+				s.AfterAction(n.Cfg.CtrlDelay, &n.credits[h], arg)
 			}
 			tmr.Arm(sc.CreditInterval(), loop)
 		}
 		tmr.Arm(n.scheds[h].CreditInterval(), loop)
 	}
 	return n, nil
+}
+
+// creditDelivery delivers a granted credit to the source VOQ after the
+// control-plane delay; it implements sim.Action with the source host and
+// byte count packed into the arg.
+type creditDelivery struct {
+	net *StardustNet
+	dst int
+}
+
+// Act implements sim.Action.
+func (c *creditDelivery) Act(arg uint64) {
+	src := int(arg >> 32)
+	bytes := int64(uint32(arg))
+	if v := c.net.voqs[voqKey{src: src, dst: c.dst}]; v != nil {
+		v.grant(bytes)
+	}
 }
 
 // edge returns the edge device of a host.
@@ -176,6 +196,8 @@ func (n *StardustNet) voq(src, dst int) *stardustVOQ {
 	v := &stardustVOQ{
 		net: n, key: k, id: n.nextVID,
 	}
+	// The cell route across the fabric is fixed per VOQ; build it once.
+	v.cellRoute = []Handler{n.upTrunk[n.edge(src)], n.fabric, n.downTrunk[n.edge(dst)], n.reasmH}
 	n.voqs[k] = v
 	return v
 }
@@ -218,19 +240,20 @@ type stardustVOQ struct {
 	key voqKey
 	id  uint16
 
-	q       []*Packet
-	bytes   int64
-	credit  int64
-	pending bool // request outstanding at the scheduler
+	q         pktRing
+	bytes     int64
+	credit    int64
+	cellRoute []Handler
 }
 
 // Receive implements Handler: a packet arrives from the host NIC.
 func (v *stardustVOQ) Receive(p *Packet) {
 	if v.bytes+int64(p.Size) > int64(v.net.Cfg.VOQBytes) {
 		v.net.VOQDrops++
+		p.Release()
 		return // ingress tail-drop, as a ToR would (§3.1)
 	}
-	v.q = append(v.q, p)
+	v.q.push(p)
 	v.bytes += int64(p.Size)
 	v.refreshRequest()
 	// Consume any banked credit immediately.
@@ -239,12 +262,17 @@ func (v *stardustVOQ) Receive(p *Packet) {
 	}
 }
 
+// refreshRequest advertises the current backlog to the destination port's
+// scheduler after the control-plane delay. The VOQ itself is the scheduled
+// action with the backlog in the arg, so requesting does not allocate.
 func (v *stardustVOQ) refreshRequest() {
-	k := v.key
-	backlog := v.bytes
-	v.net.Sim.After(v.net.Cfg.CtrlDelay, func() {
-		v.net.scheds[k.dst].Request(sched.Requester{SrcFA: uint16(k.src), TC: 0}, backlog)
-	})
+	v.net.Sim.AfterAction(v.net.Cfg.CtrlDelay, v, uint64(v.bytes))
+}
+
+// Act implements sim.Action: the backlog advertisement arrives at the
+// destination scheduler.
+func (v *stardustVOQ) Act(backlog uint64) {
+	v.net.scheds[v.key.dst].Request(sched.Requester{SrcFA: uint16(v.key.src), TC: 0}, int64(backlog))
 }
 
 func (v *stardustVOQ) grant(bytes int64) {
@@ -257,14 +285,13 @@ func (v *stardustVOQ) grant(bytes int64) {
 // as cells across the fabric (§3.4 packing: the batch is fragmented as one
 // unit; we account the cell-header tax on each cell).
 func (v *stardustVOQ) release() {
-	for v.credit > 0 && len(v.q) > 0 {
-		p := v.q[0]
-		v.q = v.q[1:]
+	for v.credit > 0 && v.q.len() > 0 {
+		p := v.q.pop()
 		v.bytes -= int64(p.Size)
 		v.credit -= int64(p.Size)
 		v.ship(p)
 	}
-	if len(v.q) == 0 && v.credit > 0 {
+	if v.q.len() == 0 && v.credit > 0 {
 		v.credit = 0 // unused credit on an empty VOQ is forfeited
 	}
 }
@@ -275,24 +302,23 @@ type reasmState struct {
 	remaining int
 }
 
-// cellRef is the Flow payload of a cell packet.
-type cellRef struct {
-	state *reasmState
-}
+var reasmPool = sync.Pool{New: func() any { return new(reasmState) }}
 
 func (v *stardustVOQ) ship(p *Packet) {
 	n := v.net
 	payload := n.Cfg.CellBytes - n.Cfg.CellHeader
-	state := &reasmState{orig: p, remaining: p.Size}
-	src, dst := n.edge(v.key.src), n.edge(v.key.dst)
-	route := []Handler{n.upTrunk[src], n.fabric, n.downTrunk[dst], HandlerFunc(n.reassemble)}
+	state := reasmPool.Get().(*reasmState)
+	state.orig = p
+	state.remaining = p.Size
 	for sent := 0; sent < p.Size; sent += payload {
 		chunk := payload
 		if sent+chunk > p.Size {
 			chunk = p.Size - sent
 		}
-		c := &Packet{Size: chunk + n.Cfg.CellHeader, Flow: cellRef{state: state}}
-		c.SetRoute(route)
+		c := NewPacket()
+		c.Size = chunk + n.Cfg.CellHeader
+		c.Flow = state
+		c.SetRoute(v.cellRoute)
 		n.CellsSent++
 		c.SendOn()
 	}
@@ -302,12 +328,17 @@ func (v *stardustVOQ) ship(p *Packet) {
 // packet arrives, the original packet continues on its route (egress port
 // queue, then the endpoint).
 func (n *StardustNet) reassemble(c *Packet) {
-	ref, ok := c.Flow.(cellRef)
+	state, ok := c.Flow.(*reasmState)
 	if !ok {
 		return
 	}
-	ref.state.remaining -= c.Size - n.Cfg.CellHeader
-	if ref.state.remaining <= 0 {
-		ref.state.orig.SendOn()
+	payload := c.Size - n.Cfg.CellHeader
+	c.Release()
+	state.remaining -= payload
+	if state.remaining <= 0 {
+		orig := state.orig
+		state.orig = nil
+		reasmPool.Put(state)
+		orig.SendOn()
 	}
 }

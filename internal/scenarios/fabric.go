@@ -1,0 +1,122 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"stardust/internal/engine"
+	"stardust/internal/experiments"
+	"stardust/internal/fabricsim"
+	"stardust/internal/queueing"
+)
+
+func init() {
+	engine.Register(engine.Scenario{
+		Name: "fabric/fig9",
+		Desc: "Fig 9 two-tier cell fabric: latency and queue distributions vs utilization",
+		Defaults: engine.Params{
+			"scale": "4", "utils": "0.66,0.8,0.92,0.95,1.2", "dist": "false",
+		},
+		Variants: func(p engine.Params) []engine.Params {
+			var out []engine.Params
+			for _, u := range p.Floats("utils", []float64{0.8}) {
+				out = append(out, p.With("util", fmt.Sprintf("%g", u)))
+			}
+			return out
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			util := c.Params.Float("util", 0.8)
+			scale := c.Params.Int("scale", 4)
+			var cfg fabricsim.Config
+			if scale <= 1 {
+				cfg = fabricsim.Fig9Config(util)
+			} else {
+				cfg = fabricsim.Scaled(util, scale)
+			}
+			cfg.Seed = c.Seed
+			r, err := fabricsim.Run(cfg)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			res.Add("lat_p50_us", r.Latency.Quantile(0.5), "us")
+			res.Add("lat_p99_us", r.Latency.Quantile(0.99), "us")
+			res.Add("lat_p999_us", r.Latency.Quantile(0.999), "us")
+			res.Add("queue_p99_cells", r.QueueHist.Quantile(0.99), "cells")
+			res.Add("mean_queue_cells", r.MeanQueue, "cells")
+			res.Add("effective_util_pct", 100*r.EffectiveUtil, "%")
+			res.Add("cells_dropped", float64(r.CellsDropped), "")
+			md1 := "-"
+			if util < 1 {
+				if m, err := queueing.NewMD1(util); err == nil {
+					md1 = fmt.Sprintf("%.2f", m.MeanQueue())
+					res.Add("md1_mean_queue_cells", m.MeanQueue(), "cells")
+				}
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "util %4.2f (scale 1/%d): lat p50=%.2fus p99=%.2fus p999=%.2fus  maxQ p99=%.0f  meanQ=%.2f  eff-util=%.1f%%  M/D/1 meanQ=%s\n",
+				util, scale,
+				r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Quantile(0.999),
+				r.QueueHist.Quantile(0.99), r.MeanQueue, 100*r.EffectiveUtil, md1)
+			if c.Params.Bool("dist", false) {
+				b.WriteString("# latency distribution (us, probability)\n")
+				r.Latency.WriteTSV(&b)
+				b.WriteString("# queue-size distribution (cells, probability)\n")
+				r.QueueHist.WriteTSV(&b)
+			}
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name:     "fabric/pushpull",
+		Desc:     "Fig 7 / Fig 12 push-vs-pull fabric: congested ports must not steal throughput",
+		Defaults: engine.Params{"tc": "both"},
+		Variants: func(p engine.Params) []engine.Params {
+			switch p.Str("tc", "both") {
+			case "true":
+				return []engine.Params{p.With("tc", "true")}
+			case "false":
+				return []engine.Params{p.With("tc", "false")}
+			}
+			return []engine.Params{p.With("tc", "false"), p.With("tc", "true")}
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			r := experiments.PushPull(c.Params.Bool("tc", false))
+			var res engine.Result
+			res.Add("ethernet_a1_pct", 100*r.EthernetA1, "%")
+			res.Add("ethernet_a2_pct", 100*r.EthernetA2, "%")
+			res.Add("ethernet_b_pct", 100*r.EthernetB, "%")
+			res.Add("ethernet_egress_pct", 100*r.EthernetTotal, "%")
+			res.Add("stardust_a1_pct", 100*r.StardustA1, "%")
+			res.Add("stardust_a2_pct", 100*r.StardustA2, "%")
+			res.Add("stardust_b_pct", 100*r.StardustB, "%")
+			res.Add("stardust_egress_pct", 100*r.StardustTotal, "%")
+			var b strings.Builder
+			experiments.WritePushPull(&b, r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "fabric/recovery",
+		Desc: "Appendix E self-healing: measured link-failure withdrawal vs the closed form",
+		Run: func(c engine.Context) (engine.Result, error) {
+			r, err := experiments.Recovery()
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			res.Add("local_us", r.LocalUs, "us")
+			res.Add("propagated_us", r.PropagatedUs, "us")
+			res.Add("analytic_us", r.AnalyticUs, "us")
+			res.Add("detect_bound_us", r.DetectUs, "us")
+			var b strings.Builder
+			experiments.WriteRecovery(&b, r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+}

@@ -1,0 +1,117 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"stardust/internal/analytic"
+	"stardust/internal/engine"
+	"stardust/internal/experiments"
+	"stardust/internal/topo"
+)
+
+func init() {
+	engine.Register(engine.Scenario{
+		Name: "scaling/fig2",
+		Desc: "Fig 2 scalability: max hosts vs tiers, devices and serial links vs host count",
+		Run: func(c engine.Context) (engine.Result, error) {
+			var res engine.Result
+			for _, dev := range topo.Fig2Devices {
+				p := topo.Plan(dev, 1_000_000)
+				res.Add(fmt.Sprintf("devices_1m_%s", sanitize(dev.Name)), float64(p.Devices), "")
+				res.Add(fmt.Sprintf("links_1m_%s", sanitize(dev.Name)), float64(p.SerialLinks), "")
+			}
+			var b strings.Builder
+			experiments.WriteFig2(&b)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name:     "scaling/table2",
+		Desc:     "Table 2 element counts for (k, t, l)",
+		Defaults: engine.Params{"k": "8", "t": "4", "l": "2"},
+		Run: func(c engine.Context) (engine.Result, error) {
+			p := topo.Params{
+				K: c.Params.Int("k", 8),
+				T: c.Params.Int("t", 4),
+				L: c.Params.Int("l", 2),
+			}
+			var res engine.Result
+			for n := 1; n <= 4; n++ {
+				ec := topo.Table2(p, n)
+				res.Add(fmt.Sprintf("max_tors_%dtier", n), ec.MaxToRs, "")
+				res.Add(fmt.Sprintf("max_switches_%dtier", n), ec.MaxSwitches, "")
+			}
+			var b strings.Builder
+			experiments.WriteTable2(&b, p)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "scaling/fig3",
+		Desc: "Fig 3 required parallel processing, standard vs Stardust",
+		Run: func(c engine.Context) (engine.Result, error) {
+			var res engine.Result
+			for _, r := range analytic.Fig3(analytic.DefaultSwitch, []int{64, 1500}) {
+				res.Add(fmt.Sprintf("standard_%dB", r.PacketBytes), r.Standard, "")
+				res.Add(fmt.Sprintf("stardust_%dB", r.PacketBytes), r.Stardust, "")
+			}
+			var b strings.Builder
+			experiments.WriteFig3(&b, nil)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "scaling/fig10d",
+		Desc: "Fig 10(d) silicon area of a Fabric Element vs a standard switch",
+		Run: func(c engine.Context) (engine.Result, error) {
+			var res engine.Result
+			r := analytic.PaperAreaRatios
+			res.Add("rel_area_per_tbps_pct", 100*r.RelAreaPerTbps, "%")
+			res.Add("rel_power_per_tbps_pct", 100*r.RelPowerPerTbps, "%")
+			res.Add("model_area_per_tbps_pct", 100*analytic.DefaultAreaBreakdown.RelativeAreaPerTbps(r), "%")
+			var b strings.Builder
+			experiments.WriteFig10d(&b)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "scaling/fig11",
+		Desc: "Fig 11 relative DCN cost and power vs fat-tree",
+		Run: func(c engine.Context) (engine.Result, error) {
+			var res engine.Result
+			res.Add("fabric_power_saving_10k_pct",
+				analytic.FabricPowerSaving(topo.FT400Gx32, 10000), "%")
+			var b strings.Builder
+			if err := experiments.WriteFig11(&b, nil); err != nil {
+				return engine.Result{}, err
+			}
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "scaling/appendixE",
+		Desc: "Appendix E reachability-driven failure recovery model",
+		Run: func(c engine.Context) (engine.Result, error) {
+			p := analytic.DefaultResilience
+			var res engine.Result
+			res.Add("recovery_us", p.RecoveryTime().Microseconds(), "us")
+			res.Add("propagation_us", p.PropagationTime().Microseconds(), "us")
+			res.Add("bandwidth_overhead_pct", 100*p.BandwidthOverhead(), "%")
+			var b strings.Builder
+			experiments.WriteAppendixE(&b)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+}

@@ -1,0 +1,168 @@
+package scenarios
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"stardust/internal/engine"
+)
+
+// The full scenario set the six cmd binaries rely on.
+var wantScenarios = []string{
+	"htsim/permutation", "htsim/fct", "htsim/incast",
+	"fabric/fig9", "fabric/pushpull", "fabric/recovery",
+	"system/arista",
+	"pack/fig8a", "pack/fig8b",
+	"scaling/fig2", "scaling/table2", "scaling/fig3",
+	"scaling/fig10d", "scaling/fig11", "scaling/appendixE",
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range wantScenarios {
+		sc, err := engine.Lookup(name)
+		if err != nil {
+			t.Errorf("missing scenario %s: %v", name, err)
+			continue
+		}
+		if sc.Desc == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+}
+
+func runBytes(t *testing.T, opts engine.Options, jobs []engine.Job) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	opts.Out = &buf
+	if _, err := engine.Run(opts, jobs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The acceptance-critical guarantee: running the same scenarios with the
+// same seed twice — and at different worker counts — yields byte-identical
+// output, even though instances share the global packet free list.
+func TestScenarioDeterminism(t *testing.T) {
+	jobs := []engine.Job{
+		{Scenario: "fabric/pushpull"},
+		{Scenario: "htsim/permutation", Params: engine.Params{"k": "4", "dur_ms": "3", "warmup_ms": "2"}},
+		{Scenario: "scaling/appendixE"},
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		a := runBytes(t, engine.Options{Workers: 1, Seed: 1, Format: format}, jobs)
+		b := runBytes(t, engine.Options{Workers: 4, Seed: 1, Format: format}, jobs)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("format %s: workers=1 vs workers=4 outputs differ:\n%s\n----\n%s", format, a, b)
+		}
+		c := runBytes(t, engine.Options{Workers: 4, Seed: 1, Format: format}, jobs)
+		if !bytes.Equal(b, c) {
+			t.Fatalf("format %s: repeated run differs", format)
+		}
+	}
+}
+
+// A different seed must actually change a randomized experiment.
+func TestScenarioSeedMatters(t *testing.T) {
+	jobs := []engine.Job{{Scenario: "htsim/permutation",
+		Params: engine.Params{"k": "4", "dur_ms": "3", "warmup_ms": "2", "proto": "Stardust"}}}
+	a := runBytes(t, engine.Options{Seed: 1, Format: "json"}, jobs)
+	b := runBytes(t, engine.Options{Seed: 2, Format: "json"}, jobs)
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical permutation results")
+	}
+}
+
+// Analytic scenarios are cheap; exercise every one end to end.
+func TestAnalyticScenariosRun(t *testing.T) {
+	jobs := []engine.Job{
+		{Scenario: "scaling/fig2"},
+		{Scenario: "scaling/table2"},
+		{Scenario: "scaling/fig3"},
+		{Scenario: "scaling/fig10d"},
+		{Scenario: "scaling/fig11"},
+		{Scenario: "scaling/appendixE"},
+		{Scenario: "pack/fig8a"},
+		{Scenario: "pack/fig8b"},
+	}
+	results, err := engine.Run(engine.Options{Workers: 2}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Result.Text == "" {
+			t.Errorf("%s produced no text", r.Name)
+		}
+	}
+}
+
+func TestFabricFig9Variants(t *testing.T) {
+	results, err := engine.Run(engine.Options{Workers: 2}, []engine.Job{{
+		Scenario: "fabric/fig9",
+		Params:   engine.Params{"scale": "8", "utils": "0.66,0.8"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d instances, want 2 (one per utilization)", len(results))
+	}
+	for _, r := range results {
+		if r.Result.Metrics[0].Name != "lat_p50_us" {
+			t.Fatalf("unexpected first metric %q", r.Result.Metrics[0].Name)
+		}
+	}
+}
+
+func TestSystemAristaVariant(t *testing.T) {
+	results, err := engine.Run(engine.Options{}, []engine.Job{{
+		Scenario: "system/arista",
+		Params:   engine.Params{"sizes": "384", "dur_us": "50"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d instances", len(results))
+	}
+	var lineRate float64
+	for _, m := range results[0].Result.Metrics {
+		if m.Name == "line_rate_pct" {
+			lineRate = m.Value
+		}
+	}
+	if lineRate < 90 {
+		t.Fatalf("384B below line rate: %v", lineRate)
+	}
+}
+
+// On a multicore machine, a sweep at -workers=4 must beat -workers=1 on
+// wall clock. Single-CPU machines cannot show a speedup; skip there.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU machine: parallel instances time-share one core")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	jobs := []engine.Job{{Scenario: "htsim/permutation",
+		Params: engine.Params{"k": "4", "dur_ms": "5", "warmup_ms": "2"}}}
+	measure := func(workers int) time.Duration {
+		t0 := time.Now()
+		var buf bytes.Buffer
+		if _, err := engine.Run(engine.Options{Workers: workers, Out: &buf}, jobs); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	serial := measure(1)
+	parallel := measure(4)
+	// Four independent ~equal instances on >= 2 CPUs must comfortably beat
+	// serial; 0.85 leaves headroom for scheduler noise on loaded machines
+	// while still catching an accidentally serialized worker pool.
+	if float64(parallel) >= 0.85*float64(serial) {
+		t.Fatalf("workers=4 (%v) not faster than workers=1 (%v)", parallel, serial)
+	}
+}

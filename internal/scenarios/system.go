@@ -1,0 +1,51 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"stardust/internal/engine"
+	"stardust/internal/experiments"
+)
+
+func init() {
+	engine.Register(engine.Scenario{
+		Name: "system/arista",
+		Desc: "§6.1.2 single-tier system: line rate and latency vs packet size",
+		Defaults: engine.Params{
+			"fa": "6", "ports": "16", "packing": "false", "dur_us": "300",
+			"sizes": "64,128,256,384,512,1024,1518",
+		},
+		// One instance per packet size: the sweep points are independent
+		// simulations, so they parallelize.
+		Variants: func(p engine.Params) []engine.Params {
+			var out []engine.Params
+			for _, s := range p.Ints("sizes", []int{384}) {
+				out = append(out, p.With("size", fmt.Sprint(s)))
+			}
+			return out
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			cfg := experiments.ScaledArista()
+			cfg.NumFA = c.Params.Int("fa", cfg.NumFA)
+			cfg.PortsPerFA = c.Params.Int("ports", cfg.PortsPerFA)
+			cfg.Packing = c.Params.Bool("packing", cfg.Packing)
+			cfg.Duration = usTime(c.Params.Int("dur_us", 300))
+			cfg.Seed = c.Seed
+			size := c.Params.Int("size", 384)
+			rows, err := experiments.Arista(cfg, []int{size})
+			if err != nil {
+				return engine.Result{}, err
+			}
+			r := rows[0]
+			var res engine.Result
+			res.Add("line_rate_pct", r.LineRatePct, "%")
+			res.Add("lat_min_us", r.MinUs, "us")
+			res.Add("lat_avg_us", r.AvgUs, "us")
+			res.Add("lat_max_us", r.MaxUs, "us")
+			res.Add("jitter_ns", r.JitterNs, "ns")
+			res.Text = fmt.Sprintf("%8d B: line-rate=%5.1f%%  lat min/avg/max=%.2f/%.2f/%.2f us  jitter=%.0f ns\n",
+				r.PacketBytes, r.LineRatePct, r.MinUs, r.AvgUs, r.MaxUs, r.JitterNs)
+			return res, nil
+		},
+	})
+}

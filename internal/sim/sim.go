@@ -7,9 +7,13 @@
 // Events are ordered by (time, sequence-of-scheduling), so two events
 // scheduled for the same instant fire in the order they were scheduled; this
 // makes every simulation in this repository reproducible bit-for-bit.
+//
+// The kernel offers two scheduling forms: At/After take an ordinary
+// func() closure, while AtAction/AfterAction take a pre-bound Action plus a
+// uint64 argument. The Action form exists for hot paths (queues draining,
+// packets propagating, timers re-arming): it stores the callback and its
+// argument inline in the event, so scheduling allocates nothing.
 package sim
-
-import "container/heap"
 
 // Time is a point in simulated time, in picoseconds.
 type Time int64
@@ -32,38 +36,29 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) 
 // Nanoseconds converts t to floating-point nanoseconds.
 func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
+// Action is a pre-bound event callback. Scheduling an Action avoids the
+// per-event closure allocation of At/After; the arg passed to
+// AtAction/AfterAction is handed back verbatim, letting one long-lived
+// object serve many in-flight events.
+type Action interface {
+	Act(arg uint64)
+}
+
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1].fn = nil
-	*h = old[:n-1]
-	return e
+	act Action
+	arg uint64
 }
 
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
-// ready to use.
+// ready to use. Distinct Simulators are fully independent, so many can run
+// concurrently (one per goroutine) without sharing state.
 type Simulator struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // binary min-heap ordered by (at, seq)
 	stopped bool
 	// Processed counts events executed so far; useful for budgeting runs.
 	Processed uint64
@@ -78,18 +73,75 @@ func (s *Simulator) Now() Time { return s.now }
 // Pending returns the number of events waiting to run.
 func (s *Simulator) Pending() int { return len(s.events) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now()) runs the event at the current time instead, preserving causality.
-func (s *Simulator) At(t Time, fn func()) {
+func (s *Simulator) less(i, j int) bool {
+	if s.events[i].at != s.events[j].at {
+		return s.events[i].at < s.events[j].at
+	}
+	return s.events[i].seq < s.events[j].seq
+}
+
+// push inserts e into the heap. The heap is hand-rolled rather than built on
+// container/heap so events are stored by value: no interface boxing, no
+// allocation per scheduled event.
+func (s *Simulator) push(e event) {
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.events[i], s.events[parent] = s.events[parent], s.events[i]
+		i = parent
+	}
+}
+
+func (s *Simulator) pop() event {
+	e := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events[n] = event{} // drop callback references for the GC
+	s.events = s.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s.events[i], s.events[min] = s.events[min], s.events[i]
+		i = min
+	}
+	return e
+}
+
+func (s *Simulator) schedule(t Time, fn func(), act Action, arg uint64) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn, act: act, arg: arg})
 }
 
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now()) runs the event at the current time instead, preserving causality.
+func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil, 0) }
+
 // After schedules fn to run d picoseconds from now.
-func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+func (s *Simulator) After(d Time, fn func()) { s.schedule(s.now+d, fn, nil, 0) }
+
+// AtAction schedules a.Act(arg) at absolute time t without allocating.
+func (s *Simulator) AtAction(t Time, a Action, arg uint64) { s.schedule(t, nil, a, arg) }
+
+// AfterAction schedules a.Act(arg) d picoseconds from now without
+// allocating.
+func (s *Simulator) AfterAction(d Time, a Action, arg uint64) { s.schedule(s.now+d, nil, a, arg) }
 
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
@@ -119,37 +171,51 @@ func (s *Simulator) RunUntil(deadline Time) {
 }
 
 func (s *Simulator) step() {
-	e := heap.Pop(&s.events).(event)
+	e := s.pop()
 	s.now = e.at
 	s.Processed++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else if e.act != nil {
+		e.act.Act(e.arg)
+	}
 }
 
-// Timer is a cancellable, re-armable timer bound to a Simulator.
+// Timer is a cancellable, re-armable timer bound to a Simulator. Arming a
+// timer schedules one kernel event tagged with the timer's generation;
+// cancelling or re-arming bumps the generation so stale events fall through
+// without firing. Arm does not allocate (the Timer itself is the scheduled
+// Action), so per-packet retransmission timers are free.
 type Timer struct {
 	sim     *Simulator
-	gen     int
+	gen     uint64
 	armed   bool
 	expires Time
+	fn      func()
 }
 
 // NewTimer returns an unarmed timer.
 func NewTimer(s *Simulator) *Timer { return &Timer{sim: s} }
 
 // Arm (re)schedules fn to fire after d. Any previously armed deadline is
-// cancelled.
+// cancelled. Callers on hot paths should pass the same stored func value on
+// every Arm to avoid re-creating a method-value closure.
 func (t *Timer) Arm(d Time, fn func()) {
 	t.gen++
-	gen := t.gen
 	t.armed = true
+	t.fn = fn
 	t.expires = t.sim.Now() + d
-	t.sim.After(d, func() {
-		if t.gen != gen || !t.armed {
-			return
-		}
-		t.armed = false
-		fn()
-	})
+	t.sim.AfterAction(d, t, t.gen)
+}
+
+// Act implements Action; it fires the timer if the scheduled generation is
+// still current.
+func (t *Timer) Act(gen uint64) {
+	if gen != t.gen || !t.armed {
+		return
+	}
+	t.armed = false
+	t.fn()
 }
 
 // Cancel disarms the timer. It is safe to call on an unarmed timer.

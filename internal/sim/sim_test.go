@@ -165,6 +165,189 @@ func TestTimerRearm(t *testing.T) {
 	}
 }
 
+// Cancel then re-arm: the event scheduled by the first Arm is stale (its
+// generation no longer matches) and must not fire the new callback early.
+func TestTimerCancelThenRearm(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	var fireTimes []Time
+	tm.Arm(100, func() { fireTimes = append(fireTimes, s.Now()) })
+	s.At(50, func() {
+		tm.Cancel()
+		tm.Arm(500, func() { fireTimes = append(fireTimes, s.Now()) })
+	})
+	s.Run()
+	if len(fireTimes) != 1 || fireTimes[0] != 550 {
+		t.Fatalf("fireTimes = %v, want [550]", fireTimes)
+	}
+}
+
+// Re-arming to an EARLIER deadline must fire at the earlier time and must
+// not fire again when the first (later, stale) event comes due.
+func TestTimerRearmEarlier(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	var fireTimes []Time
+	fn := func() { fireTimes = append(fireTimes, s.Now()) }
+	tm.Arm(1000, fn)
+	s.At(100, func() { tm.Arm(50, fn) })
+	s.Run()
+	if len(fireTimes) != 1 || fireTimes[0] != 150 {
+		t.Fatalf("fireTimes = %v, want [150]", fireTimes)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("stale event not drained: Now = %d", s.Now())
+	}
+}
+
+// Arming from inside the timer's own callback (the periodic idiom) starts
+// a fresh generation; the just-fired event must not suppress it.
+func TestTimerRearmInsideCallback(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	var fireTimes []Time
+	tm.Arm(10, func() {
+		fireTimes = append(fireTimes, s.Now())
+		tm.Arm(30, func() { fireTimes = append(fireTimes, s.Now()) })
+	})
+	s.Run()
+	if len(fireTimes) != 2 || fireTimes[0] != 10 || fireTimes[1] != 40 {
+		t.Fatalf("fireTimes = %v, want [10 40]", fireTimes)
+	}
+}
+
+// Many generations at the same instant: only the last Arm wins.
+func TestTimerGenerationsSameInstant(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		tm.Arm(100, func() { fired++ })
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1 (only the last generation)", fired)
+	}
+}
+
+func TestTimerCancelIdempotentAndExpires(t *testing.T) {
+	s := New()
+	tm := NewTimer(s)
+	tm.Cancel() // cancel unarmed: must not panic
+	tm.Cancel()
+	if tm.Armed() {
+		t.Fatal("unarmed timer reports armed")
+	}
+	s.At(100, func() {
+		tm.Arm(250, func() {})
+	})
+	s.Run()
+	if got := tm.Expires(); got != 350 {
+		t.Fatalf("Expires = %d, want 350", got)
+	}
+}
+
+// RunUntil with a deadline past the last event leaves the clock at the
+// deadline, not at the last event.
+func TestRunUntilDeadlinePastLastEvent(t *testing.T) {
+	s := New()
+	var last Time
+	s.At(300, func() { last = s.Now() })
+	s.RunUntil(1000)
+	if last != 300 {
+		t.Fatalf("event fired at %d, want 300", last)
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("Now = %d, want deadline 1000", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+// RunUntil with a deadline before the first event runs nothing, leaves
+// the event queued, and still advances the clock to the deadline; the
+// queued event then fires at its original timestamp.
+func TestRunUntilLeavesFutureEventsQueued(t *testing.T) {
+	s := New()
+	var fired Time = -1
+	s.At(500, func() { fired = s.Now() })
+	s.RunUntil(200)
+	if fired != -1 {
+		t.Fatalf("future event fired early at %d", fired)
+	}
+	if s.Now() != 200 || s.Pending() != 1 {
+		t.Fatalf("Now = %d Pending = %d, want 200/1", s.Now(), s.Pending())
+	}
+	s.RunUntil(600)
+	if fired != 500 {
+		t.Fatalf("queued event fired at %d, want 500", fired)
+	}
+	if s.Now() != 600 {
+		t.Fatalf("Now = %d, want 600", s.Now())
+	}
+}
+
+// An event exactly at the deadline is included.
+func TestRunUntilInclusiveDeadline(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(100, func() { count++ })
+	s.At(101, func() { count++ })
+	s.RunUntil(100)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (deadline inclusive)", count)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+// actionRecorder tests the allocation-free Action scheduling form.
+type actionRecorder struct {
+	s    *Simulator
+	at   []Time
+	args []uint64
+}
+
+func (a *actionRecorder) Act(arg uint64) {
+	a.at = append(a.at, a.s.Now())
+	a.args = append(a.args, arg)
+}
+
+func TestActionScheduling(t *testing.T) {
+	s := New()
+	rec := &actionRecorder{s: s}
+	s.AtAction(200, rec, 7)
+	s.AtAction(100, rec, 5)
+	s.At(150, func() { s.AfterAction(25, rec, 6) })
+	s.Run()
+	wantAt := []Time{100, 175, 200}
+	wantArg := []uint64{5, 6, 7}
+	for i := range wantAt {
+		if rec.at[i] != wantAt[i] || rec.args[i] != wantArg[i] {
+			t.Fatalf("actions fired at %v with args %v, want %v / %v", rec.at, rec.args, wantAt, wantArg)
+		}
+	}
+}
+
+func BenchmarkActionSchedule(b *testing.B) {
+	s := New()
+	rec := &actionRecorder{s: s}
+	rec.at = make([]Time, 0, 2048)
+	rec.args = make([]uint64, 0, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AtAction(Time(i), rec, 0)
+		if s.Pending() > 1024 {
+			s.RunUntil(Time(i))
+			rec.at = rec.at[:0]
+			rec.args = rec.args[:0]
+		}
+	}
+	s.Run()
+}
+
 func TestTimerPeriodic(t *testing.T) {
 	s := New()
 	tm := NewTimer(s)

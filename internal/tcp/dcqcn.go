@@ -43,6 +43,13 @@ type DCQCN struct {
 	OnComplete func(*DCQCN)
 	startAt    sim.Time
 
+	// Cached method values so per-packet pacing and per-period timer
+	// re-arms do not allocate closures.
+	paceFn     func()
+	increaseFn func()
+	alphaFn    func()
+	rtoFn      func()
+
 	// Stats
 	CNPs        uint64
 	Retransmits uint64
@@ -75,6 +82,10 @@ func NewDCQCN(s *sim.Simulator, name string, mss int, lineRate netsim.Bps, flowB
 	d.incTimer = sim.NewTimer(s)
 	d.alphaTmr = sim.NewTimer(s)
 	d.rtoTimer = sim.NewTimer(s)
+	d.paceFn = d.pace
+	d.increaseFn = d.increase
+	d.alphaFn = d.onAlphaDecay
+	d.rtoFn = d.onRTO
 	return d
 }
 
@@ -114,12 +125,15 @@ func (d *DCQCN) pace() {
 	if d.FlowBytes > 0 && d.highest+size > d.FlowBytes {
 		size = d.FlowBytes - d.highest
 	}
-	p := &netsim.Packet{Size: int(size), Seq: d.highest, Flow: d}
+	p := netsim.NewPacket()
+	p.Size = int(size)
+	p.Seq = d.highest
+	p.Flow = d
 	p.SetRoute(d.fwd)
 	p.SendOn()
 	d.highest += size
 	gap := sim.Time(float64(size*8) / float64(d.rate) * float64(sim.Second))
-	d.Sim.After(gap, d.pace)
+	d.Sim.After(gap, d.paceFn)
 }
 
 // OnAck handles a cumulative ack from the notification point.
@@ -159,7 +173,7 @@ func (d *DCQCN) OnCNP() {
 		d.rate = d.minRate
 	}
 	d.stage = 0
-	d.incTimer.Arm(DCQCNTimer, d.increase)
+	d.incTimer.Arm(DCQCNTimer, d.increaseFn)
 }
 
 func (d *DCQCN) increase() {
@@ -181,33 +195,37 @@ func (d *DCQCN) increase() {
 	if d.rate > d.LineRate {
 		d.rate = d.LineRate
 	}
-	d.incTimer.Arm(DCQCNTimer, d.increase)
+	d.incTimer.Arm(DCQCNTimer, d.increaseFn)
 }
 
 func (d *DCQCN) armAlphaDecay() {
-	d.alphaTmr.Arm(DCQCNTimer, func() {
-		if !d.cnpSeen {
-			d.alpha *= 1 - d.g
-		}
-		d.cnpSeen = false
-		d.armAlphaDecay()
-	})
+	d.alphaTmr.Arm(DCQCNTimer, d.alphaFn)
+}
+
+func (d *DCQCN) onAlphaDecay() {
+	if !d.cnpSeen {
+		d.alpha *= 1 - d.g
+	}
+	d.cnpSeen = false
+	d.armAlphaDecay()
 }
 
 func (d *DCQCN) armRTO() {
-	d.rtoTimer.Arm(d.rtoPeriod, func() {
-		if d.Done {
-			return
-		}
-		// No cumulative progress for a full period: go back to the hole.
-		// DCQCN fabrics are near-lossless so this is a rare recovery path.
-		d.Retransmits++
-		d.highest = d.cumAck
-		if !d.chain {
-			d.pace()
-		}
-		d.armRTO()
-	})
+	d.rtoTimer.Arm(d.rtoPeriod, d.rtoFn)
+}
+
+func (d *DCQCN) onRTO() {
+	if d.Done {
+		return
+	}
+	// No cumulative progress for a full period: go back to the hole.
+	// DCQCN fabrics are near-lossless so this is a rare recovery path.
+	d.Retransmits++
+	d.highest = d.cumAck
+	if !d.chain {
+		d.pace()
+	}
+	d.armRTO()
 }
 
 // DCQCNSink is the notification point: cumulative acks per packet plus
@@ -244,14 +262,17 @@ func (k *DCQCNSink) Receive(p *netsim.Packet) {
 	} else if p.Seq > k.cumAck {
 		k.ooo[p.Seq] = p.Size
 	}
-	if p.CE && k.Sim.Now()-k.lastCNP >= CNPInterval {
+	ce := p.CE
+	p.Release()
+	ack := netsim.NewPacket()
+	ack.Size = 64
+	ack.Ack = true
+	ack.Seq = k.cumAck
+	ack.Flow = k.Src
+	if ce && k.Sim.Now()-k.lastCNP >= CNPInterval {
 		k.lastCNP = k.Sim.Now()
-		cnp := &netsim.Packet{Size: 64, Ack: true, Echo: true, Seq: k.cumAck, Flow: k.Src}
-		cnp.SetRoute(k.rev)
-		cnp.SendOn()
-		return
+		ack.Echo = true // congestion notification packet
 	}
-	ack := &netsim.Packet{Size: 64, Ack: true, Seq: k.cumAck, Flow: k.Src}
 	ack.SetRoute(k.rev)
 	ack.SendOn()
 }
@@ -261,11 +282,14 @@ type DCQCNAckEndpoint struct{}
 
 // Receive implements netsim.Handler.
 func (DCQCNAckEndpoint) Receive(p *netsim.Packet) {
-	if src, ok := p.Flow.(*DCQCN); ok {
-		if p.Echo {
+	src, ok := p.Flow.(*DCQCN)
+	seq, echo := p.Seq, p.Echo
+	p.Release()
+	if ok {
+		if echo {
 			src.OnCNP()
 		}
-		src.OnAck(p.Seq)
+		src.OnAck(seq)
 	}
 }
 

@@ -87,6 +87,10 @@ type Source struct {
 	DeliveredB  int64 // cumulative acked bytes
 	startAt     sim.Time
 	started     bool
+
+	// onTimeoutFn caches the onTimeout method value so re-arming the RTO
+	// timer on every ACK does not allocate a closure.
+	onTimeoutFn func()
 }
 
 // NewSource creates a sender; route is the forward path and must end at
@@ -110,6 +114,7 @@ func NewSource(s *sim.Simulator, cfg Config, name string, flowBytes int64, route
 		src.end = 1 << 62
 	}
 	src.rtoTimer = sim.NewTimer(s)
+	src.onTimeoutFn = src.onTimeout
 	return src
 }
 
@@ -163,7 +168,10 @@ func (s *Source) sendMore() {
 }
 
 func (s *Source) transmit(seq int64, size int, rtx bool) {
-	p := &netsim.Packet{Size: size, Seq: seq, Flow: s}
+	p := netsim.NewPacket()
+	p.Size = size
+	p.Seq = seq
+	p.Flow = s
 	p.SetRoute(s.fwd)
 	if !rtx && s.timedSeq < 0 {
 		s.timedSeq = seq
@@ -177,7 +185,7 @@ func (s *Source) transmit(seq int64, size int, rtx bool) {
 
 func (s *Source) armRTO() {
 	if s.flight() > 0 {
-		s.rtoTimer.Arm(s.rto<<uint(s.backoff), s.onTimeout)
+		s.rtoTimer.Arm(s.rto<<uint(s.backoff), s.onTimeoutFn)
 	} else {
 		s.rtoTimer.Cancel()
 	}
@@ -397,7 +405,14 @@ func (k *Sink) receive(p *Packet) {
 	} else if p.Seq > k.cumAck {
 		k.ooo[p.Seq] = p.Size
 	}
-	ack := &netsim.Packet{Size: k.Cfg.AckBytes, Seq: k.cumAck, Ack: true, Echo: p.CE, Flow: k.Src}
+	echo := p.CE
+	p.Release()
+	ack := netsim.NewPacket()
+	ack.Size = k.Cfg.AckBytes
+	ack.Seq = k.cumAck
+	ack.Ack = true
+	ack.Echo = echo
+	ack.Flow = k.Src
 	ack.SetRoute(k.rev)
 	ack.SendOn()
 }
@@ -407,8 +422,11 @@ type AckEndpoint struct{}
 
 // Receive implements netsim.Handler.
 func (AckEndpoint) Receive(p *Packet) {
-	if src, ok := p.Flow.(*Source); ok {
-		src.OnAck(p.Seq, p.Echo)
+	src, ok := p.Flow.(*Source)
+	seq, echo := p.Seq, p.Echo
+	p.Release()
+	if ok {
+		src.OnAck(seq, echo)
 	}
 }
 
