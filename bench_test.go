@@ -11,6 +11,7 @@ import (
 	"stardust/internal/analytic"
 	"stardust/internal/device"
 	"stardust/internal/experiments"
+	"stardust/internal/fabric"
 	"stardust/internal/fabricsim"
 	"stardust/internal/netsim"
 	"stardust/internal/queueing"
@@ -48,6 +49,115 @@ func BenchmarkPacketPath(b *testing.B) {
 	b.StopTimer()
 	if sink.Packets != uint64(b.N) {
 		b.Fatalf("delivered %d of %d packets", sink.Packets, b.N)
+	}
+}
+
+// BenchmarkFabricCellPath measures the per-cell cost of the
+// topology-faithful fabric: source-FA spray, FE1 up/down decision, spine
+// spray, egress delivery — four per-link queue+pipe hops per cell. It
+// doubles as the cell-accounting leak check: every injected cell must
+// leave through a counted path (delivered or dropped), or the packet pool
+// is leaking.
+func BenchmarkFabricCellPath(b *testing.B) {
+	s := sim.New()
+	cl, err := fabric.ClosFor(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := fabric.New(s, fabric.DefaultConfig(100e9, sim.Microsecond, 1), cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cellSz := 512
+	// Pace injection at half of one FA's aggregate uplink rate, spread
+	// over all 8 FAs, so no queue ever overflows.
+	gap := sim.Time(float64(cellSz*8) / 100e9 * float64(sim.Second))
+	inj := &fabricInjector{n: n}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arg := uint64(i%8)<<32 | uint64((i+3)%8)
+		s.AtAction(sim.Time(i/8)*gap, inj, arg)
+		if s.Pending() > 512 {
+			s.RunUntil(sim.Time(i/8) * gap)
+		}
+	}
+	s.Run()
+	b.StopTimer()
+	if n.Injected != uint64(b.N) {
+		b.Fatalf("injected %d of %d", n.Injected, b.N)
+	}
+	if n.Delivered+n.Drops() != n.Injected {
+		b.Fatalf("cell leak: %d delivered + %d dropped != %d injected",
+			n.Delivered, n.Drops(), n.Injected)
+	}
+	if n.Drops() != 0 {
+		b.Fatalf("healthy fabric dropped %d cells", n.Drops())
+	}
+}
+
+// fabricInjector injects one 512B cell per scheduled event (src and dst
+// packed into the action arg), keeping the benchmark loop allocation-free.
+type fabricInjector struct{ n *fabric.Net }
+
+// Act implements sim.Action.
+func (f *fabricInjector) Act(arg uint64) {
+	c := netsim.NewPacket()
+	c.Size = 512
+	f.n.Inject(c, int(arg>>32), int(uint32(arg)))
+}
+
+// BenchmarkFabricFailurePath exercises the failure machinery under load
+// and asserts the same no-leak invariant when links die mid-traffic (the
+// Release() audit for dropped and failed-link cells).
+func BenchmarkFabricFailurePath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		cl, err := fabric.ClosFor(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := fabric.New(s, fabric.DefaultConfig(10e9, sim.Microsecond, 1), cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const cells = 2000
+		for j := 0; j < cells; j++ {
+			j := j
+			s.At(sim.Time(j/8)*2*sim.Microsecond, func() {
+				c := netsim.NewPacket()
+				c.Size = 512
+				n.Inject(c, j%8, (j+3)%8)
+			})
+		}
+		s.At(100*sim.Microsecond, func() { n.FailLink(0); n.FailLink(17) })
+		s.Run()
+		if n.Delivered+n.Drops() != n.Injected {
+			b.Fatalf("cell leak under failure: %d delivered + %d dropped != %d injected",
+				n.Delivered, n.Drops(), n.Injected)
+		}
+	}
+}
+
+// BenchmarkFullFabricPermutation runs the Fig 10(a) permutation for the
+// Stardust substrate over the per-link fabric (reduced fat-tree) — the
+// topology-faithful counterpart of BenchmarkFig10aPermutation.
+func BenchmarkFullFabricPermutation(b *testing.B) {
+	cfg := experiments.QuickHtsim()
+	cfg.Duration = 5 * sim.Millisecond
+	cfg.Warmup = 2 * sim.Millisecond
+	cfg.FullFabric = true
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Permutation(cfg, experiments.ProtoStardust)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MeanUtilPct < 50 {
+			b.Fatalf("utilization collapsed: %v", r.MeanUtilPct)
+		}
+		if r.FabricDrops != 0 {
+			b.Fatalf("fabric dropped %d cells", r.FabricDrops)
+		}
 	}
 }
 

@@ -1,0 +1,171 @@
+// Command benchguard is the CI benchmark-regression gate. It parses the
+// text output of `go test -bench` (multiple -count repetitions expected),
+// writes the per-benchmark medians as JSON, and fails when a guarded
+// benchmark's median ns/op regresses beyond the tolerance against a
+// committed baseline:
+//
+//	go test -run '^$' -bench . -benchtime 3x -count 3 . | tee bench.txt
+//	benchguard -in bench.txt -out BENCH_ci.json \
+//	    -baseline BENCH_baseline.json -guard BenchmarkPacketPath -tolerance 0.20
+//
+// Refresh the baseline after an intentional performance change with:
+//
+//	benchguard -in bench.txt -out BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's aggregated result.
+type Entry struct {
+	// Samples are the individual ns/op values in input order.
+	Samples []float64 `json:"samples_ns_op"`
+	// MedianNsOp is the wall-time regression statistic: robust against
+	// one noisy repetition, but still tied to the runner's hardware.
+	MedianNsOp float64 `json:"median_ns_op"`
+	// AllocSamples are the allocs/op values (only for benchmarks that
+	// call ReportAllocs).
+	AllocSamples []float64 `json:"samples_allocs_op,omitempty"`
+	// MedianAllocs is the hardware-independent regression statistic: an
+	// allocation creeping into a free-list hot path shows up here no
+	// matter what machine runs the benchmark.
+	MedianAllocs float64 `json:"median_allocs_op,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkPacketPath-4   200000   521.5 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+[0-9.e+]+ B/op\s+([0-9.e+]+) allocs/op)?`)
+
+func parse(path string) (map[string]*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*Entry)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := out[m[1]]
+		if e == nil {
+			e = &Entry{}
+			out[m[1]] = e
+		}
+		e.Samples = append(e.Samples, ns)
+		if m[3] != "" {
+			if allocs, err := strconv.ParseFloat(m[3], 64); err == nil {
+				e.AllocSamples = append(e.AllocSamples, allocs)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range out {
+		e.MedianNsOp = median(e.Samples)
+		if len(e.AllocSamples) > 0 {
+			e.MedianAllocs = median(e.AllocSamples)
+		}
+	}
+	return out, nil
+}
+
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse")
+	out := flag.String("out", "", "write aggregated results as JSON (e.g. BENCH_ci.json)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
+	guard := flag.String("guard", "BenchmarkPacketPath", "benchmark name the gate protects")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -in is required")
+		os.Exit(2)
+	}
+
+	results, err := parse(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark lines found in", *in)
+		os.Exit(2)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+
+	blob, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	base := make(map[string]*Entry)
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: bad baseline:", err)
+		os.Exit(2)
+	}
+	want, ok := base[*guard]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", *guard, *baseline)
+		os.Exit(2)
+	}
+	got, ok := results[*guard]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *guard, *in)
+		os.Exit(2)
+	}
+	limit := want.MedianNsOp * (1 + *tolerance)
+	fmt.Printf("benchguard: %s median %.1f ns/op (baseline %.1f, limit %.1f)\n",
+		*guard, got.MedianNsOp, want.MedianNsOp, limit)
+	if got.MedianNsOp > limit {
+		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
+			*guard, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
+		os.Exit(1)
+	}
+	// allocs/op is hardware-independent, so it gets no tolerance: any
+	// allocation creeping into the guarded free-list hot path fails the
+	// gate even on a runner much faster than the baseline machine.
+	if len(want.AllocSamples) > 0 && len(got.AllocSamples) > 0 {
+		fmt.Printf("benchguard: %s median %.0f allocs/op (baseline %.0f)\n",
+			*guard, got.MedianAllocs, want.MedianAllocs)
+		if got.MedianAllocs > want.MedianAllocs {
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.0f allocs/op exceeds baseline %.0f\n",
+				*guard, got.MedianAllocs, want.MedianAllocs)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,7 +1,8 @@
-// Command stardust-fabric regenerates Fig 9: latency and queue-size
-// distributions of the two-tier cell fabric at several utilizations, with
-// the M/D/1 analytical reference. Each utilization is an independent
-// scenario instance, so -workers=N runs the sweep in parallel.
+// Command stardust-fabric runs the cell-fabric experiments: the Fig 9
+// latency/queue distributions (slotted model), and the topology-faithful
+// per-link fabric's load-balance (linkload) and failure-recovery
+// (failures) scenarios. Each instance is independent, so -workers=N runs
+// sweeps in parallel.
 package main
 
 import (
@@ -13,18 +14,36 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 4, "scale divisor of the 256-FA topology (1 = paper scale)")
-	util := flag.Float64("util", 0, "run a single utilization instead of the paper's set")
-	dist := flag.Bool("dist", false, "dump the full latency/queue distributions (TSV)")
+	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures")
+	scale := flag.Int("scale", 4, "fig9: scale divisor of the 256-FA topology (1 = paper scale)")
+	util := flag.Float64("util", 0, "fig9: run a single utilization instead of the paper's set")
+	dist := flag.Bool("dist", false, "fig9: dump the full latency/queue distributions (TSV)")
+	k := flag.Int("k", 8, "linkload/failures: fat-tree K sizing the Clos")
+	mode := flag.String("mode", "both", "linkload: spray, ecmp or both")
+	failN := flag.Int("fail", 4, "failures: number of random links to kill")
+	failMs := flag.Int("failat", 10, "failures: failure time in ms after warmup")
 	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	p := engine.Params{
-		"scale": fmt.Sprint(*scale),
-		"dist":  fmt.Sprint(*dist),
+	var job engine.Job
+	switch *exp {
+	case "linkload":
+		job = engine.Job{Scenario: "fabric/linkload", Params: engine.Params{
+			"k": fmt.Sprint(*k), "mode": *mode,
+		}}
+	case "failures":
+		job = engine.Job{Scenario: "fabric/failures", Params: engine.Params{
+			"k": fmt.Sprint(*k), "fail": fmt.Sprint(*failN), "fail_ms": fmt.Sprint(*failMs),
+		}}
+	default:
+		p := engine.Params{
+			"scale": fmt.Sprint(*scale),
+			"dist":  fmt.Sprint(*dist),
+		}
+		if *util > 0 {
+			p["utils"] = fmt.Sprint(*util)
+		}
+		job = engine.Job{Scenario: "fabric/" + *exp, Params: p}
 	}
-	if *util > 0 {
-		p["utils"] = fmt.Sprint(*util)
-	}
-	engine.Main(eng, []engine.Job{{Scenario: "fabric/fig9", Params: p}})
+	engine.Main(eng, []engine.Job{job})
 }

@@ -14,12 +14,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "perm", "experiment: perm, fct, incast")
+	exp := flag.String("exp", "perm", "experiment: perm, fct, incast, hotspot, alltoall")
 	k := flag.Int("k", 8, "fat-tree K (12 = the paper's 432 hosts)")
 	durMs := flag.Int("dur", 20, "measurement window in ms")
 	protos := flag.String("protos", "all", "comma-separated protocols or all")
 	flows := flag.Int("flows", 100, "measured flows for -exp fct")
 	incastN := flag.String("incastN", "4,8,16,32", "backend counts for -exp incast")
+	fabric := flag.Bool("fabric", false, "run Stardust over the per-link cell fabric (internal/fabric)")
+	hot := flag.Int("hot", 2, "hot destinations for -exp hotspot")
+	frac := flag.Float64("frac", 0.4, "fraction of senders aimed at a hot destination")
 	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -27,6 +30,7 @@ func main() {
 		"k":      fmt.Sprint(*k),
 		"dur_ms": fmt.Sprint(*durMs),
 		"proto":  *protos,
+		"fabric": fmt.Sprint(*fabric),
 	}
 	var job engine.Job
 	switch *exp {
@@ -36,6 +40,12 @@ func main() {
 		job = engine.Job{Scenario: "htsim/fct", Params: base.With("flows", fmt.Sprint(*flows))}
 	case "incast":
 		job = engine.Job{Scenario: "htsim/incast", Params: base.With("n", *incastN)}
+	case "hotspot":
+		job = engine.Job{Scenario: "htsim/hotspot", Params: base.Merge(engine.Params{
+			"hot": fmt.Sprint(*hot), "frac": fmt.Sprint(*frac),
+		})}
+	case "alltoall":
+		job = engine.Job{Scenario: "htsim/alltoall", Params: base}
 	default:
 		job = engine.Job{Scenario: "htsim/" + *exp, Params: base} // engine reports the unknown name
 	}

@@ -1,0 +1,150 @@
+package cell
+
+import (
+	"math/rand"
+	"testing"
+
+	"stardust/internal/sim"
+)
+
+// skewShuffle reorders cells within a bounded window: cell i may only
+// arrive up to skew positions away from its slot. This is the reorder
+// profile per-link spraying actually produces (bounded by Fabric Element
+// queue depth, §4.1), unlike a full permutation.
+func skewShuffle(rng *rand.Rand, n, skew int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := range order {
+		j := i + rng.Intn(skew)
+		if j >= n {
+			j = n - 1
+		}
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Streaming out-of-order arrival across many consecutive batches: the
+// cursor must advance through thousands of cells (wrapping the 16-bit
+// sequence space) with every packet completing in order.
+func TestReassembleStreamingBoundedSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := NewFragmenter(DefaultCellSize, true)
+	r := NewReassembler(256, sim.Millisecond)
+	now := sim.Time(0)
+	var completed uint64
+	const batches = 3500 // enough cells to wrap the uint16 sequence space
+	var nextID uint64
+	for b := 0; b < batches; b++ {
+		var batch []PacketRef
+		for i := 0; i < rng.Intn(6)+1; i++ {
+			nextID++
+			batch = append(batch, PacketRef{ID: nextID, Size: rng.Intn(4000) + 1})
+		}
+		cells := f.Fragment(0, 1, 0, batch)
+		for _, i := range skewShuffle(rng, len(cells), 16) {
+			now += sim.Microsecond
+			for _, p := range r.Push(now, cells[i]) {
+				completed++
+				if p.ID != completed {
+					t.Fatalf("batch %d: packet %d completed at position %d", b, p.ID, completed)
+				}
+			}
+		}
+	}
+	if completed != nextID {
+		t.Fatalf("completed %d of %d packets", completed, nextID)
+	}
+	if r.Discarded != 0 || r.Resyncs != 0 {
+		t.Fatalf("loss-free stream discarded: %+v", r)
+	}
+	if r.CellsSeen <= 1<<16 {
+		// The point of the test is exercising wraparound; make sure the
+		// stream was actually long enough.
+		t.Fatalf("stream too short to wrap: %d cells", r.CellsSeen)
+	}
+}
+
+// Same seed, same arrival order => identical completions and stats; the
+// reassembler must be deterministic for the engine's byte-identical
+// guarantee.
+func TestReassembleReorderDeterministic(t *testing.T) {
+	run := func() (uint64, uint64, uint16) {
+		rng := rand.New(rand.NewSource(77))
+		f := NewFragmenter(DefaultCellSize, true)
+		r := NewReassembler(128, sim.Millisecond)
+		var done uint64
+		for b := 0; b < 50; b++ {
+			var batch []PacketRef
+			for i := 0; i < rng.Intn(4)+1; i++ {
+				batch = append(batch, PacketRef{ID: uint64(b*10 + i + 1), Size: rng.Intn(2000) + 1})
+			}
+			cells := f.Fragment(0, 1, 0, batch)
+			for _, i := range skewShuffle(rng, len(cells), 8) {
+				done += uint64(len(r.Push(sim.Time(b), cells[i])))
+			}
+		}
+		return done, r.CellsSeen, r.Cursor()
+	}
+	d1, c1, s1 := run()
+	d2, c2, s2 := run()
+	if d1 != d2 || c1 != c2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", d1, c1, s1, d2, c2, s2)
+	}
+}
+
+// Two interleaved (source, TC) streams each get their own reassembler at
+// the destination FA; arbitrary interleaving of the two arrival orders
+// must not cross-contaminate them.
+func TestReassembleTwoStreamsInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fA := NewFragmenter(DefaultCellSize, true)
+	fB := NewFragmenter(DefaultCellSize, true)
+	cellsA := fA.Fragment(0, 1, 0, refs(900, 64, 2000, 333))
+	cellsB := fB.Fragment(2, 1, 0, refs(128, 5000))
+	rA := NewReassembler(64, sim.Millisecond)
+	rB := NewReassembler(64, sim.Millisecond)
+
+	type arrival struct {
+		r *Reassembler
+		c *Cell
+	}
+	var arrivals []arrival
+	for _, i := range skewShuffle(rng, len(cellsA), 4) {
+		arrivals = append(arrivals, arrival{rA, cellsA[i]})
+	}
+	for _, i := range skewShuffle(rng, len(cellsB), 4) {
+		arrivals = append(arrivals, arrival{rB, cellsB[i]})
+	}
+	rng.Shuffle(len(arrivals), func(i, j int) { arrivals[i], arrivals[j] = arrivals[j], arrivals[i] })
+
+	var doneA, doneB []PacketRef
+	for i, a := range arrivals {
+		out := a.r.Push(sim.Time(i), a.c)
+		if a.r == rA {
+			doneA = append(doneA, out...)
+		} else {
+			doneB = append(doneB, out...)
+		}
+	}
+	wantA := []int{900, 64, 2000, 333}
+	if len(doneA) != len(wantA) {
+		t.Fatalf("stream A completed %d of %d", len(doneA), len(wantA))
+	}
+	for i, p := range doneA {
+		if p.Size != wantA[i] {
+			t.Fatalf("stream A order: got %v", doneA)
+		}
+	}
+	wantB := []int{128, 5000}
+	if len(doneB) != len(wantB) {
+		t.Fatalf("stream B completed %d of %d", len(doneB), len(wantB))
+	}
+	for i, p := range doneB {
+		if p.Size != wantB[i] {
+			t.Fatalf("stream B order: got %v", doneB)
+		}
+	}
+}

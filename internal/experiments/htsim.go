@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"stardust/internal/fabric"
 	"stardust/internal/netsim"
 	"stardust/internal/sim"
 	"stardust/internal/stats"
@@ -42,7 +43,11 @@ type HtsimConfig struct {
 	// StardustSpeedup overrides the credit speed-up ratio (0 = the
 	// paper's 1.03) — the §6.2 ablation knob.
 	StardustSpeedup float64
-	Seed            int64
+	// FullFabric replaces the fluid trunk model of the Stardust substrate
+	// with the topology-faithful per-link fabric (internal/fabric): every
+	// FE device and serial link simulated, cells sprayed per link.
+	FullFabric bool
+	Seed       int64
 }
 
 // DefaultHtsim returns the paper-scale configuration.
@@ -74,6 +79,7 @@ type testbed struct {
 	s     *sim.Simulator
 	ft    *netsim.FatTreeNet
 	sd    *netsim.StardustNet
+	fab   *fabric.Net // non-nil when cfg.FullFabric selected the per-link fabric
 	hosts int
 	rng   *rand.Rand
 }
@@ -95,6 +101,20 @@ func newTestbed(cfg HtsimConfig, proto Protocol) (*testbed, error) {
 		sd, err := netsim.NewStardustNet(tb.s, sdc, cfg.K*cfg.K*cfg.K/4, hostsPer)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.FullFabric {
+			cl, err := fabric.ClosFor(cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			fcfg := fabric.DefaultConfig(netsim.Bps(float64(ftc.LinkRate)*1.05), ftc.LinkDelay, cfg.Seed)
+			fn, err := fabric.New(tb.s, fcfg, cl)
+			if err != nil {
+				return nil, err
+			}
+			fn.OnDeliver = sd.DeliverCell
+			sd.UseFabric(fn)
+			tb.fab = fn
 		}
 		tb.sd = sd
 		tb.hosts = cfg.K * cfg.K * cfg.K / 4

@@ -1,0 +1,474 @@
+// Package fabric is the topology-faithful cell fabric: every Fabric
+// Adapter and Fabric Element of a topo.Clos instance is its own device,
+// every serial link its own serialization queue + propagation pipe, and
+// cells are sprayed per-link at every tier with the §5.3 round-robin
+// permutation arbiter (reach.Spreader). It replaces the abstract
+// FabricHops-deep pipe of netsim's fluid Stardust model for experiments
+// that need per-link load balance, tier-by-tier buffering or link
+// failures: it implements netsim.CellFabric, so the Stardust transport
+// substrate plugs in unchanged.
+//
+// Routing is the up/down scheme of §3.1: the source FA sprays each cell
+// over its live uplinks; a first-tier FE delivers directly when it has a
+// live down link to the destination FA and sprays upward otherwise; a
+// spine FE sprays over the down links that reach the destination. The
+// per-device forwarding state is the hardware reachability table of
+// §5.8 (reach.Table): link failures are detected locally at once
+// (keepalive, §5.9) and the lost reachability propagates to the spine
+// after Cfg.ReachDelay via reach messages, exactly the protocol the paper
+// sizes in Appendix E.
+//
+// The per-cell hot path allocates nothing: cells are pooled
+// netsim.Packets, every directed link's route is prebuilt once, spreader
+// reshuffles are in place, and forwarding state lives in dense bitmaps.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stardust/internal/netsim"
+	"stardust/internal/reach"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// Config sizes the fabric's links and control plane.
+type Config struct {
+	LinkRate  netsim.Bps // per serial link (the paper runs the fabric ~5% over the edge)
+	LinkDelay sim.Time   // per-hop propagation
+	LinkBytes int        // per-link queue capacity
+	// ReshuffleRounds is how many full traversals a spreader keeps one
+	// permutation before reshuffling (§5.3's anti-synchronization).
+	ReshuffleRounds int
+	// ReachDelay is the latency for a reachability withdrawal to reach the
+	// spine tier after a local failure (Appendix E's propagation step).
+	ReachDelay sim.Time
+	Seed       int64
+}
+
+// DefaultConfig returns a fabric configuration for the given link speed
+// and hop delay.
+func DefaultConfig(rate netsim.Bps, delay sim.Time, seed int64) Config {
+	return Config{
+		LinkRate:        rate,
+		LinkDelay:       delay,
+		LinkBytes:       256 << 10,
+		ReshuffleRounds: 64,
+		ReachDelay:      50 * sim.Microsecond,
+		Seed:            seed,
+	}
+}
+
+// ClosFor returns a two-tier Clos sized to front a k-ary fat-tree's edge:
+// one FA per edge switch (k²/2 of them) with k/2 uplinks each, k
+// first-tier FEs and k spines, with the FE1 uplink count rounded up to a
+// multiple of the spine count so every FE1 reaches every FE2 at full
+// bisection bandwidth.
+func ClosFor(k int) (*topo.Clos, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("fabric: k must be even and >= 4, got %d", k)
+	}
+	fe1Up := (k + 3) / 4 * k // >= k²/4 down links, and a multiple of k spines
+	return topo.NewClos2(k*k/2, k/2, k, k*k/4, fe1Up, k)
+}
+
+// link is one direction of a physical serial link: a serialization queue,
+// the shared propagation pipe, and an arrival gate (the link itself) that
+// loses cells when the link is down — cells already serialized into a
+// failed link are lost on the wire, like the real thing.
+type link struct {
+	net   *Net
+	q     *netsim.Queue
+	to    netsim.Handler // receiving device
+	route []netsim.Handler
+	up    bool
+}
+
+// Receive implements netsim.Handler: the cell reaches the far end.
+func (l *link) Receive(c *netsim.Packet) {
+	if !l.up {
+		l.net.DeadDrops++
+		c.Release()
+		return
+	}
+	l.to.Receive(c)
+}
+
+func (l *link) send(c *netsim.Packet) {
+	c.SetRoute(l.route)
+	c.SendOn()
+}
+
+// faDev is a Fabric Adapter's fabric-facing side: the uplink sprayer.
+type faDev struct {
+	net  *Net
+	id   int
+	up   []*link
+	live reach.Bitmap // uplinks passing keepalive
+	spr  *reach.Spreader
+}
+
+// faEgress terminates cells at their destination Fabric Adapter.
+type faEgress struct {
+	net *Net
+	id  int
+}
+
+// Receive implements netsim.Handler.
+func (e *faEgress) Receive(c *netsim.Packet) {
+	e.net.Delivered++
+	if fn := e.net.OnDeliver; fn != nil {
+		fn(c)
+		return
+	}
+	c.Release()
+}
+
+// feDev is a Fabric Element (either tier). FE1s have both down links
+// (to FAs) and uplinks (to FE2s); FE2s have down links only (to FE1s).
+type feDev struct {
+	net      *Net
+	id       topo.NodeID
+	down     []*link
+	ups      []*link      // nil on FE2s and in single-tier fabrics
+	downPeer []int        // peer device index per down port
+	tbl      *reach.Table // destination FA -> down links that reach it
+	liveUp   reach.Bitmap // FE1 only: uplinks passing keepalive
+	sprDown  *reach.Spreader
+	sprUp    *reach.Spreader
+}
+
+// Receive implements netsim.Handler: forward one cell. Down beats up
+// (shortest path); a cell that already descended must not climb again
+// (no valleys), so during reachability convergence a mis-steered cell is
+// discarded rather than looped — the paper's packet-discard window.
+func (d *feDev) Receive(c *netsim.Packet) {
+	if l := d.sprDown.Next(d.tbl.Links(int(c.Dst))); l >= 0 {
+		c.Down = true
+		d.down[l].send(c)
+		return
+	}
+	if d.ups != nil && !c.Down {
+		if l := d.sprUp.Next(d.liveUp); l >= 0 {
+			d.ups[l].send(c)
+			return
+		}
+	}
+	d.net.NoRouteDrops++
+	c.Release()
+}
+
+// Net owns every device and directed link of one Clos instance. It
+// implements netsim.CellFabric.
+type Net struct {
+	Cfg  Config
+	Sim  *sim.Simulator
+	Topo *topo.Clos
+
+	fas    []*faDev
+	egress []faEgress
+	fe1    []*feDev
+	fe2    []*feDev
+	// links holds both directions of every topology link: 2i is A->B,
+	// 2i+1 is B->A.
+	links    []*link
+	linkDown []bool // per topology link
+	pipe     *netsim.Pipe
+	hairpin  [][]netsim.Handler // per FA: local switching path (src FA == dst FA)
+
+	// OnDeliver receives every cell that reaches its destination FA. The
+	// callback owns the cell (must forward or Release it). When nil,
+	// delivered cells are Released.
+	OnDeliver func(*netsim.Packet)
+
+	// Stats
+	Injected     uint64
+	Delivered    uint64
+	DeadDrops    uint64 // cells lost on a failed link
+	NoRouteDrops uint64 // cells with no live next hop (convergence window)
+}
+
+// New builds all devices and links of the Clos instance c.
+func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
+	if cfg.LinkRate <= 0 || cfg.LinkBytes <= 0 {
+		return nil, fmt.Errorf("fabric: need positive link rate and capacity")
+	}
+	if cfg.ReshuffleRounds < 1 {
+		cfg.ReshuffleRounds = 64
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{
+		Cfg:      cfg,
+		Sim:      s,
+		Topo:     c,
+		pipe:     netsim.NewPipe(s, cfg.LinkDelay),
+		linkDown: make([]bool, len(c.Links)),
+	}
+	seeds := rand.New(rand.NewSource(cfg.Seed))
+
+	n.fas = make([]*faDev, c.NumFA)
+	n.egress = make([]faEgress, c.NumFA)
+	n.hairpin = make([][]netsim.Handler, c.NumFA)
+	for i := range n.fas {
+		n.egress[i] = faEgress{net: n, id: i}
+		n.fas[i] = &faDev{
+			net:  n,
+			id:   i,
+			up:   make([]*link, c.FAUplinks),
+			live: reach.NewBitmap(c.FAUplinks),
+			spr:  reach.NewSpreader(c.FAUplinks, cfg.ReshuffleRounds, seeds.Int63()),
+		}
+		n.hairpin[i] = []netsim.Handler{n.pipe, &n.egress[i]}
+	}
+	mkFE := func(id topo.NodeID, downs, ups int) *feDev {
+		d := &feDev{
+			net:      n,
+			id:       id,
+			down:     make([]*link, downs),
+			downPeer: make([]int, downs),
+			tbl:      reach.NewTable(c.NumFA, downs),
+			sprDown:  reach.NewSpreader(downs, cfg.ReshuffleRounds, seeds.Int63()),
+		}
+		if ups > 0 {
+			d.ups = make([]*link, ups)
+			d.liveUp = reach.NewBitmap(ups)
+			d.sprUp = reach.NewSpreader(ups, cfg.ReshuffleRounds, seeds.Int63())
+		}
+		return d
+	}
+	n.fe1 = make([]*feDev, c.NumFE1)
+	for i := range n.fe1 {
+		n.fe1[i] = mkFE(topo.NodeID{Kind: topo.KindFE1, Index: i}, c.FE1Down, c.FE1Up)
+	}
+	n.fe2 = make([]*feDev, c.NumFE2)
+	for i := range n.fe2 {
+		n.fe2[i] = mkFE(topo.NodeID{Kind: topo.KindFE2, Index: i}, c.FE2Down, 0)
+	}
+
+	mkLink := func(from topo.NodeID, port int, to netsim.Handler) *link {
+		l := &link{
+			net: n,
+			q:   netsim.NewQueue(s, fmt.Sprintf("%v:%d", from, port), cfg.LinkRate, cfg.LinkBytes, 0),
+			to:  to,
+			up:  true,
+		}
+		l.route = []netsim.Handler{l.q, n.pipe, l}
+		return l
+	}
+	for _, lk := range c.Links {
+		switch {
+		case lk.A.Kind == topo.KindFA && lk.B.Kind == topo.KindFE1:
+			fa, fe := n.fas[lk.A.Index], n.fe1[lk.B.Index]
+			upL := mkLink(lk.A, lk.APort, fe)
+			fa.up[lk.APort] = upL
+			fa.live.Set(lk.APort)
+			dnL := mkLink(lk.B, lk.BPort, &n.egress[lk.A.Index])
+			fe.down[lk.BPort] = dnL
+			fe.downPeer[lk.BPort] = lk.A.Index
+			n.links = append(n.links, upL, dnL)
+		case lk.A.Kind == topo.KindFE1 && lk.B.Kind == topo.KindFE2:
+			fe, sp := n.fe1[lk.A.Index], n.fe2[lk.B.Index]
+			u := lk.APort - c.FE1Down
+			upL := mkLink(lk.A, lk.APort, sp)
+			fe.ups[u] = upL
+			fe.liveUp.Set(u)
+			dnL := mkLink(lk.B, lk.BPort, fe)
+			sp.down[lk.BPort] = dnL
+			sp.downPeer[lk.BPort] = lk.A.Index
+			n.links = append(n.links, upL, dnL)
+		default:
+			return nil, fmt.Errorf("fabric: unsupported link %v-%v", lk.A, lk.B)
+		}
+	}
+
+	// Seed the reachability tables from the wiring: each FE1 down port
+	// advertises its attached FA; each FE2 down port carries the full
+	// reachable set of the FE1 behind it (§5.8).
+	one := reach.NewBitmap(c.NumFA)
+	for _, fe := range n.fe1 {
+		for p, fa := range fe.downPeer {
+			one.Reset()
+			one.Set(fa)
+			applySet(fe.tbl, p, one, c.NumFA)
+		}
+	}
+	for _, sp := range n.fe2 {
+		for p, f := range sp.downPeer {
+			applySet(sp.tbl, p, n.fe1[f].tbl.ReachableSet(), c.NumFA)
+		}
+	}
+	return n, nil
+}
+
+// applySet installs set as the advertised reachability of one link via
+// the wire-format message sequence (exercising the real protocol path).
+func applySet(t *reach.Table, port int, set reach.Bitmap, numFA int) {
+	for _, m := range reach.BuildMessages(0, set, numFA) {
+		if err := t.ApplyMessage(port, m); err != nil {
+			panic(err) // construction-time wiring bug
+		}
+	}
+}
+
+// Inject sends one cell from srcFA toward dstFA. The cell's Flow field is
+// opaque to the fabric and travels with it; delivered cells are handed to
+// OnDeliver, lost cells are Released. Implements netsim.CellFabric.
+func (n *Net) Inject(c *netsim.Packet, srcFA, dstFA int) {
+	n.Injected++
+	c.Dst = int32(dstFA)
+	c.Down = false
+	if srcFA == dstFA {
+		// Local switching inside the adapter: no fabric crossing.
+		c.SetRoute(n.hairpin[srcFA])
+		c.SendOn()
+		return
+	}
+	d := n.fas[srcFA]
+	if l := d.spr.Next(d.live); l >= 0 {
+		d.up[l].send(c)
+		return
+	}
+	n.NoRouteDrops++
+	c.Release()
+}
+
+// Drops counts every cell lost inside the fabric: failed-link losses,
+// no-route discards during convergence, and link-queue tail drops.
+// Implements netsim.CellFabric.
+func (n *Net) Drops() uint64 {
+	d := n.DeadDrops + n.NoRouteDrops
+	for _, l := range n.links {
+		d += l.q.Drops
+	}
+	return d
+}
+
+// FailLink takes down both directions of topology link i (an index into
+// Topo.Links). The adjacent devices detect the loss immediately
+// (keepalive, §5.9); withdrawal of any lost FA reachability reaches the
+// spine tier after Cfg.ReachDelay (§5.8, Appendix E).
+func (n *Net) FailLink(i int) {
+	if n.linkDown[i] {
+		return
+	}
+	n.linkDown[i] = true
+	n.links[2*i].up = false
+	n.links[2*i+1].up = false
+	n.applyLinkState(n.Topo.Links[i], false)
+}
+
+// RestoreLink brings topology link i back up and re-advertises the
+// recovered reachability after the same propagation delay.
+func (n *Net) RestoreLink(i int) {
+	if !n.linkDown[i] {
+		return
+	}
+	n.linkDown[i] = false
+	n.links[2*i].up = true
+	n.links[2*i+1].up = true
+	n.applyLinkState(n.Topo.Links[i], true)
+}
+
+func (n *Net) applyLinkState(lk topo.Link, up bool) {
+	switch lk.A.Kind {
+	case topo.KindFA: // FA <-> FE1
+		fa, fe := n.fas[lk.A.Index], n.fe1[lk.B.Index]
+		if up {
+			fa.live.Set(lk.APort)
+			one := reach.NewBitmap(n.Topo.NumFA)
+			one.Set(lk.A.Index)
+			applySet(fe.tbl, lk.BPort, one, n.Topo.NumFA)
+		} else {
+			fa.live.Clear(lk.APort)
+			fe.tbl.LinkDown(lk.BPort)
+		}
+		n.readvertise(fe)
+	case topo.KindFE1: // FE1 <-> FE2
+		fe, sp := n.fe1[lk.A.Index], n.fe2[lk.B.Index]
+		u := lk.APort - n.Topo.FE1Down
+		if up {
+			fe.liveUp.Set(u)
+			applySet(sp.tbl, lk.BPort, fe.tbl.ReachableSet(), n.Topo.NumFA)
+		} else {
+			fe.liveUp.Clear(u)
+			sp.tbl.LinkDown(lk.BPort)
+		}
+	}
+}
+
+// readvertise propagates fe's (changed) reachable set to every spine it
+// still has a live link to, after the protocol's propagation delay. The
+// set is recomputed at delivery time, so overlapping failures coalesce
+// into the latest truth.
+func (n *Net) readvertise(fe *feDev) {
+	if len(n.fe2) == 0 {
+		return // single-tier fabric: FAs spray blindly, nothing upstream
+	}
+	n.Sim.After(n.Cfg.ReachDelay, func() {
+		msgs := reach.BuildMessages(uint16(fe.id.Index), fe.tbl.ReachableSet(), n.Topo.NumFA)
+		for _, sp := range n.fe2 {
+			for p, peer := range sp.downPeer {
+				if peer != fe.id.Index || !sp.down[p].up {
+					continue
+				}
+				for _, m := range msgs {
+					if err := sp.tbl.ApplyMessage(p, m); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// UnreachablePairs cross-checks the reachability state after failures: it
+// counts (spine, destination FA) pairs with no live down path plus FAs
+// with no live uplink at all. Zero means every destination is still
+// deliverable from everywhere — the §5.9 self-healing invariant.
+func (n *Net) UnreachablePairs() int {
+	bad := 0
+	for _, sp := range n.fe2 {
+		for fa := 0; fa < n.Topo.NumFA; fa++ {
+			if !sp.tbl.Reachable(fa) {
+				bad++
+			}
+		}
+	}
+	for _, d := range n.fas {
+		if d.live.Count() == 0 {
+			bad++
+		}
+	}
+	return bad
+}
+
+// FAUplinkBytes returns the forwarded byte count of every FA uplink
+// queue in device-major order — the per-link load-balance evidence for
+// the linkload experiment.
+func (n *Net) FAUplinkBytes() []uint64 {
+	out := make([]uint64, 0, n.Topo.NumFA*n.Topo.FAUplinks)
+	for _, d := range n.fas {
+		for _, l := range d.up {
+			out = append(out, l.q.FwdBytes)
+		}
+	}
+	return out
+}
+
+// VisitQueues visits every directed link's serialization queue (for
+// aggregate statistics).
+func (n *Net) VisitQueues(fn func(q *netsim.Queue)) {
+	for _, l := range n.links {
+		fn(l.q)
+	}
+}
+
+// QueueDrops sums tail drops across all link queues.
+func (n *Net) QueueDrops() uint64 {
+	var d uint64
+	n.VisitQueues(func(q *netsim.Queue) { d += q.Drops })
+	return d
+}

@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"testing"
+
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+func TestClosForShapes(t *testing.T) {
+	for _, k := range []int{4, 6, 8, 12} {
+		c, err := ClosFor(k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if c.NumFA != k*k/2 || c.FAUplinks != k/2 {
+			t.Fatalf("K=%d: %d FAs x %d uplinks", k, c.NumFA, c.FAUplinks)
+		}
+		if c.FE1Up < c.FE1Down {
+			t.Fatalf("K=%d: oversubscribed FE1 tier (%d up < %d down)", k, c.FE1Up, c.FE1Down)
+		}
+	}
+	if _, err := ClosFor(5); err == nil {
+		t.Fatal("odd K must error")
+	}
+}
+
+// newTestNet builds a K=4 fabric (8 FAs, 4 FE1s, 4 FE2s).
+func newTestNet(t *testing.T, seed int64) (*sim.Simulator, *Net) {
+	t.Helper()
+	c, err := ClosFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	n, err := New(s, DefaultConfig(10e9, sim.Microsecond, seed), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
+}
+
+// inject paces cells from every FA to a permutation destination; rate is
+// well under the per-FA uplink capacity so queues never overflow.
+func injectAll(s *sim.Simulator, n *Net, cells int) {
+	numFA := n.Topo.NumFA
+	gap := 2 * sim.Microsecond // 512B at 10G is ~410ns; x5 headroom over 2 uplinks
+	for i := 0; i < cells; i++ {
+		i := i
+		src := i % numFA
+		dst := (src + 1 + (i/numFA)%(numFA-1)) % numFA
+		s.At(sim.Time(i/numFA)*gap, func() {
+			c := netsim.NewPacket()
+			c.Size = 512
+			n.Inject(c, src, dst)
+		})
+	}
+}
+
+func TestFabricDeliversEverything(t *testing.T) {
+	s, n := newTestNet(t, 1)
+	const cells = 4000
+	injectAll(s, n, cells)
+	s.Run()
+	if n.Injected != cells {
+		t.Fatalf("injected %d, want %d", n.Injected, cells)
+	}
+	if n.Delivered != cells {
+		t.Fatalf("delivered %d of %d (drops: dead=%d noroute=%d queue=%d)",
+			n.Delivered, cells, n.DeadDrops, n.NoRouteDrops, n.QueueDrops())
+	}
+	if n.Drops() != 0 {
+		t.Fatalf("healthy fabric dropped %d cells", n.Drops())
+	}
+}
+
+func TestFabricHairpin(t *testing.T) {
+	s, n := newTestNet(t, 1)
+	got := 0
+	n.OnDeliver = func(c *netsim.Packet) { got++; c.Release() }
+	c := netsim.NewPacket()
+	c.Size = 512
+	n.Inject(c, 3, 3)
+	s.Run()
+	if got != 1 || n.Delivered != 1 {
+		t.Fatalf("hairpin delivered %d", got)
+	}
+}
+
+// §5.3: under sustained traffic the source FA's uplinks must carry byte
+// counts within a few percent of each other.
+func TestFabricSprayBalance(t *testing.T) {
+	s, n := newTestNet(t, 7)
+	const cells = 6000
+	injectAll(s, n, cells)
+	s.Run()
+	perFA := n.Topo.FAUplinks
+	bytes := n.FAUplinkBytes()
+	for fa := 0; fa < n.Topo.NumFA; fa++ {
+		var min, max uint64
+		for p := 0; p < perFA; p++ {
+			b := bytes[fa*perFA+p]
+			if p == 0 || b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if min == 0 {
+			t.Fatalf("FA%d: an uplink carried nothing", fa)
+		}
+		if spread := float64(max-min) / float64(max); spread > 0.05 {
+			t.Fatalf("FA%d: uplink spread %.1f%% exceeds 5%% (min=%d max=%d)", fa, 100*spread, min, max)
+		}
+	}
+}
+
+func TestFabricDeterminism(t *testing.T) {
+	run := func() (uint64, []uint64) {
+		s, n := newTestNet(t, 42)
+		injectAll(s, n, 3000)
+		s.Run()
+		return n.Delivered, n.FAUplinkBytes()
+	}
+	d1, b1 := run()
+	d2, b2 := run()
+	if d1 != d2 {
+		t.Fatalf("delivered %d vs %d", d1, d2)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("link %d: %d vs %d bytes", i, b1[i], b2[i])
+		}
+	}
+}
+
+// Failing links mid-run must lose only in-flight cells, keep the
+// reachability invariant, and leak nothing: every injected cell is
+// either delivered or released through a counted drop path.
+func TestFabricFailureBalanceAndRecovery(t *testing.T) {
+	s, n := newTestNet(t, 3)
+	const cells = 8000
+	injectAll(s, n, cells)
+	// Kill two links mid-traffic: one FA-FE1 link and one FE1-FE2 link.
+	var faLink, feLink = -1, -1
+	for i, lk := range n.Topo.Links {
+		if lk.A.Kind == topo.KindFA && faLink < 0 {
+			faLink = i
+		}
+		if lk.A.Kind == topo.KindFE1 && feLink < 0 {
+			feLink = i
+		}
+	}
+	s.At(200*sim.Microsecond, func() {
+		n.FailLink(faLink)
+		n.FailLink(feLink)
+	})
+	s.Run()
+	if n.Injected != cells {
+		t.Fatalf("injected %d", n.Injected)
+	}
+	if got := n.Delivered + n.Drops(); got != cells {
+		t.Fatalf("cell leak: delivered %d + dropped %d != injected %d",
+			n.Delivered, n.Drops(), cells)
+	}
+	if n.Drops() == 0 {
+		t.Fatal("expected some loss from the failed links")
+	}
+	// With only two failures every FA keeps live uplinks and every spine
+	// keeps a path to every FA: the fabric self-heals (§5.9).
+	if u := n.UnreachablePairs(); u != 0 {
+		t.Fatalf("unreachable pairs after healing: %d", u)
+	}
+	// Traffic injected after convergence must get through untouched.
+	pre := n.Delivered
+	preDrops := n.Drops()
+	injectAll(s, n, 2000)
+	s.Run()
+	if gotDrops := n.Drops() - preDrops; gotDrops != 0 {
+		t.Fatalf("post-recovery traffic dropped %d cells", gotDrops)
+	}
+	if n.Delivered-pre != 2000 {
+		t.Fatalf("post-recovery delivered %d of 2000", n.Delivered-pre)
+	}
+}
+
+func TestFabricRestoreLink(t *testing.T) {
+	s, n := newTestNet(t, 5)
+	n.FailLink(0)
+	n.FailLink(1)
+	s.Run()
+	n.RestoreLink(0)
+	n.RestoreLink(1)
+	s.Run()
+	if u := n.UnreachablePairs(); u != 0 {
+		t.Fatalf("unreachable after restore: %d", u)
+	}
+	injectAll(s, n, 2000)
+	s.Run()
+	if n.Drops() != 0 {
+		t.Fatalf("restored fabric dropped %d", n.Drops())
+	}
+}
+
+// Isolating an FA (all uplinks down) must surface in the reachability
+// cross-check and drop its traffic through counted paths, not hang.
+func TestFabricIsolatedFA(t *testing.T) {
+	s, n := newTestNet(t, 9)
+	for i, lk := range n.Topo.Links {
+		if lk.A.Kind == topo.KindFA && lk.A.Index == 0 {
+			n.FailLink(i)
+		}
+	}
+	s.Run() // let withdrawals propagate
+	if u := n.UnreachablePairs(); u == 0 {
+		t.Fatal("isolated FA not visible in reachability cross-check")
+	}
+	c := netsim.NewPacket()
+	c.Size = 512
+	n.Inject(c, 0, 5) // no live uplink
+	c2 := netsim.NewPacket()
+	c2.Size = 512
+	n.Inject(c2, 5, 0) // reachable nowhere after convergence
+	s.Run()
+	if n.Delivered != 0 {
+		t.Fatalf("delivered %d to/from an isolated FA", n.Delivered)
+	}
+	if n.Injected != n.Drops() {
+		t.Fatalf("leak: injected %d, dropped %d", n.Injected, n.Drops())
+	}
+}
+
+// The per-cell path must stay allocation-free in steady state (pooled
+// cells, prebuilt routes, in-place reshuffles).
+func TestFabricAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	s, n := newTestNet(t, 11)
+	// Warm the pools and rings.
+	injectAll(s, n, 2000)
+	s.Run()
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 64; i++ {
+			c := netsim.NewPacket()
+			c.Size = 512
+			n.Inject(c, i%8, (i+3)%8)
+		}
+		s.Run()
+	})
+	// 64 cells x 4 hops per run; allow a tiny residue for heap growth.
+	if avg > 2 {
+		t.Fatalf("fabric hot path allocates: %.1f allocs per 64 cells", avg)
+	}
+}

@@ -161,6 +161,19 @@ func (n *FatTreeNet) AllQueues(fn func(*Queue)) {
 	}
 }
 
+// EdgeUplinkBytes returns forwarded bytes per edge-switch uplink queue in
+// device-major order — the ECMP load-balance evidence compared against
+// the cell fabric's per-link spread in fabric/linkload.
+func (n *FatTreeNet) EdgeUplinkBytes() []uint64 {
+	var out []uint64
+	for _, qs := range n.edgeUp {
+		for _, q := range qs {
+			out = append(out, q.FwdBytes)
+		}
+	}
+	return out
+}
+
 // TotalDrops sums tail drops across the network.
 func (n *FatTreeNet) TotalDrops() uint64 {
 	var d uint64

@@ -35,12 +35,18 @@ type Handler interface {
 // Release at the end of their life (terminal endpoints and dropping queues
 // do this). A released packet must not be touched again.
 type Packet struct {
-	Size  int   // bytes on the wire
-	Seq   int64 // first byte carried (data) / echoed cumulative ack (ACK)
-	Ack   bool
-	CE    bool // congestion-experienced mark (set by queues)
-	Echo  bool // ECN echo on an ACK
-	Flow  any  // owning endpoint state (opaque to the network)
+	Size int   // bytes on the wire
+	Seq  int64 // first byte carried (data) / echoed cumulative ack (ACK)
+	Ack  bool
+	CE   bool // congestion-experienced mark (set by queues)
+	Echo bool // ECN echo on an ACK
+	Flow any  // owning endpoint state (opaque to the network)
+	// Fabric-cell addressing, used only when the packet is a cell crossing
+	// a per-link fabric (internal/fabric): Dst is the destination Fabric
+	// Adapter and Down latches once the cell has started descending so
+	// up/down routing cannot valley. Zero for ordinary packets.
+	Dst   int32
+	Down  bool
 	route []Handler
 	hop   int
 }
@@ -81,19 +87,19 @@ func (p *Packet) SendOn() {
 // next hop without allocating a closure.
 func (p *Packet) Act(uint64) { p.SendOn() }
 
-// pktRing is a growable circular buffer of packets. Unlike an
-// append-and-shift slice it reuses its backing array under sustained load:
-// the array only grows when more packets are simultaneously queued than
-// ever before.
-type pktRing struct {
-	buf  []*Packet
+// ring is a growable circular buffer. Unlike an append-and-shift slice it
+// reuses its backing array under sustained load: the array only grows
+// when more items are simultaneously queued than ever before. Vacated
+// slots are zeroed so pooled pointers do not linger past their pop.
+type ring[T any] struct {
+	buf  []T
 	head int
 	n    int
 }
 
-func (r *pktRing) len() int { return r.n }
+func (r *ring[T]) len() int { return r.n }
 
-func (r *pktRing) push(p *Packet) {
+func (r *ring[T]) push(v T) {
 	if r.n == len(r.buf) {
 		r.grow()
 	}
@@ -101,42 +107,48 @@ func (r *pktRing) push(p *Packet) {
 	if i >= len(r.buf) {
 		i -= len(r.buf)
 	}
-	r.buf[i] = p
+	r.buf[i] = v
 	r.n++
 }
 
-// pop removes and returns the oldest packet, or nil.
-func (r *pktRing) pop() *Packet {
+// peek returns the oldest item without removing it, or the zero value.
+func (r *ring[T]) peek() (v T) {
 	if r.n == 0 {
-		return nil
+		return v
 	}
-	p := r.buf[r.head]
-	r.buf[r.head] = nil
+	return r.buf[r.head]
+}
+
+// pop removes and returns the oldest item, or the zero value.
+func (r *ring[T]) pop() (v T) {
+	if r.n == 0 {
+		return v
+	}
+	v, r.buf[r.head] = r.buf[r.head], v
 	r.head++
 	if r.head == len(r.buf) {
 		r.head = 0
 	}
 	r.n--
-	return p
+	return v
 }
 
-// popTail removes and returns the newest packet, or nil.
-func (r *pktRing) popTail() *Packet {
+// popTail removes and returns the newest item, or the zero value.
+func (r *ring[T]) popTail() (v T) {
 	if r.n == 0 {
-		return nil
+		return v
 	}
 	i := r.head + r.n - 1
 	if i >= len(r.buf) {
 		i -= len(r.buf)
 	}
-	p := r.buf[i]
-	r.buf[i] = nil
+	v, r.buf[i] = r.buf[i], v
 	r.n--
-	return p
+	return v
 }
 
-func (r *pktRing) grow() {
-	buf := make([]*Packet, max(16, 2*len(r.buf)))
+func (r *ring[T]) grow() {
+	buf := make([]T, max(16, 2*len(r.buf)))
 	for i := 0; i < r.n; i++ {
 		j := r.head + i
 		if j >= len(r.buf) {
@@ -147,6 +159,9 @@ func (r *pktRing) grow() {
 	r.buf = buf
 	r.head = 0
 }
+
+// pktRing is the packet instantiation used by queues and VOQs.
+type pktRing = ring[*Packet]
 
 // Queue is a store-and-forward output queue draining at a fixed rate, with
 // tail-drop at MaxBytes and optional ECN marking above ECNThreshBytes
@@ -167,6 +182,7 @@ type Queue struct {
 	Drops     uint64
 	Marks     uint64
 	Forwarded uint64
+	FwdBytes  uint64 // bytes serialized onto the wire (per-link load evidence)
 	PeakBytes int
 }
 
@@ -215,6 +231,7 @@ func (q *Queue) Act(uint64) {
 	q.cur = nil
 	q.bytes -= p.Size
 	q.Forwarded++
+	q.FwdBytes += uint64(p.Size)
 	p.SendOn() // p may be released downstream; do not touch it again
 	if next := q.ring.pop(); next != nil {
 		q.cur = next

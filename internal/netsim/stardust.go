@@ -33,6 +33,11 @@ type StardustConfig struct {
 	// just full enough to ride through scheduling jitter.
 	PauseBytes  int
 	ResumeBytes int
+	// ReasmTimeout is the destination adapter's reassembly timer (§4.1): a
+	// packet whose cells stall the in-order delivery stream longer than
+	// this (a cell lost to a failed link) is discarded so the stream can
+	// resume. 0 disables discarding (safe only in loss-free fabrics).
+	ReasmTimeout sim.Time
 }
 
 // DefaultStardust returns the Appendix G configuration for a fat-tree with
@@ -56,7 +61,20 @@ func DefaultStardust(hostRate Bps, uplinks int, linkDelay sim.Time) StardustConf
 		PortBytes:   100 * 9000,
 		PauseBytes:  4 * 9000,
 		ResumeBytes: 2 * 9000,
+		// A few fabric RTTs: long enough that spraying skew never trips it,
+		// short enough that a lost cell does not stall a stream visibly.
+		ReasmTimeout: 500 * sim.Microsecond,
 	}
+}
+
+// CellFabric is a pluggable fabric crossing for cells: a topology-faithful
+// per-link transport (internal/fabric) replacing the fluid trunk+pipe
+// abstraction. Inject carries one cell from the source edge device to the
+// destination edge device; the fabric hands delivered cells to the
+// function it was given (DeliverCell) and Releases lost ones.
+type CellFabric interface {
+	Inject(c *Packet, srcFA, dstFA int)
+	Drops() uint64
 }
 
 // StardustNet models the Stardust data center as a transport substrate:
@@ -84,12 +102,23 @@ type StardustNet struct {
 	timers  []*sim.Timer
 	voqs    map[voqKey]*stardustVOQ
 	nextVID uint16
+	fab     CellFabric // nil = fluid trunk model
 
 	// Stats
-	CellsSent   uint64
-	CreditsSent uint64
-	VOQDrops    uint64
+	CellsSent     uint64
+	CreditsSent   uint64
+	VOQDrops      uint64
+	ReasmTimeouts uint64 // packets discarded by the reassembly timer
 }
+
+// UseFabric routes cells through f instead of the fluid trunk model.
+// Install it before creating flows and point the fabric's delivery
+// callback at DeliverCell.
+func (n *StardustNet) UseFabric(f CellFabric) { n.fab = f }
+
+// DeliverCell is the destination-adapter cell sink for an external
+// CellFabric.
+func (n *StardustNet) DeliverCell(c *Packet) { n.reassemble(c) }
 
 type voqKey struct {
 	src, dst int // host indices
@@ -195,7 +224,9 @@ func (n *StardustNet) voq(src, dst int) *stardustVOQ {
 	n.nextVID++
 	v := &stardustVOQ{
 		net: n, key: k, id: n.nextVID,
+		reasmTmr: sim.NewTimer(n.Sim),
 	}
+	v.reasmFn = v.deliver
 	// The cell route across the fabric is fixed per VOQ; build it once.
 	v.cellRoute = []Handler{n.upTrunk[n.edge(src)], n.fabric, n.downTrunk[n.edge(dst)], n.reasmH}
 	n.voqs[k] = v
@@ -217,12 +248,19 @@ func (n *StardustNet) TotalDrops() uint64 {
 	for _, q := range n.hostUp {
 		d += q.Drops
 	}
+	if n.fab != nil {
+		d += n.fab.Drops()
+	}
 	return d + n.VOQDrops
 }
 
-// FabricDrops counts drops inside the fabric trunks only (§5.5: must stay
-// zero under credit pacing).
+// FabricDrops counts drops inside the fabric only (§5.5: must stay zero
+// under credit pacing on a healthy fabric). With an external CellFabric
+// installed it reports that fabric's losses instead of the fluid trunks'.
 func (n *StardustNet) FabricDrops() uint64 {
+	if n.fab != nil {
+		return n.fab.Drops()
+	}
 	var d uint64
 	for _, q := range n.upTrunk {
 		d += q.Drops
@@ -244,6 +282,13 @@ type stardustVOQ struct {
 	bytes     int64
 	credit    int64
 	cellRoute []Handler
+	flight    ring[*reasmState] // in-flight packets, ship order (in-order delivery)
+	// reasmTmr keeps the §4.1 reassembly timer armed while packets are
+	// outstanding: it is the only thing that can unwedge a head-of-line
+	// packet whose cells were all lost (no later completion would ever
+	// call deliver otherwise).
+	reasmTmr *sim.Timer
+	reasmFn  func()
 }
 
 // Receive implements Handler: a packet arrives from the host NIC.
@@ -300,6 +345,10 @@ func (v *stardustVOQ) release() {
 type reasmState struct {
 	orig      *Packet
 	remaining int
+	voq       *stardustVOQ
+	shippedAt sim.Time
+	done      bool // all cells arrived, waiting for in-order delivery
+	discarded bool // reassembly timer fired; late cells just drain
 }
 
 var reasmPool = sync.Pool{New: func() any { return new(reasmState) }}
@@ -310,6 +359,18 @@ func (v *stardustVOQ) ship(p *Packet) {
 	state := reasmPool.Get().(*reasmState)
 	state.orig = p
 	state.remaining = p.Size
+	state.voq = v
+	state.shippedAt = n.Sim.Now()
+	state.done = false
+	state.discarded = false
+	v.flight.push(state)
+	// An armed timer always expires at or before the current head's
+	// deadline (heads ship in order), so arming only when disarmed keeps
+	// exactly one outstanding event per VOQ per timeout window.
+	if n.Cfg.ReasmTimeout > 0 && !v.reasmTmr.Armed() {
+		v.reasmTmr.Arm(n.Cfg.ReasmTimeout, v.reasmFn)
+	}
+	srcFA, dstFA := n.edge(v.key.src), n.edge(v.key.dst)
 	for sent := 0; sent < p.Size; sent += payload {
 		chunk := payload
 		if sent+chunk > p.Size {
@@ -318,15 +379,19 @@ func (v *stardustVOQ) ship(p *Packet) {
 		c := NewPacket()
 		c.Size = chunk + n.Cfg.CellHeader
 		c.Flow = state
-		c.SetRoute(v.cellRoute)
 		n.CellsSent++
+		if n.fab != nil {
+			n.fab.Inject(c, srcFA, dstFA)
+			continue
+		}
+		c.SetRoute(v.cellRoute)
 		c.SendOn()
 	}
 }
 
-// reassemble runs at the destination adapter: when the last cell of a
-// packet arrives, the original packet continues on its route (egress port
-// queue, then the endpoint).
+// reassemble runs at the destination adapter: cells tick their packet's
+// outstanding byte count down; completed packets are handed to the owning
+// VOQ's in-order delivery stream.
 func (n *StardustNet) reassemble(c *Packet) {
 	state, ok := c.Flow.(*reasmState)
 	if !ok {
@@ -335,10 +400,50 @@ func (n *StardustNet) reassemble(c *Packet) {
 	payload := c.Size - n.Cfg.CellHeader
 	c.Release()
 	state.remaining -= payload
-	if state.remaining <= 0 {
-		orig := state.orig
-		state.orig = nil
+	if state.remaining > 0 {
+		return
+	}
+	if state.discarded {
+		// The reassembly timer gave up on this packet and its stragglers
+		// have now all drained; the state can be reused.
 		reasmPool.Put(state)
-		orig.SendOn()
+		return
+	}
+	state.done = true
+	state.voq.deliver()
+}
+
+// deliver releases completed packets in ship order (§4.1 in-order
+// reassembly at the destination FA). A head-of-line packet whose cells
+// were lost in the fabric would stall the stream forever, so it is
+// discarded once it outlives the reassembly timer.
+func (v *stardustVOQ) deliver() {
+	n := v.net
+	now := n.Sim.Now()
+	for v.flight.len() > 0 {
+		head := v.flight.peek()
+		if head.done {
+			v.flight.pop()
+			orig := head.orig
+			head.orig = nil
+			reasmPool.Put(head)
+			orig.SendOn()
+			continue
+		}
+		if n.Cfg.ReasmTimeout > 0 && now-head.shippedAt > n.Cfg.ReasmTimeout {
+			v.flight.pop()
+			head.discarded = true
+			head.orig.Release()
+			head.orig = nil
+			n.ReasmTimeouts++
+			continue
+		}
+		break
+	}
+	// Re-arm for the blocked head's deadline so the discard fires even if
+	// nothing else ever completes on this VOQ.
+	if n.Cfg.ReasmTimeout > 0 && v.flight.len() > 0 && !v.reasmTmr.Armed() {
+		head := v.flight.peek()
+		v.reasmTmr.Arm(head.shippedAt+n.Cfg.ReasmTimeout-now+sim.Nanosecond, v.reasmFn)
 	}
 }

@@ -236,6 +236,16 @@ func NewSpreader(numLink, reshuffleRounds int, seed int64) *Spreader {
 	return s
 }
 
+// reshuffle replaces the traversal order with a fresh permutation
+// in place (Fisher-Yates), so the periodic reshuffle allocates nothing —
+// the spreader sits on the per-cell fabric hot path.
+func (s *Spreader) reshuffle() {
+	for i := len(s.perm) - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+}
+
 // Next returns the next link to use among the eligible set (bits over
 // links). Returns -1 when the set is empty. The permutation is only
 // replaced between traversals, never while a scan is in progress, so a
@@ -244,7 +254,7 @@ func (s *Spreader) Next(eligible Bitmap) int {
 	n := len(s.perm)
 	if s.pos == 0 && s.rounds >= s.maxRounds {
 		s.rounds = 0
-		s.perm = s.rng.Perm(n)
+		s.reshuffle()
 	}
 	for scanned := 0; scanned < n; scanned++ {
 		link := s.perm[s.pos]

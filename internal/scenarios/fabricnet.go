@@ -1,0 +1,141 @@
+package scenarios
+
+import (
+	"strings"
+
+	"stardust/internal/engine"
+	"stardust/internal/experiments"
+)
+
+// Scenarios over the topology-faithful per-link cell fabric
+// (internal/fabric) and the new traffic matrices: per-link load balance
+// (spraying vs ECMP), goodput through link failures, hotspot fan-in and
+// all-to-all.
+
+func init() {
+	engine.Register(engine.Scenario{
+		Name: "fabric/linkload",
+		Desc: "per-uplink byte counts under a permutation: cell spraying vs per-flow ECMP (§5.3)",
+		Defaults: engine.Params{
+			"k": "8", "dur_ms": "10", "warmup_ms": "5", "mode": "both",
+		},
+		Variants: func(p engine.Params) []engine.Params {
+			switch p.Str("mode", "both") {
+			case "spray", "ecmp":
+				return []engine.Params{p}
+			}
+			return []engine.Params{p.With("mode", "spray"), p.With("mode", "ecmp")}
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			cfg := htsimConfig(c)
+			r, err := experiments.LinkLoad(cfg, c.Params.Str("mode", "spray"))
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			res.Add("links", float64(r.Links), "")
+			res.Add("mean_bytes", r.MeanBytes, "B")
+			res.Add("dev_spread_pct", r.DevSpreadPct, "%")
+			res.Add("spread_pct", r.SpreadPct, "%")
+			res.Add("cov_pct", r.CoVPct, "%")
+			res.Add("min_bytes", r.MinBytes, "B")
+			res.Add("max_bytes", r.MaxBytes, "B")
+			res.Add("mean_util_pct", r.MeanUtilPct, "%")
+			var b strings.Builder
+			experiments.WriteLinkLoad(&b, r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "fabric/failures",
+		Desc: "kill N random fabric links mid-run: goodput dip and self-healing recovery (§5.9, App E)",
+		Defaults: engine.Params{
+			"k": "8", "dur_ms": "30", "warmup_ms": "10",
+			"fail": "4", "fail_ms": "10", "bin_ms": "1",
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			cfg := htsimConfig(c)
+			r, err := experiments.FabricFailures(cfg,
+				c.Params.Int("fail", 4),
+				msTime(c.Params.Int("fail_ms", 10)),
+				msTime(c.Params.Int("bin_ms", 1)))
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			res.Add("failed_links", float64(r.FailedLinks), "")
+			res.Add("pre_gbps", r.PreGbps, "Gbps")
+			res.Add("dip_gbps", r.DipGbps, "Gbps")
+			res.Add("recovered_gbps", r.RecoveredGbps, "Gbps")
+			res.Add("unreachable_pairs", float64(r.Unreachable), "")
+			res.Add("fabric_drops", float64(r.FabricDrops), "")
+			res.Add("reasm_timeouts", float64(r.ReasmTimeouts), "")
+			var b strings.Builder
+			experiments.WriteFailures(&b, r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "htsim/hotspot",
+		Desc: "hotspot fan-in matrix: aggregate goodput into hot egress ports vs the rest, per protocol",
+		Defaults: engine.Params{
+			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all",
+			"hot": "2", "frac": "0.4", "fabric": "false",
+		},
+		Variants: protoVariants,
+		Run: func(c engine.Context) (engine.Result, error) {
+			cfg := htsimConfig(c)
+			proto := experiments.Protocol(c.Params.Str("proto", string(experiments.ProtoStardust)))
+			r, hot, err := experiments.HotspotRun(cfg, proto,
+				c.Params.Int("hot", 2), c.Params.Float("frac", 0.4))
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			n := len(r.Gbps)
+			res.Add("flows", float64(r.Flows), "")
+			res.Add("hotspots", float64(len(hot)), "")
+			res.Add("hot_agg_gbps", r.HotGbps, "Gbps")
+			res.Add("cold_mean_gbps", r.ColdMeanGps, "Gbps")
+			res.Add("mean_util_pct", r.MeanUtilPct, "%")
+			res.Add("p5_gbps", r.Gbps[n/20], "Gbps")
+			res.Add("median_gbps", r.Gbps[n/2], "Gbps")
+			var b strings.Builder
+			experiments.WriteMatrix(&b, "hotspot", r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "htsim/alltoall",
+		Desc: "all-to-all matrix (n*(n-1) flows): per-flow goodput distribution, per protocol",
+		Defaults: engine.Params{
+			"k": "4", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "fabric": "false",
+		},
+		Variants: protoVariants,
+		Run: func(c engine.Context) (engine.Result, error) {
+			cfg := htsimConfig(c)
+			proto := experiments.Protocol(c.Params.Str("proto", string(experiments.ProtoStardust)))
+			r, err := experiments.AllToAllRun(cfg, proto)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			n := len(r.Gbps)
+			res.Add("flows", float64(r.Flows), "")
+			res.Add("mean_util_pct", r.MeanUtilPct, "%")
+			res.Add("p5_gbps", r.Gbps[n/20], "Gbps")
+			res.Add("median_gbps", r.Gbps[n/2], "Gbps")
+			res.Add("min_gbps", r.Gbps[0], "Gbps")
+			var b strings.Builder
+			experiments.WriteMatrix(&b, "alltoall", r)
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+}

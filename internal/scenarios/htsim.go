@@ -17,6 +17,7 @@ func htsimConfig(c engine.Context) experiments.HtsimConfig {
 	cfg.Subflows = c.Params.Int("subflows", cfg.Subflows)
 	cfg.StardustCredit = c.Params.Int64("credit", 0)
 	cfg.StardustSpeedup = c.Params.Float("speedup", 0)
+	cfg.FullFabric = c.Params.Bool("fabric", false)
 	cfg.Seed = c.Seed
 	return cfg
 }
@@ -49,7 +50,7 @@ func init() {
 		Name: "htsim/permutation",
 		Desc: "Fig 10(a) permutation throughput on a K-ary fat-tree, per protocol",
 		Defaults: engine.Params{
-			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all",
+			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "fabric": "false",
 		},
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
@@ -78,7 +79,7 @@ func init() {
 		Name: "htsim/fct",
 		Desc: "Fig 10(b) Web-workload flow completion times under background load, per protocol",
 		Defaults: engine.Params{
-			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "flows": "100",
+			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "flows": "100", "fabric": "false",
 		},
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
@@ -106,7 +107,7 @@ func init() {
 		Desc: "Fig 10(c) incast completion (first/last backend), per protocol and fan-in",
 		Defaults: engine.Params{
 			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all",
-			"n": "4,8,16,32", "response_bytes": "450000",
+			"n": "4,8,16,32", "response_bytes": "450000", "fabric": "false",
 		},
 		Variants: func(p engine.Params) []engine.Params {
 			var out []engine.Params

@@ -89,6 +89,69 @@ func NewIncast(rng *rand.Rand, nodes, n int, responseBytes int64) Incast {
 	}
 }
 
+// Flow is one source->destination demand of a traffic matrix.
+type Flow struct {
+	Src, Dst int
+}
+
+// Permutation flows, hotspot flows and all-to-all flows are the scenario
+// diversity axis of the evaluation: permutation fully loads the fabric
+// with zero fan-in, hotspot concentrates fan-in on a few egress ports
+// (the pattern that separates a scheduled fabric from ECMP), and
+// all-to-all exercises every path simultaneously.
+
+// Hotspot builds a hotspot matrix over nodes: every node sends one
+// long-running flow; a hotFraction of the senders redirect theirs at one
+// of `hotspots` randomly chosen hot destinations (egress fan-in), the
+// rest keep a permutation pattern. Returns the flows and the hot nodes.
+func Hotspot(rng *rand.Rand, nodes, hotspots int, hotFraction float64) ([]Flow, []int) {
+	if hotspots < 1 {
+		hotspots = 1
+	}
+	if hotspots >= nodes {
+		hotspots = nodes - 1
+	}
+	perm := stats.Permutation(rng, nodes)
+	hot := append([]int(nil), rng.Perm(nodes)[:hotspots]...)
+	flows := make([]Flow, 0, nodes)
+	for src := 0; src < nodes; src++ {
+		dst := perm[src]
+		if rng.Float64() < hotFraction {
+			if h := hot[rng.Intn(len(hot))]; h != src {
+				dst = h
+			}
+		}
+		flows = append(flows, Flow{Src: src, Dst: dst})
+	}
+	return flows, hot
+}
+
+// AllToAll builds the complete matrix: every ordered pair of distinct
+// nodes exchanges one flow (n*(n-1) flows).
+func AllToAll(nodes int) []Flow {
+	flows := make([]Flow, 0, nodes*(nodes-1))
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			if dst != src {
+				flows = append(flows, Flow{Src: src, Dst: dst})
+			}
+		}
+	}
+	return flows
+}
+
+// IncastMatrix builds the Fig 10(c) fan-in as a flow list: fanin distinct
+// backends each send one flow to a randomly chosen frontend. Returns the
+// flows and the frontend.
+func IncastMatrix(rng *rand.Rand, nodes, fanin int) ([]Flow, int) {
+	inc := NewIncast(rng, nodes, fanin, 0)
+	flows := make([]Flow, 0, len(inc.Backends))
+	for _, b := range inc.Backends {
+		flows = append(flows, Flow{Src: b, Dst: inc.Frontend})
+	}
+	return flows, inc.Frontend
+}
+
 // FlowArrivals generates Poisson flow inter-arrival times with the given
 // mean rate (flows/second), returning seconds until the next arrival.
 func FlowArrivals(rng *rand.Rand, ratePerSec float64) func() float64 {

@@ -86,6 +86,113 @@ func TestNewIncast(t *testing.T) {
 	}
 }
 
+func TestHotspotMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const nodes = 128
+	flows, hot := Hotspot(rng, nodes, 3, 0.5)
+	if len(flows) != nodes {
+		t.Fatalf("flows = %d, want one per node", len(flows))
+	}
+	if len(hot) != 3 {
+		t.Fatalf("hot = %v", hot)
+	}
+	isHot := map[int]bool{}
+	for _, h := range hot {
+		if isHot[h] {
+			t.Fatalf("duplicate hot node %d", h)
+		}
+		isHot[h] = true
+	}
+	hotFlows := 0
+	seenSrc := map[int]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %v", f)
+		}
+		if f.Src < 0 || f.Src >= nodes || f.Dst < 0 || f.Dst >= nodes {
+			t.Fatalf("out of range flow %v", f)
+		}
+		if seenSrc[f.Src] {
+			t.Fatalf("node %d sends twice", f.Src)
+		}
+		seenSrc[f.Src] = true
+		if isHot[f.Dst] {
+			hotFlows++
+		}
+	}
+	// Distribution shape: with hotFraction 0.5 roughly half the senders
+	// (plus permutation coincidences) aim at a hot node.
+	if frac := float64(hotFlows) / nodes; frac < 0.35 || frac > 0.7 {
+		t.Fatalf("hot fan-in fraction %.2f, want ~0.5", frac)
+	}
+
+	// Determinism: the same seed reproduces the same matrix.
+	rng2 := rand.New(rand.NewSource(4))
+	flows2, hot2 := Hotspot(rng2, nodes, 3, 0.5)
+	for i := range flows {
+		if flows[i] != flows2[i] {
+			t.Fatalf("flow %d differs across identical seeds", i)
+		}
+	}
+	for i := range hot {
+		if hot[i] != hot2[i] {
+			t.Fatal("hot set differs across identical seeds")
+		}
+	}
+
+	// Clamping: more hotspots than nodes.
+	flows, hot = Hotspot(rand.New(rand.NewSource(5)), 4, 10, 1.0)
+	if len(hot) != 3 || len(flows) != 4 {
+		t.Fatalf("clamp: %d hot, %d flows", len(hot), len(flows))
+	}
+}
+
+func TestAllToAllMatrix(t *testing.T) {
+	const nodes = 9
+	flows := AllToAll(nodes)
+	if len(flows) != nodes*(nodes-1) {
+		t.Fatalf("flows = %d, want %d", len(flows), nodes*(nodes-1))
+	}
+	seen := map[Flow]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %v", f)
+		}
+		if seen[f] {
+			t.Fatalf("duplicate pair %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestIncastMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	flows, frontend := IncastMatrix(rng, 64, 12)
+	if len(flows) != 12 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	srcs := map[int]bool{}
+	for _, f := range flows {
+		if f.Dst != frontend {
+			t.Fatalf("flow %v not aimed at frontend %d", f, frontend)
+		}
+		if f.Src == frontend || srcs[f.Src] {
+			t.Fatalf("bad backend %v", f)
+		}
+		srcs[f.Src] = true
+	}
+	// Determinism under a fixed seed.
+	flows2, fe2 := IncastMatrix(rand.New(rand.NewSource(6)), 64, 12)
+	if fe2 != frontend {
+		t.Fatal("frontend differs across identical seeds")
+	}
+	for i := range flows {
+		if flows[i] != flows2[i] {
+			t.Fatal("backends differ across identical seeds")
+		}
+	}
+}
+
 func TestFlowArrivalsMean(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	next := FlowArrivals(rng, 1000) // 1000 flows/s -> mean 1ms
