@@ -6,7 +6,13 @@
 //
 //	go test -run '^$' -bench . -benchtime 3x -count 3 . | tee bench.txt
 //	benchguard -in bench.txt -out BENCH_ci.json \
-//	    -baseline BENCH_baseline.json -guard BenchmarkPacketPath -tolerance 0.20
+//	    -baseline BENCH_baseline.json -guard BenchmarkPacketPath -tolerance 0.20 \
+//	    -allocguard BenchmarkFabricCellPath
+//
+// -guard gates median ns/op (within -tolerance) plus allocs/op; the
+// comma-separated -allocguard benchmarks are gated on allocs/op only —
+// the hardware-independent half — so hot paths whose wall time is too
+// noisy for a CI gate still cannot silently start allocating.
 //
 // Refresh the baseline after an intentional performance change with:
 //
@@ -22,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Entry is one benchmark's aggregated result.
@@ -98,6 +105,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
 	guard := flag.String("guard", "BenchmarkPacketPath", "benchmark name the gate protects")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
+	allocGuard := flag.String("allocguard", "", "comma-separated benchmarks gated on allocs/op only (no tolerance)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -in is required")
@@ -138,34 +146,66 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: bad baseline:", err)
 		os.Exit(2)
 	}
-	want, ok := base[*guard]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", *guard, *baseline)
-		os.Exit(2)
-	}
-	got, ok := results[*guard]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", *guard, *in)
-		os.Exit(2)
-	}
-	limit := want.MedianNsOp * (1 + *tolerance)
-	fmt.Printf("benchguard: %s median %.1f ns/op (baseline %.1f, limit %.1f)\n",
-		*guard, got.MedianNsOp, want.MedianNsOp, limit)
-	if got.MedianNsOp > limit {
-		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
-			*guard, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
-		os.Exit(1)
+	lookup := func(name string) (want, got *Entry) {
+		want, ok := base[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from baseline %s\n", name, *baseline)
+			os.Exit(2)
+		}
+		got, ok = results[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s missing from %s\n", name, *in)
+			os.Exit(2)
+		}
+		return want, got
 	}
 	// allocs/op is hardware-independent, so it gets no tolerance: any
-	// allocation creeping into the guarded free-list hot path fails the
+	// allocation creeping into a guarded free-list hot path fails the
 	// gate even on a runner much faster than the baseline machine.
-	if len(want.AllocSamples) > 0 && len(got.AllocSamples) > 0 {
+	gateAllocs := func(name string, want, got *Entry) {
+		if len(want.AllocSamples) == 0 || len(got.AllocSamples) == 0 {
+			return
+		}
 		fmt.Printf("benchguard: %s median %.0f allocs/op (baseline %.0f)\n",
-			*guard, got.MedianAllocs, want.MedianAllocs)
+			name, got.MedianAllocs, want.MedianAllocs)
 		if got.MedianAllocs > want.MedianAllocs {
 			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.0f allocs/op exceeds baseline %.0f\n",
-				*guard, got.MedianAllocs, want.MedianAllocs)
+				name, got.MedianAllocs, want.MedianAllocs)
 			os.Exit(1)
+		}
+	}
+
+	if *guard != "" {
+		want, got := lookup(*guard)
+		limit := want.MedianNsOp * (1 + *tolerance)
+		fmt.Printf("benchguard: %s median %.1f ns/op (baseline %.1f, limit %.1f)\n",
+			*guard, got.MedianNsOp, want.MedianNsOp, limit)
+		if got.MedianNsOp > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
+				*guard, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
+			os.Exit(1)
+		}
+		gateAllocs(*guard, want, got)
+	}
+	if *allocGuard != "" {
+		for _, name := range strings.Split(*allocGuard, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			want, got := lookup(name)
+			// Both sides must carry allocs/op: a missing column (dropped
+			// ReportAllocs, changed output format) must fail loudly, not
+			// turn the no-tolerance gate green with zero comparisons.
+			if len(want.AllocSamples) == 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s has no allocs/op in the baseline (ReportAllocs missing?)\n", name)
+				os.Exit(2)
+			}
+			if len(got.AllocSamples) == 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s has no allocs/op in %s (ReportAllocs missing?)\n", name, *in)
+				os.Exit(2)
+			}
+			gateAllocs(name, want, got)
 		}
 	}
 }

@@ -182,6 +182,15 @@ func (r *Result) Add(name string, value float64, unit string) *Result {
 	return r
 }
 
+// ParamDoc is one documented parameter of a scenario: the structured
+// form of the registry metadata that -list prints and the stardustd
+// API serves.
+type ParamDoc struct {
+	Key     string `json:"key"`
+	Default string `json:"default"`
+	Desc    string `json:"desc,omitempty"`
+}
+
 // Scenario declares one registered experiment.
 type Scenario struct {
 	// Name identifies the scenario, conventionally "family/figure"
@@ -193,10 +202,30 @@ type Scenario struct {
 	// Defaults documents the accepted parameters and their default
 	// values; requested params are merged on top.
 	Defaults Params
+	// Docs describes the accepted parameters (key -> one-line doc).
+	// Every key must exist in Defaults — Register enforces it, so a
+	// typo cannot document a parameter that does not exist.
+	Docs map[string]string
 	// Variants optionally expands one requested instance into several
 	// (one per protocol, per sweep point, …). The runner executes each
 	// variant as an independent parallel instance. nil = run as-is.
 	Variants func(p Params) []Params
 	// Run executes one instance.
 	Run func(c Context) (Result, error)
+}
+
+// ParamDocs returns the scenario's full parameter table sorted by key:
+// one entry per Defaults key, carrying its registered description (empty
+// when the parameter is undocumented).
+func (s *Scenario) ParamDocs() []ParamDoc {
+	keys := make([]string, 0, len(s.Defaults))
+	for k := range s.Defaults {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ParamDoc, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ParamDoc{Key: k, Default: s.Defaults[k], Desc: s.Docs[k]})
+	}
+	return out
 }

@@ -276,3 +276,50 @@ func TestEmitUnknownFormat(t *testing.T) {
 		t.Fatal("unknown format accepted")
 	}
 }
+
+func TestParamDocs(t *testing.T) {
+	sc := Scenario{
+		Name:     "x",
+		Defaults: Params{"b": "2", "a": "1"},
+		Docs:     map[string]string{"a": "the a knob"},
+	}
+	docs := sc.ParamDocs()
+	if len(docs) != 2 {
+		t.Fatalf("want one ParamDoc per default, got %d", len(docs))
+	}
+	if docs[0].Key != "a" || docs[1].Key != "b" {
+		t.Fatalf("docs not sorted by key: %v", docs)
+	}
+	if docs[0].Desc != "the a knob" || docs[0].Default != "1" {
+		t.Fatalf("doc/default not carried: %+v", docs[0])
+	}
+	if docs[1].Desc != "" {
+		t.Fatalf("undocumented param grew a desc: %+v", docs[1])
+	}
+}
+
+func TestRegisterRejectsDocWithoutDefault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a doc for a parameter with no default must panic")
+		}
+	}()
+	Register(Scenario{
+		Name:     "test/bad-docs",
+		Docs:     map[string]string{"nope": "typo"},
+		Run:      func(Context) (Result, error) { return Result{}, nil },
+		Defaults: Params{"k": "1"},
+	})
+}
+
+func TestWriteRegistryShowsDocs(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRegistry(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "test/echo") {
+		t.Fatal("-list output misses registered scenarios")
+	}
+	if !strings.Contains(out, "x=1") {
+		t.Fatal("-list output misses parameter defaults")
+	}
+}

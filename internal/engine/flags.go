@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 )
 
 // Flags bundles the engine options every cmd binary shares. Bind them
@@ -45,22 +44,19 @@ func (f *Flags) Options() Options {
 	return o
 }
 
-// WriteRegistry prints the scenario registry: name, description and the
-// accepted parameters with their defaults.
+// WriteRegistry prints the scenario registry: name, description, and one
+// line per accepted parameter with its default and registered doc string
+// (the same metadata the stardustd API serves as JSON).
 func WriteRegistry(w io.Writer) {
 	for _, sc := range List() {
 		fmt.Fprintf(w, "%-20s %s\n", sc.Name, sc.Desc)
-		if len(sc.Defaults) > 0 {
-			keys := make([]string, 0, len(sc.Defaults))
-			for k := range sc.Defaults {
-				keys = append(keys, k)
+		for _, d := range sc.ParamDocs() {
+			kv := d.Key + "=" + d.Default
+			if d.Desc != "" {
+				fmt.Fprintf(w, "    %-24s %s\n", kv, d.Desc)
+			} else {
+				fmt.Fprintf(w, "    %s\n", kv)
 			}
-			sort.Strings(keys)
-			fmt.Fprintf(w, "%-20s params:", "")
-			for _, k := range keys {
-				fmt.Fprintf(w, " %s=%s", k, sc.Defaults[k])
-			}
-			fmt.Fprintln(w)
 		}
 	}
 }

@@ -22,6 +22,11 @@ func Register(s Scenario) {
 	if s.Name == "" || s.Run == nil {
 		panic("engine: scenario needs a name and a Run function")
 	}
+	for k := range s.Docs {
+		if _, ok := s.Defaults[k]; !ok {
+			panic("engine: " + s.Name + " documents parameter " + k + " that has no default")
+		}
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[s.Name]; dup {

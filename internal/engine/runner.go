@@ -31,6 +31,12 @@ type Options struct {
 	// separate from Out so the result stream stays byte-identical across
 	// runs and worker counts.
 	Timing io.Writer
+	// Progress, when non-nil, receives every instance result the moment
+	// that instance finishes — out of request order, from the worker
+	// goroutine that ran it (so it may be invoked concurrently). The
+	// ordered, deterministic emission to Out is unaffected; this hook
+	// exists so a serving layer can stream live run progress.
+	Progress func(RunResult)
 }
 
 // RunResult is the outcome of one scenario instance.
@@ -127,6 +133,9 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 					Result:  res,
 					Err:     err,
 					Elapsed: time.Since(t0),
+				}
+				if opts.Progress != nil {
+					opts.Progress(results[i])
 				}
 			}
 		}()

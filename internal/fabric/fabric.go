@@ -182,6 +182,17 @@ type Net struct {
 	// delivered cells are Released.
 	OnDeliver func(*netsim.Packet)
 
+	// OnLinkState, when non-nil, observes every administrative state
+	// change of a topology link (FailLink/RestoreLink), at the sim time
+	// the adjacent devices detect it (keepalive, §5.9). The management
+	// plane's event bus hangs off this hook.
+	OnLinkState func(link int, up bool)
+	// OnReachUpdate, when non-nil, observes every reachability update
+	// landing on the spine tier: the delayed withdrawal/readvertisement
+	// of an FE1's reachable set (§5.8). reachable is the FA count the FE1
+	// advertises after the update.
+	OnReachUpdate func(fe1 int, reachable int)
+
 	// Stats
 	Injected     uint64
 	Delivered    uint64
@@ -358,6 +369,9 @@ func (n *Net) FailLink(i int) {
 	n.links[2*i].up = false
 	n.links[2*i+1].up = false
 	n.applyLinkState(n.Topo.Links[i], false)
+	if n.OnLinkState != nil {
+		n.OnLinkState(i, false)
+	}
 }
 
 // RestoreLink brings topology link i back up and re-advertises the
@@ -370,6 +384,9 @@ func (n *Net) RestoreLink(i int) {
 	n.links[2*i].up = true
 	n.links[2*i+1].up = true
 	n.applyLinkState(n.Topo.Links[i], true)
+	if n.OnLinkState != nil {
+		n.OnLinkState(i, true)
+	}
 }
 
 func (n *Net) applyLinkState(lk topo.Link, up bool) {
@@ -408,7 +425,8 @@ func (n *Net) readvertise(fe *feDev) {
 		return // single-tier fabric: FAs spray blindly, nothing upstream
 	}
 	n.Sim.After(n.Cfg.ReachDelay, func() {
-		msgs := reach.BuildMessages(uint16(fe.id.Index), fe.tbl.ReachableSet(), n.Topo.NumFA)
+		set := fe.tbl.ReachableSet()
+		msgs := reach.BuildMessages(uint16(fe.id.Index), set, n.Topo.NumFA)
 		for _, sp := range n.fe2 {
 			for p, peer := range sp.downPeer {
 				if peer != fe.id.Index || !sp.down[p].up {
@@ -420,6 +438,9 @@ func (n *Net) readvertise(fe *feDev) {
 					}
 				}
 			}
+		}
+		if n.OnReachUpdate != nil {
+			n.OnReachUpdate(fe.id.Index, set.Count())
 		}
 	})
 }
@@ -456,6 +477,44 @@ func (n *Net) FAUplinkBytes() []uint64 {
 		}
 	}
 	return out
+}
+
+// LinkCounters is a point-in-time snapshot of one directed link's
+// counters — the raw material of the management plane's telemetry scrape.
+type LinkCounters struct {
+	Link       int  // topology link index (into Topo.Links)
+	Dir        int  // 0 = A->B, 1 = B->A
+	Up         bool // administrative state
+	FwdBytes   uint64
+	FwdCells   uint64
+	Drops      uint64 // serialization-queue tail drops
+	QueueBytes int    // instantaneous occupancy
+	PeakBytes  int
+}
+
+// NumLinks returns the number of full-duplex topology links.
+func (n *Net) NumLinks() int { return len(n.linkDown) }
+
+// LinkUp reports the administrative state of topology link i.
+func (n *Net) LinkUp(i int) bool { return !n.linkDown[i] }
+
+// ReadLinkCounters snapshots both directions of topology link i into out
+// (a 2-element window), so a periodic scraper can read the whole fabric
+// without allocating. out[0] is the A->B direction.
+func (n *Net) ReadLinkCounters(i int, out *[2]LinkCounters) {
+	for d := 0; d < 2; d++ {
+		l := n.links[2*i+d]
+		out[d] = LinkCounters{
+			Link:       i,
+			Dir:        d,
+			Up:         l.up,
+			FwdBytes:   l.q.FwdBytes,
+			FwdCells:   l.q.Forwarded,
+			Drops:      l.q.Drops,
+			QueueBytes: l.q.Bytes(),
+			PeakBytes:  l.q.PeakBytes,
+		}
+	}
 }
 
 // VisitQueues visits every directed link's serialization queue (for

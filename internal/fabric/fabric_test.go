@@ -258,3 +258,90 @@ func TestFabricAllocFree(t *testing.T) {
 		t.Fatalf("fabric hot path allocates: %.1f allocs per 64 cells", avg)
 	}
 }
+
+// Overlapping failures and recoveries inside one ReachDelay window must
+// coalesce: every delayed withdrawal recomputes the FE1's reachable set
+// at delivery time, so a stale message can never overwrite newer truth
+// at the spine (the §5.8 propagation protocol under interleaving).
+func TestWithdrawalInterleavingCoalesces(t *testing.T) {
+	s, n := newTestNet(t, 13)
+	// Two FA links landing on the same FE1.
+	var lks []int
+	for i, lk := range n.Topo.Links {
+		if lk.A.Kind == topo.KindFA && lk.B.Kind == topo.KindFE1 && lk.B.Index == 0 {
+			lks = append(lks, i)
+		}
+	}
+	if len(lks) < 2 {
+		t.Fatalf("FE1-0 serves %d FA links", len(lks))
+	}
+	lk1, lk2 := lks[0], lks[1]
+	full := n.Topo.FE1Down // FAs one FE1 advertises when healthy
+
+	type upd struct {
+		at        sim.Time
+		fe1       int
+		reachable int
+	}
+	var got []upd
+	n.OnReachUpdate = func(fe1, reachable int) {
+		got = append(got, upd{s.Now(), fe1, reachable})
+	}
+	d := n.Cfg.ReachDelay
+	s.At(0, func() { n.FailLink(lk1) })
+	s.At(d/5, func() { n.FailLink(lk2) })
+	s.At(2*d/5, func() { n.RestoreLink(lk1) }) // before any withdrawal lands
+	s.Run()
+
+	// Three state changes -> three delayed deliveries, every one carrying
+	// the truth at its own delivery time: lk1 healed, lk2 still down.
+	if len(got) != 3 {
+		t.Fatalf("got %d reach updates, want 3: %v", len(got), got)
+	}
+	for i, u := range got {
+		if u.fe1 != 0 {
+			t.Fatalf("update %d from FE1-%d, want 0", i, u.fe1)
+		}
+		if u.reachable != full-1 {
+			t.Fatalf("update %d advertises %d FAs, want %d (stale withdrawal delivered): %v",
+				i, u.reachable, full-1, got)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("updates out of order: %v", got)
+		}
+	}
+	// lk2's FA stays reachable through its other FE1: no hole.
+	if u := n.UnreachablePairs(); u != 0 {
+		t.Fatalf("unreachable pairs %d during single-link outage", u)
+	}
+
+	// Heal lk2: the final readvertisement restores the full set.
+	n.RestoreLink(lk2)
+	s.Run()
+	last := got[len(got)-1]
+	if last.reachable != full {
+		t.Fatalf("final advertisement %d FAs, want %d", last.reachable, full)
+	}
+	if u := n.UnreachablePairs(); u != 0 {
+		t.Fatalf("unreachable pairs %d after healing", u)
+	}
+}
+
+// Failing the same link twice must not double-fire hooks or withdrawals,
+// and restore of a never-failed link is a no-op.
+func TestLinkStateIdempotent(t *testing.T) {
+	s, n := newTestNet(t, 17)
+	var transitions int
+	n.OnLinkState = func(int, bool) { transitions++ }
+	n.FailLink(0)
+	n.FailLink(0)
+	n.RestoreLink(0)
+	n.RestoreLink(0)
+	n.RestoreLink(1)
+	s.Run()
+	if transitions != 2 {
+		t.Fatalf("%d transitions for one fail+restore, want 2", transitions)
+	}
+}

@@ -1,0 +1,159 @@
+package mgmt
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"stardust/internal/fabric"
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+)
+
+// FabricRunConfig sizes the daemon's live fabric: the topology, a
+// synthetic background load, and an optional failure/recovery chaos
+// schedule that keeps the event bus and the self-healing path exercised.
+type FabricRunConfig struct {
+	// K sizes the Clos via fabric.ClosFor (K-ary fat-tree edge).
+	K int // default 4
+	// Load is the offered load per FA as a fraction of its uplink
+	// capacity.
+	Load float64 // default 0.3
+	// CellBytes is the synthetic cell size.
+	CellBytes int // default 512
+	// FailEvery, when > 0, fails one random healthy link every period.
+	FailEvery sim.Time
+	// HealAfter is how long a chaos-failed link stays down.
+	HealAfter sim.Time // default 5ms
+	// Seed feeds the traffic and chaos RNGs.
+	Seed int64 // default 1
+	// Controller configures the attached management plane.
+	Controller Config
+}
+
+func (c FabricRunConfig) withDefaults() FabricRunConfig {
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.Load <= 0 {
+		c.Load = 0.3
+	}
+	if c.CellBytes <= 0 {
+		c.CellBytes = 512
+	}
+	if c.HealAfter <= 0 {
+		c.HealAfter = 5 * sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FabricRun is a continuously running fabric under management: the
+// simulator, the fabric, its controller, a background traffic generator
+// and the chaos schedule. The daemon advances it in steps from a single
+// goroutine; Advance serializes callers.
+type FabricRun struct {
+	Cfg FabricRunConfig
+	Sim *sim.Simulator
+	Fab *fabric.Net
+	Ctl *Controller
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	dst  []int // rotating destination cursor per FA
+	down []int // chaos-failed links awaiting heal
+}
+
+// NewFabricRun builds the fabric, attaches the controller, and schedules
+// traffic and chaos. Nothing runs until Advance is called.
+func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
+	cfg = cfg.withDefaults()
+	cl, err := fabric.ClosFor(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	fcfg := fabric.DefaultConfig(netsim.Bps(10e9), sim.Microsecond, cfg.Seed)
+	fab, err := fabric.New(s, fcfg, cl)
+	if err != nil {
+		return nil, err
+	}
+	r := &FabricRun{
+		Cfg: cfg,
+		Sim: s,
+		Fab: fab,
+		Ctl: Attach(fab, cfg.Controller),
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x51d)),
+		dst: make([]int, cl.NumFA),
+	}
+	// Per-FA pacing: each FA offers Load×(uplink capacity), spread over
+	// rotating destinations, as a self-rescheduling injection.
+	perFA := cfg.Load * float64(cl.FAUplinks) * float64(fcfg.LinkRate)
+	gap := sim.Time(float64(cfg.CellBytes*8) / perFA * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	for fa := 0; fa < cl.NumFA; fa++ {
+		fa := fa
+		var inject func()
+		inject = func() {
+			c := netsim.NewPacket()
+			c.Size = cfg.CellBytes
+			r.dst[fa]++
+			dst := (fa + 1 + r.dst[fa]%(cl.NumFA-1)) % cl.NumFA
+			r.Fab.Inject(c, fa, dst)
+			s.After(gap, inject)
+		}
+		// Stagger starts so FAs do not inject in lockstep.
+		s.At(sim.Time(fa)*gap/sim.Time(cl.NumFA), inject)
+	}
+	if cfg.FailEvery > 0 {
+		var chaos func()
+		chaos = func() {
+			r.chaosStep()
+			s.After(cfg.FailEvery, chaos)
+		}
+		s.After(cfg.FailEvery, chaos)
+	}
+	return r, nil
+}
+
+// chaosStep fails one random currently-up link and schedules its
+// recovery. Overlapping failures may isolate an FA outright when the
+// chaos period is short relative to HealAfter — deliberately so: that is
+// exactly the condition the detector's reachability-hole anomaly exists
+// to surface.
+func (r *FabricRun) chaosStep() {
+	n := r.Fab.NumLinks()
+	pick := -1
+	for try := 0; try < 8; try++ {
+		i := r.rng.Intn(n)
+		if r.Fab.LinkUp(i) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r.Fab.FailLink(pick)
+	i := pick
+	r.Sim.After(r.Cfg.HealAfter, func() { r.Fab.RestoreLink(i) })
+}
+
+// Advance runs the simulation d further. It serializes concurrent
+// callers, so the daemon's pacing goroutine and tests can share one run.
+func (r *FabricRun) Advance(d sim.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Sim.RunUntil(r.Sim.Now() + d)
+}
+
+// String describes the run for logs.
+func (r *FabricRun) String() string {
+	t := r.Fab.Topo
+	return fmt.Sprintf("fabric K=%d: %d FAs, %d FE1s, %d FE2s, %d links, %.0f%% load",
+		r.Cfg.K, t.NumFA, t.NumFE1, t.NumFE2, len(t.Links), 100*r.Cfg.Load)
+}

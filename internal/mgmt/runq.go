@@ -1,0 +1,365 @@
+package mgmt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stardust/internal/engine"
+)
+
+// RunRequest is one scenario-run submission.
+type RunRequest struct {
+	Scenario string        `json:"scenario"`
+	Params   engine.Params `json:"params,omitempty"`
+	Seed     int64         `json:"seed,omitempty"` // 0 = 1, the engine default
+}
+
+// normalized returns the request with the default seed applied, so
+// equivalent requests share one cache entry.
+func (r RunRequest) normalized() RunRequest {
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// CacheKey content-addresses the request: the SHA-256 of the scenario
+// name, the seed, and the sorted parameter assignments. Engine runs are
+// deterministic at any worker count, so (scenario, params, seed) fully
+// determines the result bytes — the key is the result's address.
+func (r RunRequest) CacheKey() string {
+	r = r.normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00", r.Scenario, r.Seed)
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\x00", k, r.Params[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JobState is the lifecycle of a submitted run.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// ProgressEvent is one line of a job's progress stream.
+type ProgressEvent struct {
+	Seq     int       `json:"seq"`
+	Wall    time.Time `json:"wall"`
+	Msg     string    `json:"msg"`
+	Elapsed float64   `json:"elapsed_s,omitempty"` // instance wall time
+}
+
+// Job is one queued/running/finished scenario run. All fields are
+// guarded by the owning queue's mutex; handlers read Snapshots.
+type Job struct {
+	ID        string          `json:"id"`
+	Req       RunRequest      `json:"request"`
+	Key       string          `json:"cache_key"`
+	State     JobState        `json:"state"`
+	Cached    bool            `json:"cached"` // served by coalescing onto an earlier submission
+	Submitted time.Time       `json:"submitted"`
+	Started   time.Time       `json:"started,omitzero"`
+	Finished  time.Time       `json:"finished,omitzero"`
+	Error     string          `json:"error,omitempty"`
+	Progress  []ProgressEvent `json:"progress,omitempty"`
+
+	output []byte // rendered engine JSON; served byte-identical
+	done   chan struct{}
+}
+
+// QueueStats is the run queue's counter snapshot.
+type QueueStats struct {
+	Depth     int    `json:"depth"`
+	Capacity  int    `json:"capacity"`
+	Running   int    `json:"running"`
+	Submitted uint64 `json:"submitted_total"`
+	CacheHits uint64 `json:"cache_hits_total"`
+	Completed uint64 `json:"completed_total"`
+	Failed    uint64 `json:"failed_total"`
+	Rejected  uint64 `json:"rejected_total"`
+}
+
+// RunQueue executes scenario runs on a bounded queue over the engine
+// worker pool, deduplicating through a content-addressed result cache:
+// a submission whose (scenario, params, seed) digest matches a live or
+// completed job is coalesced onto that job instead of re-simulating, so
+// repeated requests — concurrent or later — serve the identical bytes.
+type RunQueue struct {
+	engineWorkers int
+	maxRetained   int // finished jobs kept (results + progress); older ones evicted
+
+	mu      sync.Mutex
+	queue   chan *Job
+	jobs    map[string]*Job
+	order   []string        // submission order, for listing
+	byKey   map[string]*Job // content-addressed cache (queued, running or done)
+	nextID  int
+	running int
+	stats   QueueStats
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// NewRunQueue starts workers goroutines serving a queue of the given
+// depth; each job runs through engine.Run with engineWorkers parallel
+// instances. Close it with Shutdown.
+func NewRunQueue(depth, workers, engineWorkers int) *RunQueue {
+	if depth < 1 {
+		depth = 16
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// engineWorkers <= 0 passes through: engine.Run reads it as "all
+	// CPUs" (GOMAXPROCS), the daemon's documented -run-workers default.
+	q := &RunQueue{
+		engineWorkers: engineWorkers,
+		maxRetained:   256,
+		queue:         make(chan *Job, depth),
+		jobs:          make(map[string]*Job),
+		byKey:         make(map[string]*Job),
+		stop:          make(chan struct{}),
+	}
+	q.stats.Capacity = depth
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Shutdown stops accepting jobs and waits for workers to drain.
+func (q *RunQueue) Shutdown() {
+	close(q.stop)
+	q.wg.Wait()
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity.
+var ErrQueueFull = fmt.Errorf("mgmt: run queue full")
+
+// Submit validates and enqueues a run request. When the request's cache
+// key matches a queued, running or completed job, that job is returned
+// with cached=true and nothing is enqueued — the caller observes the
+// identical result bytes. A full queue returns ErrQueueFull.
+func (q *RunQueue) Submit(req RunRequest) (Job, bool, error) {
+	req = req.normalized()
+	if _, err := engine.Lookup(req.Scenario); err != nil {
+		return Job{}, false, err
+	}
+	key := req.CacheKey()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Submitted++
+	if j, ok := q.byKey[key]; ok && j.State != JobFailed {
+		q.stats.CacheHits++
+		snap := q.snapshotLocked(j)
+		snap.Cached = true
+		return snap, true, nil
+	}
+	q.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("run-%06d", q.nextID),
+		Req:       req,
+		Key:       key,
+		State:     JobQueued,
+		Submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case q.queue <- j:
+	default:
+		q.stats.Rejected++
+		q.nextID--
+		return Job{}, false, ErrQueueFull
+	}
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.byKey[key] = j
+	q.evictLocked()
+	q.stats.Depth = len(q.queue)
+	return q.snapshotLocked(j), false, nil
+}
+
+// evictLocked bounds total retention: when more than maxRetained jobs
+// are tracked, the oldest *finished* jobs (and their cached result
+// bytes) are dropped. Queued and running jobs are never evicted, so the
+// map can only exceed the cap by the bounded queue depth plus the
+// worker count.
+func (q *RunQueue) evictLocked() {
+	excess := len(q.order) - q.maxRetained
+	if excess <= 0 {
+		return
+	}
+	kept := q.order[:0]
+	for _, id := range q.order {
+		j := q.jobs[id]
+		if excess > 0 && (j.State == JobDone || j.State == JobFailed) {
+			delete(q.jobs, id)
+			if q.byKey[j.Key] == j {
+				delete(q.byKey, j.Key)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+}
+
+func (q *RunQueue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case j := <-q.queue:
+			q.run(j)
+		}
+	}
+}
+
+func (q *RunQueue) run(j *Job) {
+	q.mu.Lock()
+	j.State = JobRunning
+	j.Started = time.Now()
+	q.running++
+	q.stats.Depth = len(q.queue)
+	q.addProgressLocked(j, fmt.Sprintf("running %s (%s) seed=%d", j.Req.Scenario, j.Req.Params, j.Req.Seed), 0)
+	q.mu.Unlock()
+
+	var out bytes.Buffer
+	_, err := engine.Run(engine.Options{
+		Workers: q.engineWorkers,
+		Seed:    j.Req.Seed,
+		Format:  "json",
+		Out:     &out,
+		Progress: func(r engine.RunResult) {
+			q.mu.Lock()
+			msg := fmt.Sprintf("instance %s (%s) finished", r.Name, r.Params)
+			if r.Err != nil {
+				msg = fmt.Sprintf("instance %s (%s) failed: %v", r.Name, r.Params, r.Err)
+			}
+			q.addProgressLocked(j, msg, r.Elapsed.Seconds())
+			q.mu.Unlock()
+		},
+	}, []engine.Job{{Scenario: j.Req.Scenario, Params: j.Req.Params, Seed: j.Req.Seed}})
+
+	q.mu.Lock()
+	j.Finished = time.Now()
+	q.running--
+	if err != nil {
+		j.State = JobFailed
+		j.Error = err.Error()
+		q.stats.Failed++
+		// A failed job must not pin the cache slot: let a retry re-run.
+		if q.byKey[j.Key] == j {
+			delete(q.byKey, j.Key)
+		}
+		q.addProgressLocked(j, "failed: "+j.Error, 0)
+	} else {
+		j.State = JobDone
+		j.output = out.Bytes()
+		q.stats.Completed++
+		q.addProgressLocked(j, fmt.Sprintf("done (%d result bytes)", len(j.output)), 0)
+	}
+	q.mu.Unlock()
+	close(j.done)
+}
+
+func (q *RunQueue) addProgressLocked(j *Job, msg string, elapsed float64) {
+	j.Progress = append(j.Progress, ProgressEvent{
+		Seq: len(j.Progress) + 1, Wall: time.Now(), Msg: msg, Elapsed: elapsed,
+	})
+}
+
+// snapshotLocked copies a job for handler consumption.
+func (q *RunQueue) snapshotLocked(j *Job) Job {
+	snap := *j
+	snap.Progress = append([]ProgressEvent(nil), j.Progress...)
+	snap.output = nil
+	snap.done = nil
+	return snap
+}
+
+// Get returns a snapshot of job id.
+func (q *RunQueue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return q.snapshotLocked(j), true
+}
+
+// Result returns the stored result bytes of a completed job.
+func (q *RunQueue) Result(id string) ([]byte, JobState, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return j.output, j.State, true
+}
+
+// Wait blocks until job id leaves the queue/running states or the
+// timeout elapses; it returns the final snapshot.
+func (q *RunQueue) Wait(id string, timeout time.Duration) (Job, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return Job{}, false
+	}
+	select {
+	case <-j.done:
+	case <-time.After(timeout):
+	}
+	return q.Get(id)
+}
+
+// List returns snapshots of the newest max jobs (all when max <= 0),
+// newest first.
+func (q *RunQueue) List(max int) []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.order)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Job, 0, n)
+	for i := len(q.order) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, q.snapshotLocked(q.jobs[q.order[i]]))
+	}
+	return out
+}
+
+// Stats returns the queue counters.
+func (q *RunQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Depth = len(q.queue)
+	s.Running = q.running
+	return s
+}

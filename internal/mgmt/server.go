@@ -1,0 +1,272 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stardust/internal/engine"
+)
+
+// Server is stardustd's HTTP face: scenario metadata, run submission
+// over the bounded queue, run progress streaming, live fabric telemetry
+// and events, and a Prometheus-style /metrics endpoint. The fabric run
+// is optional (nil when the daemon serves scenario runs only).
+type Server struct {
+	mux     *http.ServeMux
+	q       *RunQueue
+	run     *FabricRun
+	started time.Time
+}
+
+// NewServer wires the routes. fr may be nil.
+func NewServer(q *RunQueue, fr *FabricRun) *Server {
+	s := &Server{mux: http.NewServeMux(), q: q, run: fr, started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /api/v1/scenarios", s.scenarios)
+	s.mux.HandleFunc("POST /api/v1/runs", s.submit)
+	s.mux.HandleFunc("GET /api/v1/runs", s.listRuns)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}", s.getRun)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/result", s.getResult)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/stream", s.streamRun)
+	s.mux.HandleFunc("GET /api/v1/fabric", s.fabricInfo)
+	s.mux.HandleFunc("GET /api/v1/fabric/telemetry", s.telemetry)
+	s.mux.HandleFunc("GET /api/v1/fabric/events", s.events)
+	s.mux.HandleFunc("GET /api/v1/fabric/anomalies", s.anomalies)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+		"fabric": s.run != nil,
+	})
+}
+
+// scenarioInfo is the API face of one registry entry — the same
+// metadata engine's -list prints, structured.
+type scenarioInfo struct {
+	Name   string            `json:"name"`
+	Desc   string            `json:"desc"`
+	Params []engine.ParamDoc `json:"params,omitempty"`
+}
+
+func (s *Server) scenarios(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, sc := range engine.List() {
+		out = append(out, scenarioInfo{Name: sc.Name, Desc: sc.Desc, Params: sc.ParamDocs()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, cached, err := s.q.Submit(req)
+	switch {
+	case err == ErrQueueFull:
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job)
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	writeJSON(w, http.StatusOK, s.q.List(max))
+}
+
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.q.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) getResult(w http.ResponseWriter, r *http.Request) {
+	out, state, ok := s.q.Result(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	if state != JobDone {
+		writeErr(w, http.StatusConflict, "run %s is %s", r.PathValue("id"), state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// streamRun emits the job's progress as NDJSON, following the job until
+// it finishes (or the client goes away). Each line is one ProgressEvent;
+// the final line is the job snapshot.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		writeErr(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		job, ok := s.q.Get(id)
+		if !ok {
+			return
+		}
+		for _, p := range job.Progress[sent:] {
+			enc.Encode(p)
+			sent++
+		}
+		if job.State == JobDone || job.State == JobFailed {
+			enc.Encode(job)
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) needFabric(w http.ResponseWriter) bool {
+	if s.run == nil {
+		writeErr(w, http.StatusNotFound, "no fabric run attached (start stardustd with -fabric-k)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) fabricInfo(w http.ResponseWriter, r *http.Request) {
+	if !s.needFabric(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"config":    s.run.Cfg,
+		"inventory": s.run.Ctl.Inventory(),
+		"stats":     s.run.Ctl.Stats(),
+	})
+}
+
+func (s *Server) telemetry(w http.ResponseWriter, r *http.Request) {
+	if !s.needFabric(w) {
+		return
+	}
+	qs := r.URL.Query()
+	if ls := qs.Get("link"); ls != "" {
+		link, err := strconv.Atoi(ls)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad link %q", ls)
+			return
+		}
+		dir, _ := strconv.Atoi(qs.Get("dir"))
+		series, err := s.run.Ctl.LinkSeries(link, dir)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"link": link, "dir": dir, "series": series})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.run.Ctl.Telemetry())
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if !s.needFabric(w) {
+		return
+	}
+	since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	evs := s.run.Ctl.Bus().Since(since, max)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"last_seq": s.run.Ctl.Bus().LastSeq(),
+		"events":   evs,
+	})
+}
+
+func (s *Server) anomalies(w http.ResponseWriter, r *http.Request) {
+	if !s.needFabric(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.run.Ctl.Anomalies())
+}
+
+// metrics is the Prometheus text exposition: queue and cache counters,
+// and — when a fabric run is attached — the chassis aggregates including
+// the failure/recovery event counters.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	qs := s.q.Stats()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	counter("stardustd_runs_submitted_total", "scenario-run submissions", float64(qs.Submitted))
+	counter("stardustd_runs_cache_hits_total", "submissions served from the content-addressed result cache", float64(qs.CacheHits))
+	counter("stardustd_runs_completed_total", "scenario runs completed", float64(qs.Completed))
+	counter("stardustd_runs_failed_total", "scenario runs failed", float64(qs.Failed))
+	counter("stardustd_runs_rejected_total", "submissions rejected by the bounded queue", float64(qs.Rejected))
+	gauge("stardustd_runs_queued", "jobs waiting in the bounded queue", float64(qs.Depth))
+	gauge("stardustd_runs_running", "jobs currently executing", float64(qs.Running))
+	gauge("stardustd_run_queue_capacity", "bounded queue capacity", float64(qs.Capacity))
+	if s.run == nil {
+		return
+	}
+	st := s.run.Ctl.Stats()
+	gauge("stardust_fabric_sim_seconds", "simulated time of the managed fabric", st.Time.Seconds())
+	counter("stardust_mgmt_scrapes_total", "telemetry scrapes", float64(st.Scrapes))
+	counter("stardust_fabric_cells_injected_total", "cells injected into the fabric", float64(st.Injected))
+	counter("stardust_fabric_cells_delivered_total", "cells delivered to their destination FA", float64(st.Delivered))
+	counter("stardust_fabric_cells_dropped_total", "cells lost in the fabric", float64(st.Drops))
+	gauge("stardust_fabric_links", "full-duplex serial links", float64(st.Links))
+	gauge("stardust_fabric_links_down", "links currently failed", float64(st.LinksDown))
+	gauge("stardust_fabric_unreachable_pairs", "reachability holes ((spine,FA) pairs with no live path)", float64(st.Unreachable))
+	gauge("stardust_fabric_queue_bytes", "bytes queued across all link serializers", float64(st.QueueBytes))
+	counter("stardust_fabric_link_failures_total", "link failure events", float64(st.LinkFailures))
+	counter("stardust_fabric_link_recoveries_total", "link recovery events", float64(st.LinkRecovers))
+	counter("stardust_mgmt_reach_updates_total", "reachability withdrawals/readvertisements observed at the spine", float64(st.ReachUpdates))
+	counter("stardust_mgmt_events_total", "management events published", float64(s.run.Ctl.Bus().LastSeq()))
+	gauge("stardust_mgmt_anomalies", "active anomaly findings", float64(len(s.run.Ctl.Anomalies())))
+}

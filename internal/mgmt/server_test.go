@@ -1,0 +1,427 @@
+package mgmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stardust/internal/engine"
+	"stardust/internal/sim"
+)
+
+func init() {
+	// A tiny deterministic scenario for daemon tests: fast, seeded, with
+	// a sweep so progress has multiple instances to report.
+	engine.Register(engine.Scenario{
+		Name:     "mgmttest/echo",
+		Desc:     "daemon test scenario",
+		Defaults: engine.Params{"x": "1", "points": "2"},
+		Docs:     map[string]string{"x": "the echoed value", "points": "sweep width"},
+		Variants: func(p engine.Params) []engine.Params {
+			n := p.Int("points", 1)
+			out := make([]engine.Params, n)
+			for i := range out {
+				out[i] = p.With("point", fmt.Sprint(i))
+			}
+			return out
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			var r engine.Result
+			r.Add("x", float64(c.Params.Int("x", 0)), "")
+			r.Add("point", float64(c.Params.Int("point", 0)), "")
+			r.Add("seed", float64(c.Seed), "")
+			r.Text = fmt.Sprintf("x=%s point=%s seed=%d\n", c.Params["x"], c.Params["point"], c.Seed)
+			return r, nil
+		},
+	})
+	engine.Register(engine.Scenario{
+		Name: "mgmttest/fail",
+		Desc: "always fails",
+		Run: func(c engine.Context) (engine.Result, error) {
+			return engine.Result{}, fmt.Errorf("boom")
+		},
+	})
+}
+
+func newTestDaemon(t *testing.T, withFabric bool) (*httptest.Server, *RunQueue, *FabricRun) {
+	t.Helper()
+	q := NewRunQueue(8, 2, 1)
+	t.Cleanup(q.Shutdown)
+	var fr *FabricRun
+	if withFabric {
+		var err error
+		fr, err = NewFabricRun(FabricRunConfig{
+			K: 4, Load: 0.2, FailEvery: 2 * sim.Millisecond, HealAfter: sim.Millisecond,
+			Controller: Config{ScrapeEvery: 500 * sim.Microsecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewServer(q, fr))
+	t.Cleanup(ts.Close)
+	return ts, q, fr
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, v any) *http.Response {
+	t.Helper()
+	blob, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, q *RunQueue, id string) []byte {
+	t.Helper()
+	if j, ok := q.Wait(id, 10*time.Second); !ok || j.State != JobDone {
+		t.Fatalf("job %s did not finish: %+v", id, j)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/runs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// The acceptance test: the same scenario submitted twice concurrently
+// over HTTP coalesces onto one job through the content-addressed cache,
+// and both submissions observe byte-identical result bytes.
+func TestConcurrentDuplicateSubmitServedFromCache(t *testing.T) {
+	ts, q, _ := newTestDaemon(t, false)
+	req := RunRequest{Scenario: "mgmttest/echo", Params: engine.Params{"x": "42", "points": "3"}, Seed: 7}
+
+	var wg sync.WaitGroup
+	jobs := make([]Job, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/api/v1/runs", req, &jobs[i])
+		}()
+	}
+	wg.Wait()
+
+	if jobs[0].ID != jobs[1].ID {
+		t.Fatalf("concurrent identical submissions got different jobs: %s vs %s", jobs[0].ID, jobs[1].ID)
+	}
+	if jobs[0].Cached == jobs[1].Cached {
+		t.Fatalf("exactly one submission should be the cache hit: %v vs %v", jobs[0].Cached, jobs[1].Cached)
+	}
+	out1 := fetchResult(t, ts, q, jobs[0].ID)
+	out2 := fetchResult(t, ts, q, jobs[1].ID)
+	if !bytes.Equal(out1, out2) {
+		t.Fatal("cached result bytes differ")
+	}
+	if len(out1) == 0 || !strings.Contains(string(out1), "mgmttest/echo") {
+		t.Fatalf("result looks wrong: %q", out1)
+	}
+	if hits := q.Stats().CacheHits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// A later identical submission hits the cache too — and its result is
+	// still byte-identical.
+	var again Job
+	resp := postJSON(t, ts.URL+"/api/v1/runs", req, &again)
+	if resp.StatusCode != http.StatusOK || !again.Cached || again.ID != jobs[0].ID {
+		t.Fatalf("sequential duplicate not served from cache: %d %+v", resp.StatusCode, again)
+	}
+	if !bytes.Equal(fetchResult(t, ts, q, again.ID), out1) {
+		t.Fatal("sequential duplicate bytes differ")
+	}
+	// A different seed is a different address.
+	other := req
+	other.Seed = 8
+	var fresh Job
+	postJSON(t, ts.URL+"/api/v1/runs", other, &fresh)
+	if fresh.Cached || fresh.ID == jobs[0].ID {
+		t.Fatalf("different seed coalesced: %+v", fresh)
+	}
+}
+
+func TestSubmitValidationAndBoundedQueue(t *testing.T) {
+	ts, _, _ := newTestDaemon(t, false)
+	resp := postJSON(t, ts.URL+"/api/v1/runs", RunRequest{Scenario: "no/such"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown scenario gave %d", resp.StatusCode)
+	}
+
+	// Saturate a tiny queue directly (no HTTP, to control capacity).
+	q2 := NewRunQueue(1, 1, 1)
+	defer q2.Shutdown()
+	// Occupy the single worker and the single queue slot with distinct
+	// requests (different seeds -> different cache keys).
+	for i := 0; ; i++ {
+		_, _, err := q2.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 100)})
+		if err == ErrQueueFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 16 {
+			t.Fatal("queue never filled")
+		}
+	}
+	if q2.Stats().Rejected == 0 {
+		t.Fatal("rejections not counted")
+	}
+}
+
+func TestFailedJobDoesNotPoisonCache(t *testing.T) {
+	_, q, _ := newTestDaemon(t, false)
+	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"})
+	if err != nil || cached {
+		t.Fatalf("submit: %v cached=%v", err, cached)
+	}
+	done, _ := q.Wait(j.ID, 10*time.Second)
+	if done.State != JobFailed || done.Error == "" {
+		t.Fatalf("want failed state with error, got %+v", done)
+	}
+	// Resubmitting after failure re-runs instead of serving the failure.
+	j2, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"})
+	if err != nil || cached || j2.ID == j.ID {
+		t.Fatalf("failed job pinned the cache: %v cached=%v id=%s", err, cached, j2.ID)
+	}
+}
+
+func TestScenarioMetadataEndpoint(t *testing.T) {
+	ts, _, _ := newTestDaemon(t, false)
+	var infos []scenarioInfo
+	getJSON(t, ts.URL+"/api/v1/scenarios", &infos)
+	byName := make(map[string]scenarioInfo)
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	in, ok := byName["mgmttest/echo"]
+	if !ok {
+		t.Fatal("registry endpoint misses mgmttest/echo")
+	}
+	var sawDoc bool
+	for _, p := range in.Params {
+		if p.Key == "x" && p.Desc == "the echoed value" && p.Default == "1" {
+			sawDoc = true
+		}
+	}
+	if !sawDoc {
+		t.Fatalf("param docs not served: %+v", in.Params)
+	}
+	if _, ok := byName["htsim/permutation"]; len(byName) > 2 && !ok {
+		t.Log("note: full scenario registry not linked in this test binary")
+	}
+}
+
+func TestRunProgressStream(t *testing.T) {
+	ts, _, _ := newTestDaemon(t, false)
+	var job Job
+	postJSON(t, ts.URL+"/api/v1/runs", RunRequest{Scenario: "mgmttest/echo", Seed: 11}, &job)
+	resp, err := http.Get(ts.URL + "/api/v1/runs/" + job.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body) // stream ends when the job does
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(blob), []byte("\n"))
+	if len(lines) < 3 { // running + >=1 instance + done + final snapshot
+		t.Fatalf("stream too short: %s", blob)
+	}
+	var final Job
+	if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil {
+		t.Fatalf("last stream line is not the job snapshot: %v", err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("stream ended with state %s", final.State)
+	}
+}
+
+// A live fabric run must expose telemetry, and chaos failures/recoveries
+// must show up both on /metrics and on the event API.
+func TestFabricEndpointsAndMetrics(t *testing.T) {
+	ts, _, fr := newTestDaemon(t, true)
+	for i := 0; i < 10; i++ {
+		fr.Advance(sim.Millisecond)
+	}
+
+	var tel []LinkTelemetry
+	getJSON(t, ts.URL+"/api/v1/fabric/telemetry", &tel)
+	if len(tel) == 0 {
+		t.Fatal("no telemetry rows")
+	}
+	busy := 0
+	for _, row := range tel {
+		if row.Last.FwdBytes > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("live fabric shows no forwarded bytes")
+	}
+
+	var events struct {
+		LastSeq uint64  `json:"last_seq"`
+		Events  []Event `json:"events"`
+	}
+	getJSON(t, ts.URL+"/api/v1/fabric/events?since=0", &events)
+	var sawDown, sawUp, sawReach bool
+	var lastSeq uint64
+	for _, e := range events.Events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("event seq not strictly increasing: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case EventLinkDown:
+			sawDown = true
+		case EventLinkUp:
+			sawUp = true
+		case EventReachUpdate:
+			sawReach = true
+		}
+	}
+	if !sawDown || !sawUp {
+		t.Fatalf("chaos failure/recovery missing from event API (down=%v up=%v)", sawDown, sawUp)
+	}
+	_ = sawReach // FE1-FE2 chaos picks need no spine withdrawal; FA links publish one
+
+	// Per-link series endpoint.
+	var series struct {
+		Series []Sample `json:"series"`
+	}
+	getJSON(t, ts.URL+"/api/v1/fabric/telemetry?link=0&dir=1", &series)
+	if len(series.Series) < 2 {
+		t.Fatalf("series endpoint returned %d samples", len(series.Series))
+	}
+
+	// Inventory endpoint.
+	var info struct {
+		Inventory Inventory   `json:"inventory"`
+		Stats     FabricStats `json:"stats"`
+	}
+	getJSON(t, ts.URL+"/api/v1/fabric", &info)
+	if len(info.Inventory.Devices) == 0 || len(info.Inventory.Links) == 0 {
+		t.Fatal("inventory endpoint empty")
+	}
+	if info.Stats.Scrapes == 0 {
+		t.Fatal("stats endpoint shows no scrapes")
+	}
+
+	// /metrics carries the failure/recovery counters with nonzero values.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	metrics := string(blob)
+	for _, want := range []string{
+		"stardust_fabric_cells_injected_total",
+		"stardust_fabric_link_failures_total",
+		"stardust_fabric_link_recoveries_total",
+		"stardustd_runs_submitted_total",
+		"stardust_mgmt_scrapes_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics misses %s:\n%s", want, metrics)
+		}
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "stardust_fabric_link_failures_total ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("chaos ran but failure counter is zero: %q", line)
+			}
+		}
+	}
+
+	// Without a fabric run, the fabric API 404s cleanly.
+	ts2, _, _ := newTestDaemon(t, false)
+	if resp := getJSON(t, ts2.URL+"/api/v1/fabric", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fabricless daemon served fabric API: %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _, _ := newTestDaemon(t, false)
+	var h map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &h)
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, h)
+	}
+}
+
+// Retention is bounded: finished jobs beyond the cap are evicted along
+// with their cached results, while the bounded queue itself stays the
+// only limit on live work.
+func TestFinishedJobEviction(t *testing.T) {
+	q := NewRunQueue(8, 1, 1)
+	defer q.Shutdown()
+	q.maxRetained = 3
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, _, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done, _ := q.Wait(j.ID, 10*time.Second); done.State != JobDone {
+			t.Fatalf("job %s: %+v", j.ID, done)
+		}
+		ids = append(ids, j.ID)
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Fatal("oldest finished job survived eviction")
+	}
+	if _, ok := q.Get(ids[5]); !ok {
+		t.Fatal("newest job evicted")
+	}
+	if got := len(q.List(0)); got > 3+1 { // cap + the in-flight slack
+		t.Fatalf("retained %d jobs, cap 3", got)
+	}
+	// An evicted key re-runs instead of serving a dangling cache entry.
+	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: 1})
+	if err != nil || cached {
+		t.Fatalf("evicted key still cached: %v %v", err, cached)
+	}
+	if done, _ := q.Wait(j.ID, 10*time.Second); done.State != JobDone {
+		t.Fatalf("re-run failed: %+v", done)
+	}
+}

@@ -1,0 +1,86 @@
+package mgmt
+
+import "stardust/internal/sim"
+
+// Sample is one telemetry scrape of one directed link: the cumulative
+// counters at T plus the instantaneous queue occupancy. Rates are derived
+// by differencing consecutive samples.
+type Sample struct {
+	T          sim.Time `json:"t_ps"`
+	FwdBytes   uint64   `json:"fwd_bytes"`
+	FwdCells   uint64   `json:"fwd_cells"`
+	Drops      uint64   `json:"drops"`
+	QueueBytes int      `json:"queue_bytes"`
+	Up         bool     `json:"up"`
+}
+
+// Series is a fixed-capacity ring of samples: the newest HistoryLen
+// scrapes of one directed link. The zero value is unusable; make one
+// with newSeries.
+type Series struct {
+	buf  []Sample
+	head int // index of the oldest sample
+	n    int
+}
+
+func newSeries(capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{buf: make([]Sample, capacity)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (s *Series) Push(x Sample) {
+	i := s.head + s.n
+	if i >= len(s.buf) {
+		i -= len(s.buf)
+	}
+	if s.n == len(s.buf) {
+		s.head++
+		if s.head == len(s.buf) {
+			s.head = 0
+		}
+	} else {
+		s.n++
+	}
+	s.buf[i] = x
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return s.n }
+
+// At returns retained sample i, 0 being the oldest.
+func (s *Series) At(i int) Sample {
+	j := s.head + i
+	if j >= len(s.buf) {
+		j -= len(s.buf)
+	}
+	return s.buf[j]
+}
+
+// Last returns the newest sample, if any.
+func (s *Series) Last() (Sample, bool) {
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.At(s.n - 1), true
+}
+
+// Prev returns the second-newest sample, if any — the other end of the
+// latest scrape interval.
+func (s *Series) Prev() (Sample, bool) {
+	if s.n < 2 {
+		return Sample{}, false
+	}
+	return s.At(s.n - 2), true
+}
+
+// Snapshot copies the retained samples oldest-first.
+func (s *Series) Snapshot() []Sample {
+	out := make([]Sample, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.At(i)
+	}
+	return out
+}

@@ -17,6 +17,11 @@ func init() {
 		Defaults: engine.Params{
 			"scale": "4", "utils": "0.66,0.8,0.92,0.95,1.2", "dist": "false",
 		},
+		Docs: map[string]string{
+			"scale": "linear downscale of the Fig 9 topology (1 = paper size)",
+			"utils": "comma list of offered utilizations (one instance each)",
+			"dist":  "also emit the full latency and queue-size distributions",
+		},
 		Variants: func(p engine.Params) []engine.Params {
 			var out []engine.Params
 			for _, u := range p.Floats("utils", []float64{0.8}) {
@@ -73,6 +78,9 @@ func init() {
 		Name:     "fabric/pushpull",
 		Desc:     "Fig 7 / Fig 12 push-vs-pull fabric: congested ports must not steal throughput",
 		Defaults: engine.Params{"tc": "both"},
+		Docs: map[string]string{
+			"tc": "traffic classes on the congested port: true, false, or both",
+		},
 		Variants: func(p engine.Params) []engine.Params {
 			switch p.Str("tc", "both") {
 			case "true":

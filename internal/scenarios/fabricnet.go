@@ -19,6 +19,9 @@ func init() {
 		Defaults: engine.Params{
 			"k": "8", "dur_ms": "10", "warmup_ms": "5", "mode": "both",
 		},
+		Docs: pickDocs([]string{"k", "dur_ms", "warmup_ms"}, map[string]string{
+			"mode": "spray (Stardust cells), ecmp (per-flow hashing), or both",
+		}),
 		Variants: func(p engine.Params) []engine.Params {
 			switch p.Str("mode", "both") {
 			case "spray", "ecmp":
@@ -55,6 +58,11 @@ func init() {
 			"k": "8", "dur_ms": "30", "warmup_ms": "10",
 			"fail": "4", "fail_ms": "10", "bin_ms": "1",
 		},
+		Docs: pickDocs([]string{"k", "dur_ms", "warmup_ms"}, map[string]string{
+			"fail":    "random fabric links to kill mid-run",
+			"fail_ms": "failure instant relative to end of warmup, in ms",
+			"bin_ms":  "goodput aggregation bin, in ms",
+		}),
 		Run: func(c engine.Context) (engine.Result, error) {
 			cfg := htsimConfig(c)
 			r, err := experiments.FabricFailures(cfg,
@@ -86,6 +94,10 @@ func init() {
 			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all",
 			"hot": "2", "frac": "0.4", "fabric": "false",
 		},
+		Docs: withDocs(htsimDocs, map[string]string{
+			"hot":  "number of hot destination hosts",
+			"frac": "fraction of senders aimed at a hot destination",
+		}),
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
 			cfg := htsimConfig(c)
@@ -117,6 +129,7 @@ func init() {
 		Defaults: engine.Params{
 			"k": "4", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "fabric": "false",
 		},
+		Docs:     htsimDocs,
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
 			cfg := htsimConfig(c)

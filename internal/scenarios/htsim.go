@@ -45,6 +45,40 @@ func protoVariants(p engine.Params) []engine.Params {
 	return out
 }
 
+// Shared parameter docs for the htsim family (the htsimConfig knobs).
+var htsimDocs = map[string]string{
+	"k":         "fat-tree K (12 = the paper's 432 hosts)",
+	"dur_ms":    "measurement window in ms, after warmup",
+	"warmup_ms": "warmup before measurement starts, in ms",
+	"proto":     "protocols to run: all, or a comma list of MPTCP,DCTCP,DCQCN,Stardust",
+	"fabric":    "run Stardust over the per-link cell fabric instead of the fluid trunk",
+}
+
+// withDocs merges extra entries over a copy of base.
+func withDocs(base map[string]string, extra map[string]string) map[string]string {
+	out := make(map[string]string, len(base)+len(extra))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// pickDocs selects keys from htsimDocs and merges extra entries, for
+// scenarios that accept only a subset of the shared htsim knobs.
+func pickDocs(keys []string, extra map[string]string) map[string]string {
+	out := make(map[string]string, len(keys)+len(extra))
+	for _, k := range keys {
+		out[k] = htsimDocs[k]
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
 func init() {
 	engine.Register(engine.Scenario{
 		Name: "htsim/permutation",
@@ -52,6 +86,7 @@ func init() {
 		Defaults: engine.Params{
 			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "fabric": "false",
 		},
+		Docs:     htsimDocs,
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
 			cfg := htsimConfig(c)
@@ -81,6 +116,9 @@ func init() {
 		Defaults: engine.Params{
 			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all", "flows": "100", "fabric": "false",
 		},
+		Docs: withDocs(htsimDocs, map[string]string{
+			"flows": "Web-workload flows to measure on the clean pair",
+		}),
 		Variants: protoVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
 			cfg := htsimConfig(c)
@@ -109,6 +147,10 @@ func init() {
 			"k": "8", "dur_ms": "20", "warmup_ms": "10", "proto": "all",
 			"n": "4,8,16,32", "response_bytes": "450000", "fabric": "false",
 		},
+		Docs: withDocs(htsimDocs, map[string]string{
+			"n":              "comma list of backend counts (one instance per fan-in)",
+			"response_bytes": "bytes each backend sends to the frontend",
+		}),
 		Variants: func(p engine.Params) []engine.Params {
 			var out []engine.Params
 			for _, pr := range protoList(p) {

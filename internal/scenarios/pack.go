@@ -15,6 +15,7 @@ func init() {
 		Name:     "pack/fig8a",
 		Desc:     "Fig 8(a) NetFPGA packing throughput vs packet size, four designs",
 		Defaults: engine.Params{"clock_hz": "150000000"},
+		Docs:     map[string]string{"clock_hz": "NetFPGA datapath clock in Hz"},
 		Run: func(c engine.Context) (engine.Result, error) {
 			clock := c.Params.Float("clock_hz", 150e6)
 			var res engine.Result
@@ -34,6 +35,7 @@ func init() {
 		Name:     "pack/fig8b",
 		Desc:     "Fig 8(b) production-trace throughput mixes",
 		Defaults: engine.Params{"clock_hz": "150000000"},
+		Docs:     map[string]string{"clock_hz": "NetFPGA datapath clock in Hz"},
 		Run: func(c engine.Context) (engine.Result, error) {
 			clock := c.Params.Float("clock_hz", 150e6)
 			var res engine.Result

@@ -32,6 +32,11 @@ func init() {
 		Name:     "scaling/table2",
 		Desc:     "Table 2 element counts for (k, t, l)",
 		Defaults: engine.Params{"k": "8", "t": "4", "l": "2"},
+		Docs: map[string]string{
+			"k": "FE radix factor k of Table 2",
+			"t": "ToR downlinks per FA",
+			"l": "FA fabric links",
+		},
 		Run: func(c engine.Context) (engine.Result, error) {
 			p := topo.Params{
 				K: c.Params.Int("k", 8),

@@ -3,6 +3,7 @@ package scenarios
 import (
 	"bytes"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -164,5 +165,21 @@ func TestParallelSweepSpeedup(t *testing.T) {
 	// while still catching an accidentally serialized worker pool.
 	if float64(parallel) >= 0.85*float64(serial) {
 		t.Fatalf("workers=4 (%v) not faster than workers=1 (%v)", parallel, serial)
+	}
+}
+
+// Every registered scenario must document every parameter it accepts:
+// the -list output and the stardustd scenario API both promise a full
+// table, so an undocumented knob is a regression.
+func TestAllParamsDocumented(t *testing.T) {
+	for _, sc := range engine.List() {
+		if strings.HasPrefix(sc.Name, "test/") {
+			continue
+		}
+		for _, d := range sc.ParamDocs() {
+			if d.Desc == "" {
+				t.Errorf("%s: parameter %q (default %q) has no doc string", sc.Name, d.Key, d.Default)
+			}
+		}
 	}
 }

@@ -15,6 +15,13 @@ func init() {
 			"fa": "6", "ports": "16", "packing": "false", "dur_us": "300",
 			"sizes": "64,128,256,384,512,1024,1518",
 		},
+		Docs: map[string]string{
+			"fa":      "Fabric Adapters in the single-tier system",
+			"ports":   "front-panel ports per FA",
+			"packing": "enable cell packing on the FA ingress",
+			"dur_us":  "measurement window in us",
+			"sizes":   "comma list of packet sizes in bytes (one instance each)",
+		},
 		// One instance per packet size: the sweep points are independent
 		// simulations, so they parallelize.
 		Variants: func(p engine.Params) []engine.Params {

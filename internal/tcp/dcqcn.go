@@ -18,6 +18,16 @@ type DCQCN struct {
 	MSS       int
 	LineRate  netsim.Bps
 	FlowBytes int64 // 0 = long-running
+	// MaxInflight is the PFC-style pause point: the sender stops injecting
+	// new data while more than this many bytes are unacked, the way a
+	// PFC-paused NIC stops draining its queue. Deployed DCQCN runs over a
+	// lossless (PFC) fabric, so a sender can never have unbounded data
+	// outstanding in full queues; without this bound a lossy simulated
+	// fabric livelocks under heavy fan-in (flows keep blasting new data at
+	// line rate while every cumulative ack is stalled behind a loss hole).
+	// NewDCQCN initializes it to DefaultMaxInflight; setting it to 0
+	// afterwards disables the pause entirely.
+	MaxInflight int64
 
 	fwd []netsim.Handler
 
@@ -35,6 +45,8 @@ type DCQCN struct {
 	chain     bool // a pace() chain is scheduled
 	highest   int64
 	cumAck    int64
+	dupAcks   int
+	recover   int64 // highest byte outstanding at the last loss escape
 	rtoTimer  *sim.Timer
 	rtoPeriod sim.Time
 
@@ -53,11 +65,16 @@ type DCQCN struct {
 	// Stats
 	CNPs        uint64
 	Retransmits uint64
+	FastRecov   uint64 // dup-ack loss escapes (see lossEscape)
 	DeliveredB  int64
 }
 
 // DCQCNTimer is the rate-increase and alpha-update period (55us in [82]).
 const DCQCNTimer = 55 * sim.Microsecond
+
+// DefaultMaxInflight is the default PFC-style pause point (see
+// DCQCN.MaxInflight): roughly one 100-packet switch buffer of 9KB MTUs.
+const DefaultMaxInflight = 256 << 10
 
 // CNPInterval is the minimum gap between CNPs from the notification point
 // (50us in [82]).
@@ -79,6 +96,7 @@ func NewDCQCN(s *sim.Simulator, name string, mss int, lineRate netsim.Bps, flowB
 		minRate:   1e6,
 		rtoPeriod: 4 * sim.Millisecond,
 	}
+	d.MaxInflight = DefaultMaxInflight
 	d.incTimer = sim.NewTimer(s)
 	d.alphaTmr = sim.NewTimer(s)
 	d.rtoTimer = sim.NewTimer(s)
@@ -120,6 +138,12 @@ func (d *DCQCN) pace() {
 		d.chain = false
 		return
 	}
+	if d.MaxInflight > 0 && d.highest-d.cumAck >= d.MaxInflight {
+		// PFC-style pause: too much unacked data outstanding. OnAck
+		// resumes the chain as soon as the window drains.
+		d.chain = false
+		return
+	}
 	d.chain = true
 	size := int64(d.MSS)
 	if d.FlowBytes > 0 && d.highest+size > d.FlowBytes {
@@ -144,7 +168,26 @@ func (d *DCQCN) OnAck(ack int64) {
 	if ack > d.cumAck {
 		d.cumAck = ack
 		d.DeliveredB = ack
+		d.dupAcks = 0
 		d.armRTO()
+		if !d.chain && d.sending {
+			d.pace() // resume after a PFC-style pause
+		}
+	} else if ack == d.cumAck && d.highest > d.cumAck {
+		// A packet landed beyond a hole: the hole was lost, not delayed.
+		// Three duplicates trigger the loss escape at RTT timescale
+		// instead of waiting out the full retransmission timeout.
+		d.dupAcks++
+		if d.dupAcks >= 3 && d.cumAck >= d.recover {
+			d.dupAcks = 0
+			d.FastRecov++
+			d.lossEscape()
+			d.highest = d.cumAck
+			if !d.chain {
+				d.pace()
+			}
+			d.armRTO()
+		}
 	}
 	if d.FlowBytes > 0 && d.cumAck >= d.FlowBytes {
 		d.Done = true
@@ -221,11 +264,33 @@ func (d *DCQCN) onRTO() {
 	// No cumulative progress for a full period: go back to the hole.
 	// DCQCN fabrics are near-lossless so this is a rare recovery path.
 	d.Retransmits++
+	d.lossEscape()
 	d.highest = d.cumAck
 	if !d.chain {
 		d.pace()
 	}
 	d.armRTO()
+}
+
+// lossEscape is the rate-recovery escape for detected packet loss: a loss
+// (dup-acks or a retransmission timeout) means packets died in a full
+// queue before the ECN marker could slow us down — congestion more severe
+// than any CNP can signal (deployed DCQCN never sees this because PFC
+// keeps the fabric lossless). Saturate alpha and cut hard so the offered
+// load falls below the loss point and the normal CNP/alpha control loop
+// can take over again. Further escapes are suppressed until the hole
+// outstanding at this escape is repaired (NewReno-style), so one loss
+// burst is answered by one cut.
+func (d *DCQCN) lossEscape() {
+	d.recover = d.highest
+	d.alpha = 1
+	d.target = d.rate
+	d.rate /= 2
+	if d.rate < d.minRate {
+		d.rate = d.minRate
+	}
+	d.stage = 0
+	d.incTimer.Arm(DCQCNTimer, d.increaseFn)
 }
 
 // DCQCNSink is the notification point: cumulative acks per packet plus
