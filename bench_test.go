@@ -14,6 +14,7 @@ import (
 	"stardust/internal/fabric"
 	"stardust/internal/fabricsim"
 	"stardust/internal/netsim"
+	"stardust/internal/parsim"
 	"stardust/internal/queueing"
 	"stardust/internal/sim"
 	"stardust/internal/topo"
@@ -84,12 +85,12 @@ func BenchmarkFabricCellPath(b *testing.B) {
 	}
 	s.Run()
 	b.StopTimer()
-	if n.Injected != uint64(b.N) {
-		b.Fatalf("injected %d of %d", n.Injected, b.N)
+	if n.Injected() != uint64(b.N) {
+		b.Fatalf("injected %d of %d", n.Injected(), b.N)
 	}
-	if n.Delivered+n.Drops() != n.Injected {
+	if n.Delivered()+n.Drops() != n.Injected() {
 		b.Fatalf("cell leak: %d delivered + %d dropped != %d injected",
-			n.Delivered, n.Drops(), n.Injected)
+			n.Delivered(), n.Drops(), n.Injected())
 	}
 	if n.Drops() != 0 {
 		b.Fatalf("healthy fabric dropped %d cells", n.Drops())
@@ -105,6 +106,50 @@ func (f *fabricInjector) Act(arg uint64) {
 	c := netsim.NewPacket()
 	c.Size = 512
 	f.n.Inject(c, int(arg>>32), int(uint32(arg)))
+}
+
+// BenchmarkFabricCellPathSharded measures the same per-cell fabric path
+// through the parsim conservative-lookahead engine at two shards: lane-
+// ordered link crossings, window barriers and cross-shard mailboxes
+// included. The steady-state path must stay allocation-free just like the
+// solo engine's (the window machinery amortizes to zero); benchguard
+// gates both the allocs/op and median ns/op of this benchmark.
+func BenchmarkFabricCellPathSharded(b *testing.B) {
+	eng := parsim.New(parsim.Config{Shards: 2, Lookahead: sim.Microsecond})
+	cl, err := fabric.ClosFor(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := fabric.NewSharded(eng, fabric.DefaultConfig(100e9, sim.Microsecond, 1), cl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Same pacing as the solo benchmark: every FA injects one 512B cell
+	// per cell-serialization time, half of its two-uplink capacity.
+	const numFA = 8
+	gap := sim.Time(float64(512*8) / 100e9 * float64(sim.Second))
+	for fa := 0; fa < numFA; fa++ {
+		quota := b.N / numFA
+		if fa < b.N%numFA {
+			quota++
+		}
+		n.NewInjector(fa, gap, 512, 0, quota).Start(0)
+	}
+	deadline := sim.Time(b.N/numFA+2)*gap + sim.Millisecond
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.RunUntilQuiet(deadline)
+	b.StopTimer()
+	if n.Injected() != uint64(b.N) {
+		b.Fatalf("injected %d of %d", n.Injected(), b.N)
+	}
+	if n.Delivered()+n.Drops() != n.Injected() {
+		b.Fatalf("cell leak: %d delivered + %d dropped != %d injected",
+			n.Delivered(), n.Drops(), n.Injected())
+	}
+	if n.Drops() != 0 {
+		b.Fatalf("healthy sharded fabric dropped %d cells", n.Drops())
+	}
 }
 
 // BenchmarkFabricFailurePath exercises the failure machinery under load
@@ -132,9 +177,9 @@ func BenchmarkFabricFailurePath(b *testing.B) {
 		}
 		s.At(100*sim.Microsecond, func() { n.FailLink(0); n.FailLink(17) })
 		s.Run()
-		if n.Delivered+n.Drops() != n.Injected {
+		if n.Delivered()+n.Drops() != n.Injected() {
 			b.Fatalf("cell leak under failure: %d delivered + %d dropped != %d injected",
-				n.Delivered, n.Drops(), n.Injected)
+				n.Delivered(), n.Drops(), n.Injected())
 		}
 	}
 }

@@ -103,7 +103,7 @@ func main() {
 	in := flag.String("in", "", "go test -bench output to parse")
 	out := flag.String("out", "", "write aggregated results as JSON (e.g. BENCH_ci.json)")
 	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
-	guard := flag.String("guard", "BenchmarkPacketPath", "benchmark name the gate protects")
+	guard := flag.String("guard", "BenchmarkPacketPath", "comma-separated benchmarks gated on median ns/op (within -tolerance) plus allocs/op")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
 	allocGuard := flag.String("allocguard", "", "comma-separated benchmarks gated on allocs/op only (no tolerance)")
 	flag.Parse()
@@ -175,17 +175,21 @@ func main() {
 		}
 	}
 
-	if *guard != "" {
-		want, got := lookup(*guard)
+	for _, name := range strings.Split(*guard, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want, got := lookup(name)
 		limit := want.MedianNsOp * (1 + *tolerance)
 		fmt.Printf("benchguard: %s median %.1f ns/op (baseline %.1f, limit %.1f)\n",
-			*guard, got.MedianNsOp, want.MedianNsOp, limit)
+			name, got.MedianNsOp, want.MedianNsOp, limit)
 		if got.MedianNsOp > limit {
 			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
-				*guard, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
+				name, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
 			os.Exit(1)
 		}
-		gateAllocs(*guard, want, got)
+		gateAllocs(name, want, got)
 	}
 	if *allocGuard != "" {
 		for _, name := range strings.Split(*allocGuard, ",") {

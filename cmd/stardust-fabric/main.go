@@ -1,8 +1,10 @@
 // Command stardust-fabric runs the cell-fabric experiments: the Fig 9
-// latency/queue distributions (slotted model), and the topology-faithful
+// latency/queue distributions (slotted model), the topology-faithful
 // per-link fabric's load-balance (linkload) and failure-recovery
-// (failures) scenarios. Each instance is independent, so -workers=N runs
-// sweeps in parallel.
+// (failures) scenarios, and the sharded-engine scaling (parscale) and
+// fail/heal (parheal) scenarios. Each instance is independent, so
+// -workers=N runs sweeps in parallel; parscale/parheal additionally split
+// one instance across -shards event loops.
 package main
 
 import (
@@ -14,7 +16,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures")
+	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal")
+	timings := flag.Bool("partimings", false, "parscale: report events/sec and speedup vs one shard (nondeterministic output)")
 	scale := flag.Int("scale", 4, "fig9: scale divisor of the 256-FA topology (1 = paper scale)")
 	util := flag.Float64("util", 0, "fig9: run a single utilization instead of the paper's set")
 	dist := flag.Bool("dist", false, "fig9: dump the full latency/queue distributions (TSV)")
@@ -34,6 +37,14 @@ func main() {
 	case "failures":
 		job = engine.Job{Scenario: "fabric/failures", Params: engine.Params{
 			"k": fmt.Sprint(*k), "fail": fmt.Sprint(*failN), "fail_ms": fmt.Sprint(*failMs),
+		}}
+	case "parscale":
+		job = engine.Job{Scenario: "fabric/parscale", Params: engine.Params{
+			"k": fmt.Sprint(*k), "timings": fmt.Sprint(*timings),
+		}}
+	case "parheal":
+		job = engine.Job{Scenario: "fabric/parheal", Params: engine.Params{
+			"k": fmt.Sprint(*k), "fail": fmt.Sprint(*failN),
 		}}
 	default:
 		p := engine.Params{

@@ -43,6 +43,7 @@ func main() {
 	queueWorkers := flag.Int("queue-workers", 2, "concurrent scenario runs")
 	runWorkers := flag.Int("run-workers", 0, "parallel instances per run (0 = all CPUs)")
 	fabricK := flag.Int("fabric-k", 4, "managed fabric size (ClosFor K, 0 = no live fabric)")
+	fabricShards := flag.Int("fabric-shards", 1, "event-loop shards for the managed fabric (>1 = parallel sharded simulation)")
 	fabricLoad := flag.Float64("fabric-load", 0.3, "offered load fraction on the managed fabric")
 	chaosMs := flag.Int("chaos-every-ms", 0, "fail one random link every N sim-ms (0 = no chaos)")
 	healMs := flag.Int("heal-after-ms", 5, "chaos-failed links recover after N sim-ms")
@@ -64,6 +65,7 @@ func main() {
 			FailEvery: sim.Time(*chaosMs) * sim.Millisecond,
 			HealAfter: sim.Time(*healMs) * sim.Millisecond,
 			Seed:      *seed,
+			Shards:    *fabricShards,
 			Controller: mgmt.Config{
 				ScrapeEvery: sim.Time(*scrapeUs) * sim.Microsecond,
 			},

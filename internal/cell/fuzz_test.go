@@ -1,0 +1,71 @@
+package cell
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCellHeader fuzzes the wire codec round trips: header decode/encode,
+// the framed stream packer, and the stream-to-cells fragmentation. No
+// input may panic; every successfully decoded value must survive a
+// re-encode byte-for-byte.
+func FuzzCellHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x12, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03, 0x1f})
+	f.Add([]byte("go test fuzz corpus seed payload: stardust cells"))
+	f.Add(bytes.Repeat([]byte{0xa5}, 600))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Header round trip: any 8 decodable bytes re-encode identically.
+		if h, err := Decode(b); err == nil {
+			var buf [HeaderSize]byte
+			h.Encode(buf[:])
+			h2, err := Decode(buf[:])
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if h2 != h {
+				t.Fatalf("header round trip: %+v -> %+v", h, h2)
+			}
+		} else if len(b) >= HeaderSize {
+			t.Fatalf("%d-byte header rejected: %v", len(b), err)
+		}
+
+		// Packet framing round trip: a packet survives the framed stream.
+		stream := PackStream([][]byte{b, {}, b})
+		pkts, err := UnpackStream(stream)
+		if err != nil {
+			t.Fatalf("packed stream does not unpack: %v", err)
+		}
+		if len(pkts) != 3 || !bytes.Equal(pkts[0], b) || len(pkts[1]) != 0 || !bytes.Equal(pkts[2], b) {
+			t.Fatal("framing round trip lost packet boundaries")
+		}
+
+		// Fragmentation round trip: chop the input into cells and rebuild.
+		if len(b) == 0 {
+			return
+		}
+		const cellSize = DefaultCellSize
+		cells, err := EncodeCells(1, 2, 3, 100, b, cellSize)
+		if err != nil {
+			t.Fatalf("EncodeCells: %v", err)
+		}
+		rebuilt, hdrs, err := DecodeCells(cells)
+		if err != nil {
+			t.Fatalf("DecodeCells: %v", err)
+		}
+		if !bytes.Equal(rebuilt, b) {
+			t.Fatalf("stream round trip: %d bytes in, %d out", len(b), len(rebuilt))
+		}
+		for i, h := range hdrs {
+			if h.Seq != uint16(100+i) {
+				t.Fatalf("cell %d carries seq %d, want %d", i, h.Seq, 100+i)
+			}
+			if h.Src != 1 || h.Dst != 2 || h.TC != 3 {
+				t.Fatalf("cell %d header corrupted: %+v", i, h)
+			}
+			if i < len(hdrs)-1 && h.PayloadBytes() != cellSize-HeaderSize {
+				t.Fatalf("non-final cell %d holds %d bytes, want full %d", i, h.PayloadBytes(), cellSize-HeaderSize)
+			}
+		}
+	})
+}

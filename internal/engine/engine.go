@@ -159,6 +159,11 @@ func (p Params) String() string {
 type Context struct {
 	Params Params
 	Seed   int64
+	// Shards is the requested intra-instance event-loop parallelism (the
+	// -shards flag): scenarios built on the sharded fabric partition one
+	// simulation across this many cores. Most scenarios are single-loop
+	// and ignore it. Always >= 1.
+	Shards int
 }
 
 // Metric is one named scalar of a scenario outcome; the ordered metric

@@ -11,6 +11,7 @@ import (
 // onto a FlagSet with AddFlags, then hand the parsed value to Main.
 type Flags struct {
 	Workers int
+	Shards  int
 	Format  string
 	Seed    int64
 	List    bool
@@ -22,6 +23,7 @@ type Flags struct {
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.IntVar(&f.Workers, "workers", 0, "parallel scenario instances (0 = all CPUs)")
+	fs.IntVar(&f.Shards, "shards", 1, "event-loop shards per instance for sharded scenarios (same seed => byte-identical output at any count)")
 	fs.StringVar(&f.Format, "format", "text", "output format: text, json, csv")
 	fs.Int64Var(&f.Seed, "seed", 1, "base RNG seed (same seed => byte-identical output)")
 	fs.BoolVar(&f.List, "list", false, "list registered scenarios and exit")
@@ -34,6 +36,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 func (f *Flags) Options() Options {
 	o := Options{
 		Workers: f.Workers,
+		Shards:  f.Shards,
 		Seed:    f.Seed,
 		Format:  f.Format,
 		Out:     os.Stdout,

@@ -21,6 +21,10 @@ type Job struct {
 type Options struct {
 	// Workers sets the worker-pool width; <= 0 means GOMAXPROCS.
 	Workers int
+	// Shards is the per-instance event-loop parallelism handed to
+	// scenarios through Context.Shards; <= 0 means 1. It composes with
+	// Workers: the pool parallelizes across instances, shards within one.
+	Shards int
 	// Seed is the base seed for jobs that don't carry their own.
 	Seed int64
 	// Format selects the emission format: "text", "json" or "csv".
@@ -107,6 +111,10 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
 	if workers > len(insts) {
 		workers = len(insts)
 	}
@@ -125,7 +133,7 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 			for i := range work {
 				in := insts[i]
 				t0 := time.Now()
-				res, err := runInstance(in)
+				res, err := runInstance(in, shards)
 				results[i] = RunResult{
 					Name:    in.sc.Name,
 					Params:  in.params,
@@ -170,11 +178,11 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 
 // runInstance executes one instance, converting a panic in scenario code
 // into an error so one bad instance cannot take down a sweep.
-func runInstance(in instance) (res Result, err error) {
+func runInstance(in instance, shards int) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("scenario panicked: %v", r)
 		}
 	}()
-	return in.sc.Run(Context{Params: in.params, Seed: in.seed})
+	return in.sc.Run(Context{Params: in.params, Seed: in.seed, Shards: shards})
 }

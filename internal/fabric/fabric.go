@@ -21,6 +21,13 @@
 // The per-cell hot path allocates nothing: cells are pooled
 // netsim.Packets, every directed link's route is prebuilt once, spreader
 // reshuffles are in place, and forwarding state lives in dense bitmaps.
+//
+// A fabric runs in one of two modes. New builds the classic single-event-
+// loop fabric on one sim.Simulator. NewSharded (sharded.go) partitions the
+// devices across the shards of a parsim.Engine — every device's events run
+// on its owning shard, cells cross shard cuts through conservative-
+// lookahead mailboxes, and every link delivery is ordered by a per-link
+// event lane so the results are byte-identical for any shard count.
 package fabric
 
 import (
@@ -28,6 +35,7 @@ import (
 	"math/rand"
 
 	"stardust/internal/netsim"
+	"stardust/internal/parsim"
 	"stardust/internal/reach"
 	"stardust/internal/sim"
 	"stardust/internal/topo"
@@ -73,12 +81,42 @@ func ClosFor(k int) (*topo.Clos, error) {
 	return topo.NewClos2(k*k/2, k/2, k, k*k/4, fe1Up, k)
 }
 
+// shardState is the per-shard slice of a Net: the shard's event heap plus
+// the counters its devices increment. A solo fabric has exactly one; a
+// sharded fabric has one per parsim shard, so the hot path never writes a
+// counter another shard's goroutine could be writing concurrently.
+// Aggregate accessors (Injected, Delivered, ...) sum across shards and are
+// only meaningful when the fabric is quiescent: between runs in solo mode,
+// in barrier context in sharded mode.
+type shardState struct {
+	id int
+	sm *sim.Simulator
+
+	injected     uint64
+	delivered    uint64
+	deadDrops    uint64
+	noRouteDrops uint64
+
+	reach []reachEvent // sharded mode: buffered spine-landing notifications
+}
+
+// reachEvent is one buffered OnReachUpdate notification (sharded mode):
+// the update lands on the spine tier at `at`; the engine's barrier drains
+// the buffers in deterministic (at, fe1) order.
+type reachEvent struct {
+	at        sim.Time
+	fe1       int
+	reachable int
+}
+
 // link is one direction of a physical serial link: a serialization queue,
-// the shared propagation pipe, and an arrival gate (the link itself) that
+// the propagation crossing, and an arrival gate (the link itself) that
 // loses cells when the link is down — cells already serialized into a
-// failed link are lost on the wire, like the real thing.
+// failed link are lost on the wire, like the real thing. The queue lives
+// on the sending device's shard; Receive runs on the receiving device's.
 type link struct {
 	net   *Net
+	sh    *shardState // receiving device's shard
 	q     *netsim.Queue
 	to    netsim.Handler // receiving device
 	route []netsim.Handler
@@ -88,8 +126,8 @@ type link struct {
 // Receive implements netsim.Handler: the cell reaches the far end.
 func (l *link) Receive(c *netsim.Packet) {
 	if !l.up {
-		l.net.DeadDrops++
-		c.Release()
+		l.sh.deadDrops++
+		l.net.dropCell(c)
 		return
 	}
 	l.to.Receive(c)
@@ -103,6 +141,7 @@ func (l *link) send(c *netsim.Packet) {
 // faDev is a Fabric Adapter's fabric-facing side: the uplink sprayer.
 type faDev struct {
 	net  *Net
+	sh   *shardState
 	id   int
 	up   []*link
 	live reach.Bitmap // uplinks passing keepalive
@@ -112,12 +151,18 @@ type faDev struct {
 // faEgress terminates cells at their destination Fabric Adapter.
 type faEgress struct {
 	net *Net
+	sh  *shardState
 	id  int
+	to  netsim.Handler // optional per-FA endpoint (SetEgress)
 }
 
 // Receive implements netsim.Handler.
 func (e *faEgress) Receive(c *netsim.Packet) {
-	e.net.Delivered++
+	e.sh.delivered++
+	if e.to != nil {
+		e.to.Receive(c)
+		return
+	}
 	if fn := e.net.OnDeliver; fn != nil {
 		fn(c)
 		return
@@ -125,14 +170,24 @@ func (e *faEgress) Receive(c *netsim.Packet) {
 	c.Release()
 }
 
+// spinePort locates one FE1 uplink's far end: spine index and the spine's
+// local down-port. Prebuilt so a reachability re-advertisement does not
+// rescan the wiring.
+type spinePort struct {
+	spine int
+	port  int
+}
+
 // feDev is a Fabric Element (either tier). FE1s have both down links
 // (to FAs) and uplinks (to FE2s); FE2s have down links only (to FE1s).
 type feDev struct {
 	net      *Net
+	sh       *shardState
 	id       topo.NodeID
 	down     []*link
 	ups      []*link      // nil on FE2s and in single-tier fabrics
 	downPeer []int        // peer device index per down port
+	spines   []spinePort  // FE1 only: far end of each uplink
 	tbl      *reach.Table // destination FA -> down links that reach it
 	liveUp   reach.Bitmap // FE1 only: uplinks passing keepalive
 	sprDown  *reach.Spreader
@@ -155,16 +210,20 @@ func (d *feDev) Receive(c *netsim.Packet) {
 			return
 		}
 	}
-	d.net.NoRouteDrops++
-	c.Release()
+	d.sh.noRouteDrops++
+	d.net.dropCell(c)
 }
 
 // Net owns every device and directed link of one Clos instance. It
 // implements netsim.CellFabric.
 type Net struct {
 	Cfg  Config
-	Sim  *sim.Simulator
+	Sim  *sim.Simulator // solo event heap; shard 0's heap when sharded
 	Topo *topo.Clos
+
+	eng    *parsim.Engine // nil in solo mode
+	shards []*shardState  // len 1 in solo mode
+	assign Sharding
 
 	fas    []*faDev
 	egress []faEgress
@@ -173,14 +232,23 @@ type Net struct {
 	// links holds both directions of every topology link: 2i is A->B,
 	// 2i+1 is B->A.
 	links    []*link
-	linkDown []bool // per topology link
-	pipe     *netsim.Pipe
+	linkDown []bool             // per topology link
+	pipe     *netsim.Pipe       // solo mode: the shared propagation delay
 	hairpin  [][]netsim.Handler // per FA: local switching path (src FA == dst FA)
 
-	// OnDeliver receives every cell that reaches its destination FA. The
-	// callback owns the cell (must forward or Release it). When nil,
-	// delivered cells are Released.
+	// OnDeliver receives every cell that reaches its destination FA and
+	// owns it (must forward or Release it). When nil, delivered cells are
+	// Released. In sharded mode it runs on the destination FA's shard, so
+	// it must only touch per-FA state — prefer SetEgress there.
 	OnDeliver func(*netsim.Packet)
+
+	// OnCellDrop, when non-nil, observes every cell the fabric drops
+	// (failed link, no live route) just before it is released, so a
+	// harness can account the fate of every injected cell. It does not see
+	// link-queue tail drops; install netsim Queue.OnDrop hooks (via
+	// VisitQueues) for those. In sharded mode it is called from the
+	// dropping device's shard and must be safe for concurrent use.
+	OnCellDrop func(*netsim.Packet)
 
 	// OnLinkState, when non-nil, observes every administrative state
 	// change of a topology link (FailLink/RestoreLink), at the sim time
@@ -190,18 +258,80 @@ type Net struct {
 	// OnReachUpdate, when non-nil, observes every reachability update
 	// landing on the spine tier: the delayed withdrawal/readvertisement
 	// of an FE1's reachable set (§5.8). reachable is the FA count the FE1
-	// advertises after the update.
+	// advertises after the update. In sharded mode it is invoked in
+	// barrier context, in deterministic (time, FE1) order.
 	OnReachUpdate func(fe1 int, reachable int)
-
-	// Stats
-	Injected     uint64
-	Delivered    uint64
-	DeadDrops    uint64 // cells lost on a failed link
-	NoRouteDrops uint64 // cells with no live next hop (convergence window)
 }
 
-// New builds all devices and links of the Clos instance c.
+// dropCell releases a cell lost inside the fabric, after showing it to
+// the accounting hook.
+func (n *Net) dropCell(c *netsim.Packet) {
+	if n.OnCellDrop != nil {
+		n.OnCellDrop(c)
+	}
+	c.Release()
+}
+
+// Sharded reports whether the fabric runs on a parsim engine.
+func (n *Net) Sharded() bool { return n.eng != nil }
+
+// Engine returns the parsim engine of a sharded fabric (nil in solo mode).
+func (n *Net) Engine() *parsim.Engine { return n.eng }
+
+// Injected counts cells handed to Inject. Aggregated across shards; call
+// it only when the fabric is quiescent (between runs / in barrier context).
+func (n *Net) Injected() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.injected
+	}
+	return v
+}
+
+// Delivered counts cells that reached their destination FA (same
+// quiescence caveat as Injected).
+func (n *Net) Delivered() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.delivered
+	}
+	return v
+}
+
+// DeadDrops counts cells lost on a failed link (same quiescence caveat).
+func (n *Net) DeadDrops() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.deadDrops
+	}
+	return v
+}
+
+// NoRouteDrops counts cells discarded with no live next hop — the
+// convergence window (same quiescence caveat).
+func (n *Net) NoRouteDrops() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.noRouteDrops
+	}
+	return v
+}
+
+// New builds all devices and links of the Clos instance c on the single
+// event loop s.
 func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
+	solo := &shardState{id: 0, sm: s}
+	n, err := build(cfg, c, []*shardState{solo}, Sharding{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// build wires devices and links. shards is the shard table (one entry in
+// solo mode); assign maps devices onto it (ignored when eng is nil, where
+// everything lands on shards[0]); eng is the parsim engine or nil.
+func build(cfg Config, c *topo.Clos, shards []*shardState, assign Sharding, eng *parsim.Engine) (*Net, error) {
 	if cfg.LinkRate <= 0 || cfg.LinkBytes <= 0 {
 		return nil, fmt.Errorf("fabric: need positive link rate and capacity")
 	}
@@ -213,10 +343,33 @@ func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
 	}
 	n := &Net{
 		Cfg:      cfg,
-		Sim:      s,
+		Sim:      shards[0].sm,
 		Topo:     c,
-		pipe:     netsim.NewPipe(s, cfg.LinkDelay),
+		eng:      eng,
+		shards:   shards,
+		assign:   assign,
 		linkDown: make([]bool, len(c.Links)),
+	}
+	if eng == nil {
+		n.pipe = netsim.NewPipe(n.Sim, cfg.LinkDelay)
+	}
+	faShard := func(i int) *shardState {
+		if eng == nil {
+			return shards[0]
+		}
+		return shards[assign.FA[i]]
+	}
+	fe1Shard := func(i int) *shardState {
+		if eng == nil {
+			return shards[0]
+		}
+		return shards[assign.FE1[i]]
+	}
+	fe2Shard := func(i int) *shardState {
+		if eng == nil {
+			return shards[0]
+		}
+		return shards[assign.FE2[i]]
 	}
 	seeds := rand.New(rand.NewSource(cfg.Seed))
 
@@ -224,19 +377,27 @@ func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
 	n.egress = make([]faEgress, c.NumFA)
 	n.hairpin = make([][]netsim.Handler, c.NumFA)
 	for i := range n.fas {
-		n.egress[i] = faEgress{net: n, id: i}
+		sh := faShard(i)
+		n.egress[i] = faEgress{net: n, sh: sh, id: i}
 		n.fas[i] = &faDev{
 			net:  n,
+			sh:   sh,
 			id:   i,
 			up:   make([]*link, c.FAUplinks),
 			live: reach.NewBitmap(c.FAUplinks),
 			spr:  reach.NewSpreader(c.FAUplinks, cfg.ReshuffleRounds, seeds.Int63()),
 		}
-		n.hairpin[i] = []netsim.Handler{n.pipe, &n.egress[i]}
+		if eng == nil {
+			n.hairpin[i] = []netsim.Handler{n.pipe, &n.egress[i]}
+		} else {
+			lp := &netsim.LanePipe{Sched: sh.sm, Delay: cfg.LinkDelay, Lane: n.hairpinLane(i)}
+			n.hairpin[i] = []netsim.Handler{lp, &n.egress[i]}
+		}
 	}
-	mkFE := func(id topo.NodeID, downs, ups int) *feDev {
+	mkFE := func(sh *shardState, id topo.NodeID, downs, ups int) *feDev {
 		d := &feDev{
 			net:      n,
+			sh:       sh,
 			id:       id,
 			down:     make([]*link, downs),
 			downPeer: make([]int, downs),
@@ -245,6 +406,7 @@ func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
 		}
 		if ups > 0 {
 			d.ups = make([]*link, ups)
+			d.spines = make([]spinePort, ups)
 			d.liveUp = reach.NewBitmap(ups)
 			d.sprUp = reach.NewSpreader(ups, cfg.ReshuffleRounds, seeds.Int63())
 		}
@@ -252,44 +414,59 @@ func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
 	}
 	n.fe1 = make([]*feDev, c.NumFE1)
 	for i := range n.fe1 {
-		n.fe1[i] = mkFE(topo.NodeID{Kind: topo.KindFE1, Index: i}, c.FE1Down, c.FE1Up)
+		n.fe1[i] = mkFE(fe1Shard(i), topo.NodeID{Kind: topo.KindFE1, Index: i}, c.FE1Down, c.FE1Up)
 	}
 	n.fe2 = make([]*feDev, c.NumFE2)
 	for i := range n.fe2 {
-		n.fe2[i] = mkFE(topo.NodeID{Kind: topo.KindFE2, Index: i}, c.FE2Down, 0)
+		n.fe2[i] = mkFE(fe2Shard(i), topo.NodeID{Kind: topo.KindFE2, Index: i}, c.FE2Down, 0)
 	}
 
-	mkLink := func(from topo.NodeID, port int, to netsim.Handler) *link {
+	// mkLink builds one directed link from a device on shard `from` to a
+	// receiver on shard `to`. Solo mode: the legacy shared pipe (default
+	// event lane). Sharded mode: a LanePipe on the directed link's own
+	// lane, crossing shards through the engine's mailboxes when needed.
+	mkLink := func(from topo.NodeID, port int, fromSh, toSh *shardState, to netsim.Handler) *link {
 		l := &link{
 			net: n,
-			q:   netsim.NewQueue(s, fmt.Sprintf("%v:%d", from, port), cfg.LinkRate, cfg.LinkBytes, 0),
+			sh:  toSh,
+			q:   netsim.NewQueue(fromSh.sm, fmt.Sprintf("%v:%d", from, port), cfg.LinkRate, cfg.LinkBytes, 0),
 			to:  to,
 			up:  true,
 		}
-		l.route = []netsim.Handler{l.q, n.pipe, l}
+		if eng == nil {
+			l.route = []netsim.Handler{l.q, n.pipe, l}
+		} else {
+			lane := int32(len(n.links))
+			lp := &netsim.LanePipe{
+				Sched: eng.Shard(fromSh.id).To(toSh.id),
+				Delay: cfg.LinkDelay,
+				Lane:  lane,
+			}
+			l.route = []netsim.Handler{l.q, lp, l}
+		}
+		n.links = append(n.links, l)
 		return l
 	}
 	for _, lk := range c.Links {
 		switch {
 		case lk.A.Kind == topo.KindFA && lk.B.Kind == topo.KindFE1:
 			fa, fe := n.fas[lk.A.Index], n.fe1[lk.B.Index]
-			upL := mkLink(lk.A, lk.APort, fe)
+			upL := mkLink(lk.A, lk.APort, fa.sh, fe.sh, fe)
 			fa.up[lk.APort] = upL
 			fa.live.Set(lk.APort)
-			dnL := mkLink(lk.B, lk.BPort, &n.egress[lk.A.Index])
+			dnL := mkLink(lk.B, lk.BPort, fe.sh, fa.sh, &n.egress[lk.A.Index])
 			fe.down[lk.BPort] = dnL
 			fe.downPeer[lk.BPort] = lk.A.Index
-			n.links = append(n.links, upL, dnL)
 		case lk.A.Kind == topo.KindFE1 && lk.B.Kind == topo.KindFE2:
 			fe, sp := n.fe1[lk.A.Index], n.fe2[lk.B.Index]
 			u := lk.APort - c.FE1Down
-			upL := mkLink(lk.A, lk.APort, sp)
+			upL := mkLink(lk.A, lk.APort, fe.sh, sp.sh, sp)
 			fe.ups[u] = upL
 			fe.liveUp.Set(u)
-			dnL := mkLink(lk.B, lk.BPort, fe)
+			fe.spines[u] = spinePort{spine: lk.B.Index, port: lk.BPort}
+			dnL := mkLink(lk.B, lk.BPort, sp.sh, fe.sh, fe)
 			sp.down[lk.BPort] = dnL
 			sp.downPeer[lk.BPort] = lk.A.Index
-			n.links = append(n.links, upL, dnL)
 		default:
 			return nil, fmt.Errorf("fabric: unsupported link %v-%v", lk.A, lk.B)
 		}
@@ -314,6 +491,16 @@ func New(s *sim.Simulator, cfg Config, c *topo.Clos) (*Net, error) {
 	return n, nil
 }
 
+// reachLane is the event lane of FE1 i's reachability updates: after every
+// directed link's lane, so at the same instant cells arrive before
+// forwarding state changes (a fixed, partition-independent rule).
+func (n *Net) reachLane(i int) int32 { return int32(2*len(n.Topo.Links) + i) }
+
+// hairpinLane is the event lane of FA i's local switching path.
+func (n *Net) hairpinLane(i int) int32 {
+	return int32(2*len(n.Topo.Links) + n.Topo.NumFE1 + i)
+}
+
 // applySet installs set as the advertised reachability of one link via
 // the wire-format message sequence (exercising the real protocol path).
 func applySet(t *reach.Table, port int, set reach.Bitmap, numFA int) {
@@ -324,11 +511,20 @@ func applySet(t *reach.Table, port int, set reach.Bitmap, numFA int) {
 	}
 }
 
+// SetEgress installs h as the delivery endpoint of destination FA fa,
+// taking precedence over OnDeliver. The handler owns delivered cells
+// (forward or Release). In sharded mode h runs pinned to fa's shard, so a
+// per-FA endpoint needs no locking.
+func (n *Net) SetEgress(fa int, h netsim.Handler) { n.egress[fa].to = h }
+
 // Inject sends one cell from srcFA toward dstFA. The cell's Flow field is
 // opaque to the fabric and travels with it; delivered cells are handed to
-// OnDeliver, lost cells are Released. Implements netsim.CellFabric.
+// the egress endpoint (SetEgress/OnDeliver), lost cells are Released.
+// Implements netsim.CellFabric. In sharded mode it must be called from
+// srcFA's shard (an event scheduled on that shard's Simulator).
 func (n *Net) Inject(c *netsim.Packet, srcFA, dstFA int) {
-	n.Injected++
+	d := n.fas[srcFA]
+	d.sh.injected++
 	c.Dst = int32(dstFA)
 	c.Down = false
 	if srcFA == dstFA {
@@ -337,20 +533,19 @@ func (n *Net) Inject(c *netsim.Packet, srcFA, dstFA int) {
 		c.SendOn()
 		return
 	}
-	d := n.fas[srcFA]
 	if l := d.spr.Next(d.live); l >= 0 {
 		d.up[l].send(c)
 		return
 	}
-	n.NoRouteDrops++
-	c.Release()
+	d.sh.noRouteDrops++
+	n.dropCell(c)
 }
 
 // Drops counts every cell lost inside the fabric: failed-link losses,
 // no-route discards during convergence, and link-queue tail drops.
-// Implements netsim.CellFabric.
+// Implements netsim.CellFabric. Same quiescence caveat as Injected.
 func (n *Net) Drops() uint64 {
-	d := n.DeadDrops + n.NoRouteDrops
+	d := n.DeadDrops() + n.NoRouteDrops()
 	for _, l := range n.links {
 		d += l.q.Drops
 	}
@@ -360,8 +555,11 @@ func (n *Net) Drops() uint64 {
 // FailLink takes down both directions of topology link i (an index into
 // Topo.Links). The adjacent devices detect the loss immediately
 // (keepalive, §5.9); withdrawal of any lost FA reachability reaches the
-// spine tier after Cfg.ReachDelay (§5.8, Appendix E).
+// spine tier after Cfg.ReachDelay (§5.8, Appendix E). In sharded mode it
+// mutates state on several shards and must therefore run in barrier
+// context (parsim Engine.At / OnBarrier).
 func (n *Net) FailLink(i int) {
+	n.checkBarrier()
 	if n.linkDown[i] {
 		return
 	}
@@ -375,8 +573,10 @@ func (n *Net) FailLink(i int) {
 }
 
 // RestoreLink brings topology link i back up and re-advertises the
-// recovered reachability after the same propagation delay.
+// recovered reachability after the same propagation delay. The sharded-
+// mode barrier-context requirement of FailLink applies.
 func (n *Net) RestoreLink(i int) {
+	n.checkBarrier()
 	if !n.linkDown[i] {
 		return
 	}
@@ -386,6 +586,14 @@ func (n *Net) RestoreLink(i int) {
 	n.applyLinkState(n.Topo.Links[i], true)
 	if n.OnLinkState != nil {
 		n.OnLinkState(i, true)
+	}
+}
+
+// checkBarrier panics when multi-shard state is mutated outside barrier
+// context — the misuse that would otherwise be a silent data race.
+func (n *Net) checkBarrier() {
+	if n.eng != nil && !n.eng.InBarrier() {
+		panic("fabric: sharded link state must be changed in barrier context (parsim Engine.At/OnBarrier)")
 	}
 }
 
@@ -417,12 +625,17 @@ func (n *Net) applyLinkState(lk topo.Link, up bool) {
 }
 
 // readvertise propagates fe's (changed) reachable set to every spine it
-// still has a live link to, after the protocol's propagation delay. The
-// set is recomputed at delivery time, so overlapping failures coalesce
-// into the latest truth.
+// still has a live link to, after the protocol's propagation delay. Solo
+// mode recomputes the set at delivery time, so overlapping failures
+// coalesce into the latest truth; sharded mode builds one lookahead
+// before delivery (sharded.go) so the messages can cross shards.
 func (n *Net) readvertise(fe *feDev) {
 	if len(n.fe2) == 0 {
 		return // single-tier fabric: FAs spray blindly, nothing upstream
+	}
+	if n.eng != nil {
+		n.readvertiseSharded(fe)
+		return
 	}
 	n.Sim.After(n.Cfg.ReachDelay, func() {
 		set := fe.tbl.ReachableSet()
@@ -448,7 +661,8 @@ func (n *Net) readvertise(fe *feDev) {
 // UnreachablePairs cross-checks the reachability state after failures: it
 // counts (spine, destination FA) pairs with no live down path plus FAs
 // with no live uplink at all. Zero means every destination is still
-// deliverable from everywhere — the §5.9 self-healing invariant.
+// deliverable from everywhere — the §5.9 self-healing invariant. Sharded
+// mode: barrier context only.
 func (n *Net) UnreachablePairs() int {
 	bad := 0
 	for _, sp := range n.fe2 {
@@ -500,7 +714,8 @@ func (n *Net) LinkUp(i int) bool { return !n.linkDown[i] }
 
 // ReadLinkCounters snapshots both directions of topology link i into out
 // (a 2-element window), so a periodic scraper can read the whole fabric
-// without allocating. out[0] is the A->B direction.
+// without allocating. out[0] is the A->B direction. Sharded mode: barrier
+// context only (the scrape crosses every shard's queues).
 func (n *Net) ReadLinkCounters(i int, out *[2]LinkCounters) {
 	for d := 0; d < 2; d++ {
 		l := n.links[2*i+d]
@@ -518,7 +733,7 @@ func (n *Net) ReadLinkCounters(i int, out *[2]LinkCounters) {
 }
 
 // VisitQueues visits every directed link's serialization queue (for
-// aggregate statistics).
+// aggregate statistics). Sharded mode: barrier context only.
 func (n *Net) VisitQueues(fn func(q *netsim.Queue)) {
 	for _, l := range n.links {
 		fn(l.q)

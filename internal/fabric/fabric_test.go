@@ -66,12 +66,12 @@ func TestFabricDeliversEverything(t *testing.T) {
 	const cells = 4000
 	injectAll(s, n, cells)
 	s.Run()
-	if n.Injected != cells {
-		t.Fatalf("injected %d, want %d", n.Injected, cells)
+	if n.Injected() != cells {
+		t.Fatalf("injected %d, want %d", n.Injected(), cells)
 	}
-	if n.Delivered != cells {
+	if n.Delivered() != cells {
 		t.Fatalf("delivered %d of %d (drops: dead=%d noroute=%d queue=%d)",
-			n.Delivered, cells, n.DeadDrops, n.NoRouteDrops, n.QueueDrops())
+			n.Delivered(), cells, n.DeadDrops(), n.NoRouteDrops(), n.QueueDrops())
 	}
 	if n.Drops() != 0 {
 		t.Fatalf("healthy fabric dropped %d cells", n.Drops())
@@ -86,7 +86,7 @@ func TestFabricHairpin(t *testing.T) {
 	c.Size = 512
 	n.Inject(c, 3, 3)
 	s.Run()
-	if got != 1 || n.Delivered != 1 {
+	if got != 1 || n.Delivered() != 1 {
 		t.Fatalf("hairpin delivered %d", got)
 	}
 }
@@ -125,7 +125,7 @@ func TestFabricDeterminism(t *testing.T) {
 		s, n := newTestNet(t, 42)
 		injectAll(s, n, 3000)
 		s.Run()
-		return n.Delivered, n.FAUplinkBytes()
+		return n.Delivered(), n.FAUplinkBytes()
 	}
 	d1, b1 := run()
 	d2, b2 := run()
@@ -161,12 +161,12 @@ func TestFabricFailureBalanceAndRecovery(t *testing.T) {
 		n.FailLink(feLink)
 	})
 	s.Run()
-	if n.Injected != cells {
-		t.Fatalf("injected %d", n.Injected)
+	if n.Injected() != cells {
+		t.Fatalf("injected %d", n.Injected())
 	}
-	if got := n.Delivered + n.Drops(); got != cells {
+	if got := n.Delivered() + n.Drops(); got != cells {
 		t.Fatalf("cell leak: delivered %d + dropped %d != injected %d",
-			n.Delivered, n.Drops(), cells)
+			n.Delivered(), n.Drops(), cells)
 	}
 	if n.Drops() == 0 {
 		t.Fatal("expected some loss from the failed links")
@@ -177,15 +177,15 @@ func TestFabricFailureBalanceAndRecovery(t *testing.T) {
 		t.Fatalf("unreachable pairs after healing: %d", u)
 	}
 	// Traffic injected after convergence must get through untouched.
-	pre := n.Delivered
+	pre := n.Delivered()
 	preDrops := n.Drops()
 	injectAll(s, n, 2000)
 	s.Run()
 	if gotDrops := n.Drops() - preDrops; gotDrops != 0 {
 		t.Fatalf("post-recovery traffic dropped %d cells", gotDrops)
 	}
-	if n.Delivered-pre != 2000 {
-		t.Fatalf("post-recovery delivered %d of 2000", n.Delivered-pre)
+	if n.Delivered()-pre != 2000 {
+		t.Fatalf("post-recovery delivered %d of 2000", n.Delivered()-pre)
 	}
 }
 
@@ -227,11 +227,11 @@ func TestFabricIsolatedFA(t *testing.T) {
 	c2.Size = 512
 	n.Inject(c2, 5, 0) // reachable nowhere after convergence
 	s.Run()
-	if n.Delivered != 0 {
-		t.Fatalf("delivered %d to/from an isolated FA", n.Delivered)
+	if n.Delivered() != 0 {
+		t.Fatalf("delivered %d to/from an isolated FA", n.Delivered())
 	}
-	if n.Injected != n.Drops() {
-		t.Fatalf("leak: injected %d, dropped %d", n.Injected, n.Drops())
+	if n.Injected() != n.Drops() {
+		t.Fatalf("leak: injected %d, dropped %d", n.Injected(), n.Drops())
 	}
 }
 

@@ -1,0 +1,184 @@
+// Sharded construction: partitioning one Clos instance's devices across
+// the event loops of a parsim.Engine.
+//
+// Every device (FA, FE1, FE2) is owned by exactly one shard: all of its
+// events — arrivals on its inbound links, drains of its outbound serial
+// queues, injections — run on that shard's Simulator. A directed link
+// whose endpoints live on different shards is a "cut" link: its
+// serialization queue stays with the sender, and the propagation hop
+// crosses through the engine's conservative-lookahead mailboxes instead
+// of a local heap insertion. Because every link delivery (cut or not)
+// carries the directed link's own event lane, the execution order of
+// same-instant events at any device is a function of the topology alone,
+// and the simulation is byte-identical for every shard count — verified
+// by the invariants suite and the CI determinism matrix, not assumed.
+//
+// Reachability withdrawals are the one control-plane flow that crosses
+// shards mid-run: an FE1 builds its reach messages one lookahead before
+// the delivery instant (so the messages can traverse a mailbox) and every
+// spine applies them at fail-time + ReachDelay on the FE1's reach lane —
+// the same instant as solo mode, only the build happens early. Administrative link state (FailLink/RestoreLink) mutates
+// devices on several shards at once and therefore runs in barrier context
+// only, quantized to window boundaries — which are a function of the
+// lookahead alone, hence identical at every shard count.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"stardust/internal/parsim"
+	"stardust/internal/reach"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// Sharding maps every device of a Clos onto a parsim shard.
+type Sharding struct {
+	FA  []int // shard of each Fabric Adapter
+	FE1 []int // shard of each first-tier Fabric Element
+	FE2 []int // shard of each spine Fabric Element
+}
+
+// AssignShards distributes the devices of c over n shards in contiguous
+// index blocks, each tier independently — a deterministic function of
+// (topology, n), so two runs at the same shard count always cut the same
+// links.
+func AssignShards(c *topo.Clos, n int) Sharding {
+	block := func(count int) []int {
+		out := make([]int, count)
+		for i := range out {
+			out[i] = i * n / count
+		}
+		return out
+	}
+	return Sharding{FA: block(c.NumFA), FE1: block(c.NumFE1), FE2: block(c.NumFE2)}
+}
+
+// NewSharded builds the fabric across the shards of eng. assign may be
+// nil, in which case AssignShards over all of eng's shards is used. The
+// engine's lookahead must not exceed the link delay (a cell crossing a
+// cut link must arrive at least one window later) and the reach delay
+// must be at least two lookaheads (build + deliver).
+func NewSharded(eng *parsim.Engine, cfg Config, c *topo.Clos, assign *Sharding) (*Net, error) {
+	if eng.Lookahead() > cfg.LinkDelay {
+		return nil, fmt.Errorf("fabric: engine lookahead %d exceeds link delay %d", eng.Lookahead(), cfg.LinkDelay)
+	}
+	if cfg.ReachDelay < 2*eng.Lookahead() {
+		return nil, fmt.Errorf("fabric: reach delay %d below two lookaheads (%d)", cfg.ReachDelay, 2*eng.Lookahead())
+	}
+	var a Sharding
+	if assign != nil {
+		a = *assign
+	} else {
+		a = AssignShards(c, eng.Shards())
+	}
+	if len(a.FA) != c.NumFA || len(a.FE1) != c.NumFE1 || len(a.FE2) != c.NumFE2 {
+		return nil, fmt.Errorf("fabric: sharding shape (%d,%d,%d) does not match topology (%d,%d,%d)",
+			len(a.FA), len(a.FE1), len(a.FE2), c.NumFA, c.NumFE1, c.NumFE2)
+	}
+	for _, tier := range [][]int{a.FA, a.FE1, a.FE2} {
+		for _, s := range tier {
+			if s < 0 || s >= eng.Shards() {
+				return nil, fmt.Errorf("fabric: shard %d out of range [0,%d)", s, eng.Shards())
+			}
+		}
+	}
+	shards := make([]*shardState, eng.Shards())
+	for i := range shards {
+		shards[i] = &shardState{id: i, sm: eng.Shard(i).Sim()}
+	}
+	n, err := build(cfg, c, shards, a, eng)
+	if err != nil {
+		return nil, err
+	}
+	eng.OnBarrier(n.drainReach)
+	return n, nil
+}
+
+// ShardOfFA returns the shard owning Fabric Adapter fa — the shard whose
+// Simulator injection events and egress endpoints for fa must run on.
+func (n *Net) ShardOfFA(fa int) int {
+	if n.eng == nil {
+		return 0
+	}
+	return n.assign.FA[fa]
+}
+
+// applyReach applies one FE1's reach messages to a spine's table — the
+// cross-shard payload of a sharded re-advertisement.
+type applyReach struct {
+	sp   *feDev
+	port int
+	msgs []reach.Message
+}
+
+// Act implements sim.Action.
+func (a applyReach) Act(uint64) {
+	for _, m := range a.msgs {
+		if err := a.sp.tbl.ApplyMessage(a.port, m); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// readvertiseSharded is the sharded counterpart of the solo readvertise
+// closure: build the message set one lookahead early on the FE1's shard,
+// deliver to every connected spine — local or across a mailbox — at the
+// same instant on the FE1's reach lane.
+func (n *Net) readvertiseSharded(fe *feDev) {
+	look := n.eng.Lookahead()
+	lane := n.reachLane(fe.id.Index)
+	src := n.eng.Shard(fe.sh.id)
+	fe.sh.sm.AtLaneFunc(fe.sh.sm.Now()+n.Cfg.ReachDelay-look, lane, func() {
+		deliver := fe.sh.sm.Now() + look
+		set := fe.tbl.ReachableSet()
+		msgs := reach.BuildMessages(uint16(fe.id.Index), set, n.Topo.NumFA)
+		for _, sl := range fe.spines {
+			sp := n.fe2[sl.spine]
+			// The spine-side down-link state only changes in barrier
+			// context, so this cross-shard read is synchronized by the
+			// window barrier and identical at every shard count.
+			if !sp.down[sl.port].up {
+				continue
+			}
+			src.To(sp.sh.id).AtLane(deliver, lane, applyReach{sp: sp, port: sl.port, msgs: msgs}, 0)
+		}
+		fe.sh.reach = append(fe.sh.reach, reachEvent{at: deliver, fe1: fe.id.Index, reachable: set.Count()})
+	})
+}
+
+// drainReach runs at every window barrier: collect the spine-landing
+// notifications whose instant has passed, sort them into the canonical
+// (time, FE1) order, and hand them to OnReachUpdate. Buffering per shard
+// and sorting at the quiescent barrier is what keeps the management
+// plane's view consistent — and deterministic — across shards.
+func (n *Net) drainReach(now sim.Time) {
+	var due []reachEvent
+	for _, sh := range n.shards {
+		keep := sh.reach[:0]
+		for _, ev := range sh.reach {
+			if ev.at <= now {
+				due = append(due, ev)
+			} else {
+				keep = append(keep, ev)
+			}
+		}
+		sh.reach = keep
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].at != due[j].at {
+			return due[i].at < due[j].at
+		}
+		return due[i].fe1 < due[j].fe1
+	})
+	if n.OnReachUpdate == nil {
+		return
+	}
+	for _, ev := range due {
+		n.OnReachUpdate(ev.fe1, ev.reachable)
+	}
+}

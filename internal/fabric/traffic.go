@@ -1,0 +1,67 @@
+package fabric
+
+import (
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+)
+
+// Injector paces synthetic cells out of one Fabric Adapter toward
+// rotating destinations — the shared traffic source of the parscale/
+// parheal scenarios, the managed FabricRun, and the sharded cell-path
+// benchmark. Everything it does is a function of (FA, instant) alone: it
+// lives on its FA's shard and keeps its own rotation counter, so the
+// offered traffic is identical at every shard count.
+type Injector struct {
+	net   *Net
+	sm    *sim.Simulator
+	fa    int
+	numFA int
+	gap   sim.Time
+	cell  int
+	stop  sim.Time // 0 = no time limit
+	quota int      // < 0 = no cell limit
+	n     int
+	sent  uint64
+}
+
+// NewInjector builds an injector for FA fa pacing one cell of cellBytes
+// every gap. Injection ends at time stop (0 = unbounded) or after quota
+// cells (< 0 = unbounded), whichever comes first. Call Start to schedule
+// the first cell.
+func (n *Net) NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, quota int) *Injector {
+	sm := n.Sim
+	if n.eng != nil {
+		sm = n.eng.Shard(n.assign.FA[fa]).Sim()
+	}
+	return &Injector{
+		net: n, sm: sm, fa: fa, numFA: n.Topo.NumFA,
+		gap: gap, cell: cellBytes, stop: stop, quota: quota,
+	}
+}
+
+// Start schedules the first injection at absolute time at — stagger
+// starts across FAs so they do not inject in lockstep.
+func (j *Injector) Start(at sim.Time) { j.sm.AtAction(at, j, 0) }
+
+// Sent returns the number of cells injected so far.
+func (j *Injector) Sent() uint64 { return j.sent }
+
+// Act implements sim.Action: inject one cell and reschedule.
+func (j *Injector) Act(uint64) {
+	if j.stop != 0 && j.sm.Now() >= j.stop {
+		return
+	}
+	if j.quota == 0 {
+		return
+	}
+	if j.quota > 0 {
+		j.quota--
+	}
+	c := netsim.NewPacket()
+	c.Size = j.cell
+	j.n++
+	dst := (j.fa + 1 + j.n%(j.numFA-1)) % j.numFA
+	j.net.Inject(c, j.fa, dst)
+	j.sent++
+	j.sm.AfterAction(j.gap, j, 0)
+}

@@ -104,18 +104,55 @@ type Controller struct {
 
 	faUplinks [][]int // per FA: directed link index of each uplink (FA->FE1)
 
-	mu        sync.RWMutex
-	series    []*Series // per directed link, indexed 2*link+dir
-	stats     FabricStats
-	anomalies map[string]Anomaly // active findings, keyed kind+device
-	scratch   [2]fabric.LinkCounters
+	mu         sync.RWMutex
+	series     []*Series // per directed link, indexed 2*link+dir
+	stats      FabricStats
+	anomalies  map[string]Anomaly // active findings, keyed kind+device
+	scratch    [2]fabric.LinkCounters
+	nextScrape sim.Time // sharded mode: next barrier-scrape instant
 }
 
 // Attach builds a controller over fab, hooks the fabric's link-state and
 // reachability-update paths into the event bus, and schedules the
 // periodic telemetry scrape on the fabric's simulator. The first scrape
 // happens at time zero (one full period in).
+//
+// A sharded fabric must use AttachSharded instead: this scrape runs as an
+// ordinary simulator event on one shard and would read every other
+// shard's live queue counters mid-window — a data race the race detector
+// duly reports. The panic makes the misuse impossible rather than latent.
 func Attach(fab *fabric.Net, cfg Config) *Controller {
+	if fab.Sharded() {
+		panic("mgmt: sharded fabric telemetry must go through the shard barrier; use AttachSharded")
+	}
+	c := newController(fab, cfg)
+	c.armScrape()
+	return c
+}
+
+// AttachSharded builds the controller over a sharded fabric. The
+// telemetry scrape runs in the engine's barrier context — every shard
+// quiescent at a synchronized instant — so reading the per-shard queue
+// and fabric counters cannot race the simulation, and the scrape times
+// (window boundaries) are identical for every shard count, keeping the
+// management plane's view consistent across shards.
+func AttachSharded(fab *fabric.Net, cfg Config) *Controller {
+	eng := fab.Engine()
+	if eng == nil {
+		panic("mgmt: AttachSharded needs a fabric built with fabric.NewSharded")
+	}
+	c := newController(fab, cfg)
+	c.nextScrape = c.cfg.ScrapeEvery
+	eng.OnBarrier(func(now sim.Time) {
+		for now >= c.nextScrape {
+			c.scrape()
+			c.nextScrape += c.cfg.ScrapeEvery
+		}
+	})
+	return c
+}
+
+func newController(fab *fabric.Net, cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{
 		cfg:       cfg,
@@ -151,7 +188,6 @@ func Attach(fab *fabric.Net, cfg Config) *Controller {
 		}
 		c.onReachUpdate(fe1, reachable)
 	}
-	c.armScrape()
 	return c
 }
 
@@ -228,8 +264,8 @@ func (c *Controller) scrape() {
 	}
 	c.stats.Time = now
 	c.stats.Scrapes++
-	c.stats.Injected = c.fab.Injected
-	c.stats.Delivered = c.fab.Delivered
+	c.stats.Injected = c.fab.Injected()
+	c.stats.Delivered = c.fab.Delivered()
 	c.stats.Drops = c.fab.Drops()
 	c.stats.QueueBytes = queued
 	c.stats.Unreachable = c.fab.UnreachablePairs()

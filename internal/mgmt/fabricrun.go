@@ -7,6 +7,7 @@ import (
 
 	"stardust/internal/fabric"
 	"stardust/internal/netsim"
+	"stardust/internal/parsim"
 	"stardust/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type FabricRunConfig struct {
 	HealAfter sim.Time // default 5ms
 	// Seed feeds the traffic and chaos RNGs.
 	Seed int64 // default 1
+	// Shards, when > 1, runs the fabric on a parsim engine partitioned
+	// across that many event loops: telemetry scrapes and chaos run in
+	// barrier context (quantized to window boundaries), so the run is
+	// deterministic for any shard count > 1 at the same seed.
+	Shards int
 	// Controller configures the attached management plane.
 	Controller Config
 }
@@ -59,11 +65,10 @@ type FabricRun struct {
 	Sim *sim.Simulator
 	Fab *fabric.Net
 	Ctl *Controller
+	Eng *parsim.Engine // non-nil when Cfg.Shards > 1
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	dst  []int // rotating destination cursor per FA
-	down []int // chaos-failed links awaiting heal
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // NewFabricRun builds the fabric, attaches the controller, and schedules
@@ -74,19 +79,36 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := sim.New()
 	fcfg := fabric.DefaultConfig(netsim.Bps(10e9), sim.Microsecond, cfg.Seed)
-	fab, err := fabric.New(s, fcfg, cl)
-	if err != nil {
-		return nil, err
+
+	var (
+		s   *sim.Simulator
+		fab *fabric.Net
+		eng *parsim.Engine
+	)
+	if cfg.Shards > 1 {
+		eng = parsim.New(parsim.Config{Shards: cfg.Shards, Lookahead: fcfg.LinkDelay})
+		if fab, err = fabric.NewSharded(eng, fcfg, cl, nil); err != nil {
+			return nil, err
+		}
+		s = fab.Sim
+	} else {
+		s = sim.New()
+		if fab, err = fabric.New(s, fcfg, cl); err != nil {
+			return nil, err
+		}
 	}
 	r := &FabricRun{
 		Cfg: cfg,
 		Sim: s,
 		Fab: fab,
-		Ctl: Attach(fab, cfg.Controller),
+		Eng: eng,
 		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x51d)),
-		dst: make([]int, cl.NumFA),
+	}
+	if eng != nil {
+		r.Ctl = AttachSharded(fab, cfg.Controller)
+	} else {
+		r.Ctl = Attach(fab, cfg.Controller)
 	}
 	// Per-FA pacing: each FA offers Load×(uplink capacity), spread over
 	// rotating destinations, as a self-rescheduling injection.
@@ -96,26 +118,29 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 		gap = sim.Nanosecond
 	}
 	for fa := 0; fa < cl.NumFA; fa++ {
-		fa := fa
-		var inject func()
-		inject = func() {
-			c := netsim.NewPacket()
-			c.Size = cfg.CellBytes
-			r.dst[fa]++
-			dst := (fa + 1 + r.dst[fa]%(cl.NumFA-1)) % cl.NumFA
-			r.Fab.Inject(c, fa, dst)
-			s.After(gap, inject)
-		}
-		// Stagger starts so FAs do not inject in lockstep.
-		s.At(sim.Time(fa)*gap/sim.Time(cl.NumFA), inject)
+		// Stagger starts so FAs do not inject in lockstep. The injector
+		// lives on its FA's shard (sharded mode) or the solo loop.
+		fab.NewInjector(fa, gap, cfg.CellBytes, 0, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
 	}
 	if cfg.FailEvery > 0 {
-		var chaos func()
-		chaos = func() {
-			r.chaosStep()
+		if eng != nil {
+			// Chaos runs in barrier context (link state spans shards);
+			// window quantization keeps it deterministic per shard count.
+			next := cfg.FailEvery
+			eng.OnBarrier(func(now sim.Time) {
+				for now >= next {
+					r.chaosStep()
+					next += cfg.FailEvery
+				}
+			})
+		} else {
+			var chaos func()
+			chaos = func() {
+				r.chaosStep()
+				s.After(cfg.FailEvery, chaos)
+			}
 			s.After(cfg.FailEvery, chaos)
 		}
-		s.After(cfg.FailEvery, chaos)
 	}
 	return r, nil
 }
@@ -140,7 +165,13 @@ func (r *FabricRun) chaosStep() {
 	}
 	r.Fab.FailLink(pick)
 	i := pick
-	r.Sim.After(r.Cfg.HealAfter, func() { r.Fab.RestoreLink(i) })
+	if r.Eng != nil {
+		// Heal in barrier context too: RestoreLink touches both endpoint
+		// shards.
+		r.Eng.At(r.Eng.Now()+r.Cfg.HealAfter, func() { r.Fab.RestoreLink(i) })
+	} else {
+		r.Sim.After(r.Cfg.HealAfter, func() { r.Fab.RestoreLink(i) })
+	}
 }
 
 // Advance runs the simulation d further. It serializes concurrent
@@ -148,6 +179,10 @@ func (r *FabricRun) chaosStep() {
 func (r *FabricRun) Advance(d sim.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.Eng != nil {
+		r.Eng.Run(r.Eng.Now() + d)
+		return
+	}
 	r.Sim.RunUntil(r.Sim.Now() + d)
 }
 

@@ -178,6 +178,11 @@ type Queue struct {
 	bytes int
 	busy  bool
 
+	// OnDrop, when non-nil, observes every tail-dropped packet just
+	// before it is released — the hook that lets a harness account the
+	// fate of every packet it injected (conservation invariants).
+	OnDrop func(*Packet)
+
 	// Stats
 	Drops     uint64
 	Marks     uint64
@@ -205,6 +210,9 @@ func (q *Queue) Bytes() int { return q.bytes }
 func (q *Queue) Receive(p *Packet) {
 	if q.bytes+p.Size > q.MaxBytes {
 		q.Drops++
+		if q.OnDrop != nil {
+			q.OnDrop(p)
+		}
 		p.Release()
 		return
 	}
@@ -253,6 +261,25 @@ func NewPipe(s *sim.Simulator, delay sim.Time) *Pipe { return &Pipe{Sim: s, Dela
 // Receive implements Handler.
 func (p *Pipe) Receive(pkt *Packet) {
 	p.Sim.AfterAction(p.Delay, pkt, 0)
+}
+
+// LanePipe is a propagation delay that delivers onto an explicit event
+// lane of a lane scheduler — the sharded counterpart of Pipe. With the
+// owning shard's Simulator as the scheduler it is an intra-shard hop; with
+// a parsim cross-shard port it hands the packet to another event loop. In
+// both cases the packet's arrival is ordered by its (time, lane) key, so a
+// sharded simulation executes the same arrival order at any shard count.
+// The endpoint the packet continues to (its next route hop) is pinned to
+// the scheduler's shard.
+type LanePipe struct {
+	Sched sim.LaneScheduler
+	Delay sim.Time
+	Lane  int32
+}
+
+// Receive implements Handler.
+func (p *LanePipe) Receive(pkt *Packet) {
+	p.Sched.AtLane(p.Sched.Now()+p.Delay, p.Lane, pkt, 0)
 }
 
 // HandlerFunc adapts a function to the Handler interface.

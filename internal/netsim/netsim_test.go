@@ -160,3 +160,53 @@ func TestStardustSizingValidation(t *testing.T) {
 		t.Fatal("tiny cells accepted")
 	}
 }
+
+// LanePipe must deliver after its delay on its lane: two pipes into one
+// endpoint at the same instant hand over in lane order, not send order.
+func TestLanePipeLaneOrder(t *testing.T) {
+	s := sim.New()
+	var got []int64
+	sink := HandlerFunc(func(p *Packet) { got = append(got, p.Seq); p.Release() })
+	hi := &LanePipe{Sched: s, Delay: sim.Microsecond, Lane: 9}
+	lo := &LanePipe{Sched: s, Delay: sim.Microsecond, Lane: 2}
+	send := func(lp *LanePipe, seq int64) {
+		p := NewPacket()
+		p.Size = 100
+		p.Seq = seq
+		p.SetRoute([]Handler{lp, sink})
+		p.SendOn()
+	}
+	send(hi, 9) // scheduled first, higher lane
+	send(lo, 2)
+	s.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("lane order violated: %v", got)
+	}
+	if s.Now() != sim.Microsecond {
+		t.Fatalf("delivered at %d, want %d", s.Now(), sim.Microsecond)
+	}
+}
+
+// Queue.OnDrop must observe exactly the tail-dropped packets, before the
+// pool reclaims them.
+func TestQueueOnDrop(t *testing.T) {
+	s := sim.New()
+	q := NewQueue(s, "q", 1e9, 1000, 0)
+	var dropped []int64
+	q.OnDrop = func(p *Packet) { dropped = append(dropped, p.Seq) }
+	var c Counter
+	for i := 0; i < 3; i++ {
+		p := NewPacket()
+		p.Size = 600 // second and third overflow the 1000B queue
+		p.Seq = int64(i + 1)
+		p.SetRoute([]Handler{q, &c})
+		p.SendOn()
+	}
+	s.Run()
+	if q.Drops != 2 || len(dropped) != 2 || dropped[0] != 2 || dropped[1] != 3 {
+		t.Fatalf("drops=%d hook saw %v, want [2 3]", q.Drops, dropped)
+	}
+	if c.Packets != 1 {
+		t.Fatalf("delivered %d, want 1", c.Packets)
+	}
+}

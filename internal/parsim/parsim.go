@@ -1,0 +1,332 @@
+// Package parsim is a conservative-lookahead parallel discrete-event
+// engine: it partitions a simulation into shards, each owning a disjoint
+// set of model state with its own sim.Simulator event heap, and advances
+// all shards in lock-step time windows whose width is the minimum latency
+// of any cross-shard interaction (the lookahead). Within a window the
+// shards run concurrently and cannot affect each other — every cross-shard
+// effect is at least one lookahead in the future — so each shard's window
+// is an ordinary sequential simulation. At the window barrier the engine
+// flushes cross-shard mailboxes in a fixed order and runs the registered
+// barrier hooks with every shard quiescent.
+//
+// Determinism. The engine is byte-deterministic across shard counts, not
+// merely across runs: the same model partitioned over 1, 2 or 4 shards
+// produces identical state, provided the model orders its same-instant
+// events with explicit lanes (sim.AtLane) keyed by stable entities (e.g.
+// one lane per directed link) rather than by scheduling order. A shard's
+// event heap orders events by (time, lane, local sequence); cross-shard
+// messages are inserted at the barrier before their window begins, so the
+// (time, lane) key alone decides their place and it does not matter
+// whether an event arrived through a mailbox or was scheduled locally.
+// This is the devolved-controller partitioning argument applied to the
+// simulator itself: the serial-link latency is a natural synchronization
+// horizon, so a distributed chassis can be simulated by a distributed
+// event loop without giving up a single global order of observable events.
+//
+// Control actions that touch state on several shards at once (link
+// failures, chaos injection, telemetry scrapes) run between windows via
+// At/OnBarrier, when every shard is quiescent; their times are quantized
+// to window boundaries, which are a function of the lookahead only and
+// therefore identical for every shard count.
+package parsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stardust/internal/sim"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Shards is the number of event loops (>= 1).
+	Shards int
+	// Lookahead is the conservative window width: no cross-shard effect
+	// may take place less than one lookahead after the action that caused
+	// it. It must be positive.
+	Lookahead sim.Time
+	// Serial forces the shards' windows to run one after another on the
+	// calling goroutine instead of in parallel. The results are identical
+	// (a test asserts it); the switch exists for debugging and profiling.
+	Serial bool
+}
+
+// xmsg is one cross-shard event in flight: it is scheduled into the
+// destination shard's heap at the window barrier.
+type xmsg struct {
+	at   sim.Time
+	lane int32
+	act  sim.Action
+	arg  uint64
+}
+
+// Shard is one event loop of the engine, owning a disjoint slice of the
+// model. All state reachable from events scheduled on a shard's Simulator
+// must be owned by that shard; the only sanctioned ways to touch another
+// shard's state are a Port (events at least one lookahead away) and the
+// engine's barrier context.
+type Shard struct {
+	id  int
+	sm  *sim.Simulator
+	eng *Engine
+	out [][]xmsg // per destination shard, flushed each barrier
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Sim returns the shard's event heap. Schedule intra-shard work here.
+func (s *Shard) Sim() *sim.Simulator { return s.sm }
+
+// To returns a lane scheduler that delivers onto shard dst: the shard's
+// own Simulator when dst == s.ID() (direct heap insertion), a cross-shard
+// Port otherwise. The two are interchangeable for determinism — the
+// (time, lane) key decides execution order either way.
+func (s *Shard) To(dst int) sim.LaneScheduler {
+	if dst == s.id {
+		return s.sm
+	}
+	return Port{src: s, dst: dst}
+}
+
+// Port schedules lane events from one shard onto another through the
+// engine's mailboxes. It implements sim.LaneScheduler. Events must respect
+// the lookahead: t >= Now()+Lookahead, or the destination shard might
+// already have advanced past t.
+type Port struct {
+	src *Shard
+	dst int
+}
+
+// Now returns the sending shard's clock.
+func (p Port) Now() sim.Time { return p.src.sm.Now() }
+
+// AtLane enqueues a.Act(arg) to run on the destination shard at time t.
+func (p Port) AtLane(t sim.Time, lane int32, a sim.Action, arg uint64) {
+	if t < p.src.sm.Now()+p.src.eng.look {
+		panic(fmt.Sprintf("parsim: cross-shard event at %d violates lookahead (now %d + %d)",
+			t, p.src.sm.Now(), p.src.eng.look))
+	}
+	p.src.out[p.dst] = append(p.src.out[p.dst], xmsg{at: t, lane: lane, act: a, arg: arg})
+}
+
+// control is one barrier-context action.
+type control struct {
+	at  sim.Time
+	seq int
+	fn  func()
+}
+
+// Engine owns the shards and the window loop.
+type Engine struct {
+	look     sim.Time
+	serial   bool
+	shards   []*Shard
+	hooks    []func(now sim.Time)
+	ctls     []control
+	ctlSeq   int
+	now      sim.Time // end of the last completed window
+	inWindow bool
+}
+
+// New builds an engine with cfg.Shards fresh simulators, all at time zero.
+func New(cfg Config) *Engine {
+	if cfg.Shards < 1 {
+		panic("parsim: need at least one shard")
+	}
+	if cfg.Lookahead <= 0 {
+		panic("parsim: lookahead must be positive")
+	}
+	e := &Engine{look: cfg.Lookahead, serial: cfg.Serial}
+	e.shards = make([]*Shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &Shard{
+			id:  i,
+			sm:  sim.New(),
+			eng: e,
+			out: make([][]xmsg, cfg.Shards),
+		}
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns shard i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Lookahead returns the window width.
+func (e *Engine) Lookahead() sim.Time { return e.look }
+
+// Now returns the synchronized time: the end of the last completed window.
+// Every shard's clock equals Now between windows.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Processed sums the events executed across all shards — the event-rate
+// numerator of the parscale scenario. Call it between Run calls.
+func (e *Engine) Processed() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.sm.Processed
+	}
+	return n
+}
+
+// Pending sums the events waiting across all shards.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.sm.Pending()
+	}
+	return n
+}
+
+// Quiet reports whether nothing remains to run: every shard's heap is
+// empty and no control action is outstanding. Meaningful between windows.
+func (e *Engine) Quiet() bool {
+	return e.Pending() == 0 && len(e.ctls) == 0
+}
+
+// InBarrier reports whether the engine is currently in barrier context
+// (controls and barrier hooks, all shards quiescent) or has not started a
+// window yet. Multi-shard state such as a fabric link failure may only be
+// mutated when this is true.
+func (e *Engine) InBarrier() bool { return !e.inWindow }
+
+// ceil rounds t up to a window boundary.
+func (e *Engine) ceil(t sim.Time) sim.Time {
+	if t <= 0 {
+		return 0
+	}
+	return (t + e.look - 1) / e.look * e.look
+}
+
+// At registers fn to run in barrier context at the window boundary at or
+// after t — all shards quiescent, clocks at the boundary. Same-boundary
+// controls run in registration order. Safe to call before Run and from
+// barrier context (controls and hooks may schedule further controls);
+// must not be called from shard events.
+func (e *Engine) At(t sim.Time, fn func()) {
+	if e.inWindow {
+		panic("parsim: Engine.At called from a shard event; use a Port or schedule from barrier context")
+	}
+	e.ctlSeq++
+	c := control{at: e.ceil(t), seq: e.ctlSeq, fn: fn}
+	i := sort.Search(len(e.ctls), func(i int) bool {
+		if e.ctls[i].at != c.at {
+			return e.ctls[i].at > c.at
+		}
+		return e.ctls[i].seq > c.seq
+	})
+	e.ctls = append(e.ctls, control{})
+	copy(e.ctls[i+1:], e.ctls[i:])
+	e.ctls[i] = c
+}
+
+// OnBarrier registers fn to run after every window with all shards
+// quiescent, in registration order, with now = the window's end. This is
+// where cross-shard reads (telemetry scrapes, invariant checks) belong.
+func (e *Engine) OnBarrier(fn func(now sim.Time)) {
+	e.hooks = append(e.hooks, fn)
+}
+
+// runControls executes the controls due at the window starting at `start`.
+func (e *Engine) runControls(start sim.Time) {
+	for len(e.ctls) > 0 && e.ctls[0].at <= start {
+		c := e.ctls[0]
+		e.ctls = e.ctls[1:]
+		c.fn()
+	}
+}
+
+// flush moves every outbox message into its destination heap, source
+// shards in index order, messages in send order. Same-lane messages can
+// only originate from one shard (a lane names one sending entity), so this
+// order is itself partition-independent; across lanes the heap key decides
+// and insertion order is irrelevant.
+func (e *Engine) flush() {
+	for _, src := range e.shards {
+		for dst, msgs := range src.out {
+			if len(msgs) == 0 {
+				continue
+			}
+			dsm := e.shards[dst].sm
+			for _, m := range msgs {
+				dsm.AtLane(m.at, m.lane, m.act, m.arg)
+			}
+			src.out[dst] = msgs[:0]
+		}
+	}
+}
+
+// Run advances every shard to the window boundary at or after until.
+func (e *Engine) Run(until sim.Time) {
+	e.advance(until, false)
+}
+
+// RunUntilQuiet advances window by window until nothing remains to run or
+// the boundary at/after max is reached, and returns the synchronized time.
+// Use it to drain a simulation whose drivers have stopped scheduling.
+func (e *Engine) RunUntilQuiet(max sim.Time) sim.Time {
+	e.advance(max, true)
+	return e.now
+}
+
+func (e *Engine) advance(until sim.Time, stopWhenQuiet bool) {
+	until = e.ceil(until)
+	parallel := len(e.shards) > 1 && !e.serial
+
+	// Workers live for one advance call, not for the Engine: persistent
+	// workers would need an explicit Close lifecycle (an abandoned Engine
+	// would leak goroutines parked on their channels), and the spawn cost
+	// is amortized over every window of the call.
+	var work []chan sim.Time
+	var wg sync.WaitGroup
+	if parallel && e.now < until {
+		work = make([]chan sim.Time, len(e.shards))
+		for i := range work {
+			ch := make(chan sim.Time)
+			work[i] = ch
+			go func(s *Shard) {
+				for end := range ch {
+					s.sm.RunBefore(end)
+					wg.Done()
+				}
+			}(e.shards[i])
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
+
+	for e.now < until {
+		start := e.now
+		end := start + e.look
+		e.runControls(start)
+		if stopWhenQuiet && e.Quiet() {
+			return
+		}
+		e.inWindow = true
+		if parallel {
+			wg.Add(len(e.shards))
+			for _, ch := range work {
+				ch <- end
+			}
+			wg.Wait()
+		} else {
+			for _, s := range e.shards {
+				s.sm.RunBefore(end)
+			}
+		}
+		e.inWindow = false
+		e.flush()
+		e.now = end
+		for _, fn := range e.hooks {
+			fn(end)
+		}
+	}
+}

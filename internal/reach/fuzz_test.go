@@ -1,0 +1,107 @@
+package reach
+
+import "testing"
+
+// FuzzReachApplyMessage fuzzes the hardware reachability table's message
+// application (§5.8): arbitrary messages on arbitrary links must never
+// panic, must reject out-of-range input with an error, and must leave the
+// two table projections (per-FA link sets and per-link FA sets) exactly
+// consistent. It also checks idempotence, the BuildMessages/ApplyMessage
+// round trip, and LinkDown's full withdrawal.
+func FuzzReachApplyMessage(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(1), uint16(0), false, uint64(0b1011), uint64(0))
+	f.Add(uint8(200), uint8(31), uint8(30), uint16(1), false, ^uint64(0), ^uint64(0))
+	f.Add(uint8(1), uint8(1), uint8(0), uint16(9), true, uint64(1), uint64(0))
+	f.Add(uint8(130), uint8(16), uint8(200), uint16(0), false, uint64(42), uint64(7))
+	f.Fuzz(func(t *testing.T, numFA, numLink, link uint8, chunk uint16, faulty bool, w0, w1 uint64) {
+		nFA := int(numFA)%200 + 1
+		nLink := int(numLink)%32 + 1
+		tbl := NewTable(nFA, nLink)
+
+		m := Message{Origin: 3, Chunk: chunk, Faulty: faulty}
+		m.Bits[0], m.Bits[1] = w0, w1
+		err := tbl.ApplyMessage(int(link), m)
+		if int(link) >= nLink {
+			if err == nil {
+				t.Fatalf("link %d accepted by a %d-link table", link, nLink)
+			}
+			return
+		}
+		if base := int(chunk) * ChunkBits; base >= nFA && chunk != 0 {
+			if err == nil {
+				t.Fatalf("chunk %d accepted by a %d-FA table", chunk, nFA)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range message rejected: %v", err)
+		}
+
+		checkConsistent := func() {
+			t.Helper()
+			for fa := 0; fa < nFA; fa++ {
+				viaAny := false
+				for l := 0; l < nLink; l++ {
+					viaLink := tbl.LinkSet(l).Get(fa)
+					if tbl.Links(fa).Get(l) != viaLink {
+						t.Fatalf("projections disagree at (fa=%d, link=%d)", fa, l)
+					}
+					viaAny = viaAny || viaLink
+				}
+				if tbl.Reachable(fa) != viaAny {
+					t.Fatalf("Reachable(%d)=%v but per-link union says %v", fa, tbl.Reachable(fa), viaAny)
+				}
+			}
+		}
+		checkConsistent()
+
+		// Idempotence: applying the same advertisement again is a no-op.
+		before := tbl.ReachableSet().Clone()
+		if err := tbl.ApplyMessage(int(link), m); err != nil {
+			t.Fatalf("re-apply rejected: %v", err)
+		}
+		checkConsistent()
+		after := tbl.ReachableSet()
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatal("re-applying the same message changed the table")
+			}
+		}
+
+		// Round trip: a full advertised set must survive encode + apply.
+		set := NewBitmap(nFA)
+		for fa := 0; fa < nFA; fa++ {
+			w := w0
+			if fa >= 64 {
+				w = w1
+			}
+			if w&(1<<(fa%64)) != 0 {
+				set.Set(fa)
+			}
+		}
+		for _, bm := range BuildMessages(7, set, nFA) {
+			if err := tbl.ApplyMessage(int(link), bm); err != nil {
+				t.Fatalf("round-trip apply: %v", err)
+			}
+		}
+		got := tbl.LinkSet(int(link))
+		for fa := 0; fa < nFA; fa++ {
+			if got.Get(fa) != set.Get(fa) {
+				t.Fatalf("round trip lost fa %d: sent %v, table has %v", fa, set.Get(fa), got.Get(fa))
+			}
+		}
+		checkConsistent()
+
+		// LinkDown withdraws everything learned through the link (§5.9).
+		tbl.LinkDown(int(link))
+		if tbl.LinkSet(int(link)).Count() != 0 {
+			t.Fatal("LinkDown left advertised destinations behind")
+		}
+		for fa := 0; fa < nFA; fa++ {
+			if tbl.Links(fa).Get(int(link)) {
+				t.Fatalf("LinkDown left fa %d routed via the dead link", fa)
+			}
+		}
+		checkConsistent()
+	})
+}

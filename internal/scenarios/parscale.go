@@ -1,0 +1,290 @@
+package scenarios
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"time"
+
+	"stardust/internal/engine"
+	"stardust/internal/fabric"
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/sim"
+)
+
+// Scenarios over the sharded (parallel) fabric engine: parscale sweeps
+// shards×K and reports the deterministic traffic outcome — plus, in
+// timings mode, events/sec and the speedup over one shard; parheal drives
+// a scripted fail/heal schedule through the sharded engine and checks the
+// conservation and self-healing invariants. Both emit a canonical digest
+// of every per-link counter, so the CI determinism matrix can compare the
+// full fabric state, not just aggregate counts, across {workers}×{shards}.
+
+// cellCounter counts delivered cells for one destination FA. Installed
+// with SetEgress, it runs pinned to the FA's shard: no locking.
+type cellCounter struct {
+	cells uint64
+	bytes uint64
+}
+
+// Receive implements netsim.Handler.
+func (cc *cellCounter) Receive(c *netsim.Packet) {
+	cc.cells++
+	cc.bytes += uint64(c.Size)
+	c.Release()
+}
+
+// parRun is the outcome of one sharded fabric run. Everything except wall
+// is a deterministic function of (seed, parameters) — independent of the
+// shard count, which is the whole point.
+type parRun struct {
+	injected    uint64
+	delivered   uint64
+	drops       uint64
+	events      uint64
+	unreachable int
+	digest      uint64
+	wall        time.Duration
+}
+
+// runShardedFabric builds a ClosFor(k) fabric across `shards` event loops,
+// offers `load` of each FA's uplink capacity for dur, optionally fails
+// failN seed-chosen links at failAt and heals them at healAt, drains, and
+// returns the canonical outcome.
+func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cellBytes, failN int, failAt, healAt sim.Time) (parRun, error) {
+	cl, err := fabric.ClosFor(k)
+	if err != nil {
+		return parRun{}, err
+	}
+	look := sim.Microsecond
+	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
+	cfg := fabric.DefaultConfig(10e9, look, seed)
+	n, err := fabric.NewSharded(eng, cfg, cl, nil)
+	if err != nil {
+		return parRun{}, err
+	}
+	sinks := make([]*cellCounter, cl.NumFA)
+	for fa := range sinks {
+		sinks[fa] = &cellCounter{}
+		n.SetEgress(fa, sinks[fa])
+	}
+	perFA := load * float64(cl.FAUplinks) * float64(cfg.LinkRate)
+	gap := sim.Time(float64(cellBytes*8) / perFA * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	for fa := 0; fa < cl.NumFA; fa++ {
+		n.NewInjector(fa, gap, cellBytes, dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+	}
+	if failN > 0 {
+		rng := rand.New(rand.NewSource(seed ^ 0xfa11))
+		for i := 0; i < failN; i++ {
+			lk := rng.Intn(n.NumLinks())
+			eng.At(failAt, func() { n.FailLink(lk) })
+			eng.At(healAt, func() { n.RestoreLink(lk) })
+		}
+	}
+	// Drain past the last scheduled action: a heal scheduled beyond the
+	// horizon would otherwise silently never run and the "0 unreachable
+	// after heal" claim below would be about a fabric that never healed.
+	horizon := dur
+	if failAt > horizon {
+		horizon = failAt
+	}
+	if healAt > horizon {
+		horizon = healAt
+	}
+	t0 := time.Now()
+	eng.RunUntilQuiet(horizon + 4*cfg.ReachDelay)
+	wall := time.Since(t0)
+	if !eng.Quiet() {
+		return parRun{}, fmt.Errorf("fabric did not drain: work still pending past t=%d (%d heap events)",
+			horizon+4*cfg.ReachDelay, eng.Pending())
+	}
+
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range sinks {
+		w(s.cells)
+		w(s.bytes)
+	}
+	var lc [2]fabric.LinkCounters
+	for i := 0; i < n.NumLinks(); i++ {
+		n.ReadLinkCounters(i, &lc)
+		for d := 0; d < 2; d++ {
+			w(lc[d].FwdBytes)
+			w(lc[d].FwdCells)
+			w(lc[d].Drops)
+		}
+	}
+	return parRun{
+		injected:    n.Injected(),
+		delivered:   n.Delivered(),
+		drops:       n.Drops(),
+		events:      eng.Processed(),
+		unreachable: n.UnreachablePairs(),
+		digest:      h.Sum64(),
+		wall:        wall,
+	}, nil
+}
+
+// addParMetrics emits the deterministic half of a parRun. shardsParam is
+// the *requested* shard count (0 = the -shards flag): echoing the
+// resolved count would make otherwise byte-identical runs differ by their
+// label alone, defeating the CI determinism diff across -shards values.
+func addParMetrics(res *engine.Result, k, shardsParam int, r parRun) {
+	res.Add("k", float64(k), "")
+	if shardsParam != 0 {
+		res.Add("shards", float64(shardsParam), "")
+	}
+	res.Add("injected_cells", float64(r.injected), "")
+	res.Add("delivered_cells", float64(r.delivered), "")
+	res.Add("dropped_cells", float64(r.drops), "")
+	res.Add("unreachable_pairs", float64(r.unreachable), "")
+	res.Add("events", float64(r.events), "")
+	res.Add("digest_lo", float64(uint32(r.digest)), "")
+	res.Add("digest_hi", float64(r.digest>>32), "")
+}
+
+// parVariants expands comma-separated k and shards lists into one
+// instance per combination.
+func parVariants(p engine.Params) []engine.Params {
+	var out []engine.Params
+	for _, k := range splitList(p.Str("k", "4")) {
+		for _, s := range splitList(p.Str("shards", "0")) {
+			out = append(out, p.With("k", k).With("shards", s))
+		}
+	}
+	return out
+}
+
+// shardLabel renders the requested shard count for the text report —
+// empty when it comes from the -shards flag, so runs differing only in
+// that flag stay byte-identical (the CI determinism matrix diffs them).
+func shardLabel(c engine.Context) string {
+	if s := c.Params.Int("shards", 0); s != 0 {
+		return fmt.Sprintf(" shards=%d", s)
+	}
+	return ""
+}
+
+// effectiveShards resolves the shards parameter: 0 means "use the -shards
+// flag", and anything below 1 clamps to 1.
+func effectiveShards(c engine.Context) int {
+	s := c.Params.Int("shards", 0)
+	if s == 0 {
+		s = c.Shards
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func init() {
+	engine.Register(engine.Scenario{
+		Name: "fabric/parscale",
+		Desc: "sharded-engine scaling sweep: shards×K, deterministic traffic digest (+ events/sec and speedup with timings=true)",
+		Defaults: engine.Params{
+			"k": "4", "shards": "0", "dur_ms": "5", "load": "0.5", "cell": "512",
+			"timings": "false",
+		},
+		Docs: map[string]string{
+			"k":       "fat-tree K sizing the Clos (comma list sweeps)",
+			"shards":  "event-loop shards; 0 = the -shards flag (comma list sweeps)",
+			"dur_ms":  "injection duration in ms",
+			"load":    "offered load per FA as a fraction of its uplink capacity",
+			"cell":    "cell size in bytes",
+			"timings": "true adds wall-clock events/sec and speedup vs one shard — nondeterministic output, keep off when diffing runs",
+		},
+		Variants: parVariants,
+		Run: func(c engine.Context) (engine.Result, error) {
+			k := c.Params.Int("k", 4)
+			shards := effectiveShards(c)
+			dur := msTime(c.Params.Int("dur_ms", 5))
+			load := c.Params.Float("load", 0.5)
+			cell := c.Params.Int("cell", 512)
+			r, err := runShardedFabric(c.Seed, k, shards, dur, load, cell, 0, 0, 0)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			var res engine.Result
+			addParMetrics(&res, k, c.Params.Int("shards", 0), r)
+			var b strings.Builder
+			fmt.Fprintf(&b, "parscale K=%d%s: %d cells injected, %d delivered, %d dropped, %d events, digest %016x\n",
+				k, shardLabel(c), r.injected, r.delivered, r.drops, r.events, r.digest)
+			if c.Params.Bool("timings", false) {
+				ref := r
+				if shards != 1 {
+					if ref, err = runShardedFabric(c.Seed, k, 1, dur, load, cell, 0, 0, 0); err != nil {
+						return engine.Result{}, err
+					}
+					if ref.digest != r.digest {
+						return engine.Result{}, fmt.Errorf("parscale: shards=%d digest %016x diverged from shards=1 %016x",
+							shards, r.digest, ref.digest)
+					}
+				}
+				evps := float64(r.events) / r.wall.Seconds()
+				speedup := ref.wall.Seconds() / r.wall.Seconds()
+				res.Add("events_per_sec", evps, "1/s")
+				res.Add("speedup_vs_1", speedup, "x")
+				fmt.Fprintf(&b, "  wall %v, %.0f events/sec, %.2fx vs one shard (byte-identical digest)\n",
+					r.wall.Round(time.Millisecond), evps, speedup)
+			}
+			res.Text = b.String()
+			return res, nil
+		},
+	})
+
+	engine.Register(engine.Scenario{
+		Name: "fabric/parheal",
+		Desc: "sharded fail/heal schedule: conservation and §5.9 self-healing under the parallel engine, deterministic digest",
+		Defaults: engine.Params{
+			"k": "4", "shards": "0", "dur_ms": "6", "load": "0.4", "cell": "512",
+			"fail": "3", "fail_ms": "2", "heal_ms": "4",
+		},
+		Docs: map[string]string{
+			"k":       "fat-tree K sizing the Clos",
+			"shards":  "event-loop shards; 0 = the -shards flag",
+			"dur_ms":  "injection duration in ms",
+			"load":    "offered load per FA as a fraction of its uplink capacity",
+			"cell":    "cell size in bytes",
+			"fail":    "seed-chosen links to fail",
+			"fail_ms": "failure instant in ms",
+			"heal_ms": "heal instant in ms",
+		},
+		Run: func(c engine.Context) (engine.Result, error) {
+			k := c.Params.Int("k", 4)
+			shards := effectiveShards(c)
+			r, err := runShardedFabric(c.Seed, k, shards,
+				msTime(c.Params.Int("dur_ms", 6)),
+				c.Params.Float("load", 0.4),
+				c.Params.Int("cell", 512),
+				c.Params.Int("fail", 3),
+				msTime(c.Params.Int("fail_ms", 2)),
+				msTime(c.Params.Int("heal_ms", 4)))
+			if err != nil {
+				return engine.Result{}, err
+			}
+			if leak := r.injected - r.delivered - r.drops; leak != 0 {
+				return engine.Result{}, fmt.Errorf("parheal: %d cells unaccounted for", leak)
+			}
+			if r.unreachable != 0 {
+				return engine.Result{}, fmt.Errorf("parheal: %d unreachable pairs after heal", r.unreachable)
+			}
+			var res engine.Result
+			addParMetrics(&res, k, c.Params.Int("shards", 0), r)
+			res.Text = fmt.Sprintf("parheal K=%d%s: %d injected, %d delivered, %d dropped (conserved), 0 unreachable after heal, digest %016x\n",
+				k, shardLabel(c), r.injected, r.delivered, r.drops, r.digest)
+			return res, nil
+		},
+	})
+}

@@ -3,7 +3,10 @@
 // effects from a cmd binary) populates the engine registry:
 //
 //	htsim/permutation  htsim/fct  htsim/incast      (§6.3, Fig 10a-c)
+//	htsim/hotspot  htsim/alltoall                   (traffic-matrix sweeps)
 //	fabric/fig9  fabric/pushpull  fabric/recovery   (§6.2 Fig 9, Fig 7/12, App E)
+//	fabric/linkload  fabric/failures                (§5.3 balance, §5.9 healing)
+//	fabric/parscale  fabric/parheal                 (sharded parallel engine)
 //	system/arista                                   (§6.1.2)
 //	pack/fig8a  pack/fig8b                          (§6.1.1, Fig 8)
 //	scaling/fig2  scaling/table2  scaling/fig3

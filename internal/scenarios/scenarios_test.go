@@ -14,6 +14,8 @@ import (
 var wantScenarios = []string{
 	"htsim/permutation", "htsim/fct", "htsim/incast",
 	"fabric/fig9", "fabric/pushpull", "fabric/recovery",
+	"fabric/linkload", "fabric/failures",
+	"fabric/parscale", "fabric/parheal",
 	"system/arista",
 	"pack/fig8a", "pack/fig8b",
 	"scaling/fig2", "scaling/table2", "scaling/fig3",
@@ -61,6 +63,32 @@ func TestScenarioDeterminism(t *testing.T) {
 		c := runBytes(t, engine.Options{Workers: 4, Seed: 1, Format: format}, jobs)
 		if !bytes.Equal(b, c) {
 			t.Fatalf("format %s: repeated run differs", format)
+		}
+	}
+}
+
+// The sharded-engine acceptance criterion: the same seed must produce a
+// byte-identical result stream for shards ∈ {1, 2, 4}, at any worker
+// count, across every output format. The parscale/parheal digests cover
+// the full per-link counter state, so this is not merely an aggregate
+// comparison.
+func TestShardedScenarioDeterminism(t *testing.T) {
+	jobs := []engine.Job{
+		{Scenario: "fabric/parscale", Params: engine.Params{"k": "4", "dur_ms": "2"}},
+		// fail at 1ms, heal at 2ms: the outage must span real windows so
+		// the dead-link/withdrawal paths are part of what is compared.
+		{Scenario: "fabric/parheal", Params: engine.Params{"k": "4", "dur_ms": "3", "fail_ms": "1", "heal_ms": "2"}},
+	}
+	for _, format := range []string{"text", "json", "csv"} {
+		ref := runBytes(t, engine.Options{Workers: 1, Shards: 1, Seed: 1, Format: format}, jobs)
+		for _, workers := range []int{1, 4} {
+			for _, shards := range []int{1, 2, 4} {
+				got := runBytes(t, engine.Options{Workers: workers, Shards: shards, Seed: 1, Format: format}, jobs)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("workers=%d shards=%d format=%s diverged from the 1x1 reference:\n%s\n----\n%s",
+						workers, shards, format, got, ref)
+				}
+			}
 		}
 	}
 }

@@ -4,9 +4,20 @@
 // single byte on a 100 Gbps serial link (80 ps) exactly while still allowing
 // simulations that span days of virtual time in an int64.
 //
-// Events are ordered by (time, sequence-of-scheduling), so two events
+// Events are ordered by (time, lane, sequence-of-scheduling). Ordinary
+// scheduling (At/After and friends) uses the default lane, so two events
 // scheduled for the same instant fire in the order they were scheduled; this
 // makes every simulation in this repository reproducible bit-for-bit.
+//
+// Lanes exist for sharded (parallel) simulation: the scheduling-order
+// tie-break depends on the global interleaving of earlier events, which a
+// partitioned simulation cannot reproduce, so shardable components instead
+// tag same-instant events with an explicit lane (AtLane) — a small integer
+// naming a stable entity such as a directed link. Events on distinct lanes
+// at the same instant fire in lane order, and events on one lane are always
+// scheduled causally by a single owner, so the total order is a function of
+// the simulated system alone, not of how it was partitioned across event
+// loops. All explicit lanes sort before the default lane.
 //
 // The kernel offers two scheduling forms: At/After take an ordinary
 // func() closure, while AtAction/AfterAction take a pre-bound Action plus a
@@ -44,12 +55,34 @@ type Action interface {
 	Act(arg uint64)
 }
 
+// ActionFunc adapts a plain function to the Action interface (for cold
+// paths where the closure allocation does not matter).
+type ActionFunc func(arg uint64)
+
+// Act implements Action.
+func (f ActionFunc) Act(arg uint64) { f(arg) }
+
+// DefaultLane is the lane of events scheduled without an explicit lane
+// (At/After/AtAction/AfterAction). Explicit lanes must be smaller, so they
+// always sort before default-lane events at the same instant.
+const DefaultLane int32 = 1<<31 - 1
+
+// LaneScheduler is the scheduling surface a shardable simulation component
+// needs: the current time plus lane-keyed event insertion. *Simulator
+// implements it directly for intra-shard work; parsim's cross-shard ports
+// implement it with mailboxes that are flushed at the window barrier.
+type LaneScheduler interface {
+	Now() Time
+	AtLane(t Time, lane int32, a Action, arg uint64)
+}
+
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	act Action
-	arg uint64
+	at   Time
+	seq  uint64
+	lane int32
+	fn   func()
+	act  Action
+	arg  uint64
 }
 
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
@@ -76,6 +109,9 @@ func (s *Simulator) Pending() int { return len(s.events) }
 func (s *Simulator) less(i, j int) bool {
 	if s.events[i].at != s.events[j].at {
 		return s.events[i].at < s.events[j].at
+	}
+	if s.events[i].lane != s.events[j].lane {
+		return s.events[i].lane < s.events[j].lane
 	}
 	return s.events[i].seq < s.events[j].seq
 }
@@ -121,27 +157,43 @@ func (s *Simulator) pop() event {
 	return e
 }
 
-func (s *Simulator) schedule(t Time, fn func(), act Action, arg uint64) {
+func (s *Simulator) schedule(t Time, lane int32, fn func(), act Action, arg uint64) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn, act: act, arg: arg})
+	s.push(event{at: t, seq: s.seq, lane: lane, fn: fn, act: act, arg: arg})
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now()) runs the event at the current time instead, preserving causality.
-func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil, 0) }
+func (s *Simulator) At(t Time, fn func()) { s.schedule(t, DefaultLane, fn, nil, 0) }
 
 // After schedules fn to run d picoseconds from now.
-func (s *Simulator) After(d Time, fn func()) { s.schedule(s.now+d, fn, nil, 0) }
+func (s *Simulator) After(d Time, fn func()) { s.schedule(s.now+d, DefaultLane, fn, nil, 0) }
 
 // AtAction schedules a.Act(arg) at absolute time t without allocating.
-func (s *Simulator) AtAction(t Time, a Action, arg uint64) { s.schedule(t, nil, a, arg) }
+func (s *Simulator) AtAction(t Time, a Action, arg uint64) { s.schedule(t, DefaultLane, nil, a, arg) }
 
 // AfterAction schedules a.Act(arg) d picoseconds from now without
 // allocating.
-func (s *Simulator) AfterAction(d Time, a Action, arg uint64) { s.schedule(s.now+d, nil, a, arg) }
+func (s *Simulator) AfterAction(d Time, a Action, arg uint64) {
+	s.schedule(s.now+d, DefaultLane, nil, a, arg)
+}
+
+// AtLane schedules a.Act(arg) at absolute time t on an explicit event lane
+// (see the package comment: same-instant events fire in lane order, which
+// is what makes sharded execution order-independent of the partitioning).
+// Lanes must be non-negative and below DefaultLane. Implements
+// LaneScheduler; allocates nothing.
+func (s *Simulator) AtLane(t Time, lane int32, a Action, arg uint64) {
+	s.schedule(t, lane, nil, a, arg)
+}
+
+// AtLaneFunc is AtLane for a plain closure (cold paths).
+func (s *Simulator) AtLaneFunc(t Time, lane int32, fn func()) {
+	s.schedule(t, lane, fn, nil, 0)
+}
 
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
@@ -151,6 +203,24 @@ func (s *Simulator) Run() {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
 		s.step()
+	}
+}
+
+// RunBefore executes every event with a timestamp strictly below end and
+// leaves the clock exactly at end. It is the window-stepping primitive of
+// conservative parallel simulation: events at end itself belong to the next
+// window (they may still be joined by cross-shard arrivals with the same
+// timestamp but a smaller lane).
+func (s *Simulator) RunBefore(end Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at >= end {
+			break
+		}
+		s.step()
+	}
+	if s.now < end {
+		s.now = end
 	}
 }
 

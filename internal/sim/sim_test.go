@@ -462,3 +462,101 @@ func BenchmarkSchedule(b *testing.B) {
 	}
 	s.Run()
 }
+
+// Same-instant events must fire in lane order, with default-lane events
+// last, and scheduling order breaking ties only within one lane.
+func TestLaneOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	rec := func(id int) ActionFunc { return func(uint64) { got = append(got, id) } }
+	const at = 100 * Nanosecond
+	s.At(at, func() { got = append(got, 99) }) // default lane, scheduled first
+	s.AtLane(at, 7, rec(7), 0)
+	s.AtLane(at, 3, rec(3), 0)
+	s.AtLane(at, 7, rec(8), 0) // same lane as 7: scheduling order after it
+	s.AtLane(at, 0, rec(0), 0)
+	s.Run()
+	want := []int{0, 3, 7, 8, 99}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Lane ordering must hold regardless of the interleaving in which the
+// events were scheduled — the property sharded execution relies on.
+func TestLaneOrderingSchedulingOrderIndependent(t *testing.T) {
+	perm := rand.New(rand.NewSource(5)).Perm(16)
+	var a, b []int
+	for _, dst := range []*[]int{&a, &b} {
+		s := New()
+		dst := dst
+		rec := func(id int) ActionFunc { return func(uint64) { *dst = append(*dst, id) } }
+		if dst == &a {
+			for i := 0; i < 16; i++ {
+				s.AtLane(Microsecond, int32(i%4), rec(i%4*100+i), 0)
+			}
+		} else {
+			for _, i := range perm {
+				s.AtLane(Microsecond, int32(i%4), rec(i%4*100+i), 0)
+			}
+		}
+		s.Run()
+	}
+	// Within a lane the scheduling order differs between the two runs, so
+	// compare only the lane sequence: it must be non-decreasing in both.
+	laneOf := func(id int) int { return id / 100 }
+	for _, seq := range [][]int{a, b} {
+		for i := 1; i < len(seq); i++ {
+			if laneOf(seq[i]) < laneOf(seq[i-1]) {
+				t.Fatalf("lane order violated: %v", seq)
+			}
+		}
+	}
+}
+
+func TestRunBefore(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunBefore(20)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("RunBefore(20) fired %v, want [10]", fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock %d, want 20 (exactly at the window end)", s.Now())
+	}
+	s.RunBefore(31)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all three", fired)
+	}
+	if s.Now() != 31 {
+		t.Fatalf("clock %d, want 31", s.Now())
+	}
+}
+
+// An event scheduled exactly at a window boundary runs in the next window
+// together with (and ordered against) cross-window lane arrivals.
+func TestRunBeforeBoundaryEvent(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(20, func() { got = append(got, 1) })
+	s.RunBefore(20)
+	if len(got) != 0 {
+		t.Fatal("boundary event ran in the earlier window")
+	}
+	// A lane arrival inserted at the barrier for the same instant must
+	// still fire first (explicit lanes sort before the default lane).
+	s.AtLane(20, 5, ActionFunc(func(uint64) { got = append(got, 0) }), 0)
+	s.RunBefore(40)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("got %v, want [0 1]", got)
+	}
+}
