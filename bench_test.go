@@ -152,6 +152,121 @@ func BenchmarkFabricCellPathSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkTransportPathSharded measures the per-packet cost of the full
+// sharded transport pipeline at two shards: NIC queue, VOQ capture,
+// cross-shard request/grant on the pair lanes, cell fragmentation, the
+// per-link fabric crossing, in-order reassembly and egress. The
+// steady-state VOQ/credit hot path must stay allocation-free — packets,
+// cells and reassembly states are pooled and every control message reuses
+// a pre-bound action; benchguard gates the allocs/op.
+func BenchmarkTransportPathSharded(b *testing.B) {
+	eng := parsim.New(parsim.Config{Shards: 2, Lookahead: sim.Microsecond})
+	cl, err := fabric.ClosFor(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fab, err := fabric.NewSharded(eng, fabric.DefaultConfig(netsim.Bps(10e9*1.05), sim.Microsecond, 1), cl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hostsPer = 2
+	hosts := cl.NumFA * hostsPer
+	sdc := netsim.DefaultStardust(10e9, cl.FAUplinks, sim.Microsecond)
+	net, err := netsim.NewShardedStardustNet(fab, sdc, hosts, hostsPer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pktSize = 4096
+	// Half the host rate: 4KB every two serialization times.
+	gap := 2 * sim.Time(float64(pktSize*8)/10e9*float64(sim.Second))
+	sinks := make([]*netsim.Counter, hosts)
+	injs := make([]*transportInjector, hosts)
+	for h := 0; h < hosts; h++ {
+		dst := (h + 3) % hosts
+		sinks[h] = &netsim.Counter{}
+		injs[h] = &transportInjector{
+			sm:    net.HostSim(h),
+			route: append(net.Route(h, dst), sinks[h]),
+			gap:   gap,
+			size:  pktSize,
+		}
+	}
+	run := func(quota int, horizon sim.Time) {
+		for h, j := range injs {
+			j.quota = quota
+			j.sm.AtAction(eng.Now()+sim.Time(h)*gap/sim.Time(hosts), j, 0)
+		}
+		eng.Run(horizon)
+	}
+	delivered := func() uint64 {
+		var d uint64
+		for _, s := range sinks {
+			d += s.Packets
+		}
+		return d
+	}
+	// Warm the pools, rings, mailboxes and scheduler state before
+	// measuring, so one-time growth does not count against the hot path.
+	run(32, eng.Now()+sim.Time(40)*gap+sim.Millisecond)
+	warm := delivered()
+	if warm == 0 {
+		b.Fatal("warmup delivered nothing")
+	}
+
+	quota := b.N / hosts
+	extra := b.N % hosts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for h, j := range injs {
+		q := quota
+		if h < extra {
+			q++
+		}
+		j.quota = q
+		if q > 0 {
+			j.sm.AtAction(eng.Now()+sim.Time(h)*gap/sim.Time(hosts), j, 0)
+		}
+	}
+	deadline := eng.Now() + sim.Time(quota+2)*gap + sim.Millisecond
+	eng.Run(deadline)
+	for tries := 0; delivered()-warm < uint64(b.N) && tries < 50; tries++ {
+		eng.Run(eng.Now() + sim.Millisecond)
+	}
+	b.StopTimer()
+	if got := delivered() - warm; got != uint64(b.N) {
+		b.Fatalf("delivered %d of %d packets (voq drops %d, fabric drops %d, timeouts %d)",
+			got, b.N, net.VOQDrops(), net.FabricDrops(), net.ReasmTimeouts())
+	}
+	if net.TotalDrops() != 0 {
+		b.Fatalf("healthy sharded transport dropped %d", net.TotalDrops())
+	}
+}
+
+// transportInjector feeds one host's flow with pooled packets, itself the
+// scheduled action so the benchmark loop allocates nothing.
+type transportInjector struct {
+	sm    *sim.Simulator
+	route []netsim.Handler
+	gap   sim.Time
+	size  int
+	quota int
+}
+
+// Act implements sim.Action.
+func (j *transportInjector) Act(uint64) {
+	if j.quota <= 0 {
+		return
+	}
+	j.quota--
+	p := netsim.NewPacket()
+	p.Size = j.size
+	p.SetRoute(j.route)
+	p.SendOn()
+	if j.quota > 0 {
+		j.sm.AfterAction(j.gap, j, 0)
+	}
+}
+
 // BenchmarkFabricFailurePath exercises the failure machinery under load
 // and asserts the same no-leak invariant when links die mid-traffic (the
 // Release() audit for dropped and failed-link cells).

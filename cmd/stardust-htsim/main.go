@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "perm", "experiment: perm, fct, incast, hotspot, alltoall")
+	exp := flag.String("exp", "perm", "experiment: perm, fct, incast, hotspot, alltoall, parperm")
 	k := flag.Int("k", 8, "fat-tree K (12 = the paper's 432 hosts)")
 	durMs := flag.Int("dur", 20, "measurement window in ms")
 	protos := flag.String("protos", "all", "comma-separated protocols or all")

@@ -45,6 +45,7 @@ func main() {
 	fabricK := flag.Int("fabric-k", 4, "managed fabric size (ClosFor K, 0 = no live fabric)")
 	fabricShards := flag.Int("fabric-shards", 1, "event-loop shards for the managed fabric (>1 = parallel sharded simulation)")
 	fabricLoad := flag.Float64("fabric-load", 0.3, "offered load fraction on the managed fabric")
+	transportHostsPer := flag.Int("transport-hosts-per", 0, "run the sharded Stardust transport overlay with N hosts per FA (TCP permutation load, telemetry at /api/v1/transport; 0 = raw cell injectors)")
 	chaosMs := flag.Int("chaos-every-ms", 0, "fail one random link every N sim-ms (0 = no chaos)")
 	healMs := flag.Int("heal-after-ms", 5, "chaos-failed links recover after N sim-ms")
 	scrapeUs := flag.Int("scrape-every-us", 1000, "telemetry scrape period in sim-us")
@@ -60,12 +61,13 @@ func main() {
 	if *fabricK > 0 {
 		var err error
 		fr, err = mgmt.NewFabricRun(mgmt.FabricRunConfig{
-			K:         *fabricK,
-			Load:      *fabricLoad,
-			FailEvery: sim.Time(*chaosMs) * sim.Millisecond,
-			HealAfter: sim.Time(*healMs) * sim.Millisecond,
-			Seed:      *seed,
-			Shards:    *fabricShards,
+			K:                 *fabricK,
+			Load:              *fabricLoad,
+			FailEvery:         sim.Time(*chaosMs) * sim.Millisecond,
+			HealAfter:         sim.Time(*healMs) * sim.Millisecond,
+			Seed:              *seed,
+			Shards:            *fabricShards,
+			TransportHostsPer: *transportHostsPer,
 			Controller: mgmt.Config{
 				ScrapeEvery: sim.Time(*scrapeUs) * sim.Microsecond,
 			},

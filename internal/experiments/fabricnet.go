@@ -73,13 +73,13 @@ func LinkLoad(cfg HtsimConfig, mode string) (*LinkLoadResult, error) {
 		return tb.ft.EdgeUplinkBytes()
 	}
 	perDev := cfg.K / 2 // uplinks per FA and per edge switch alike
-	tb.s.RunUntil(cfg.Warmup)
+	tb.runUntil(cfg.Warmup)
 	base := linkBytes()
 	goodputBase := make([]int64, tb.hosts)
 	for i, r := range runners {
 		goodputBase[i] = r.deliveredAt()
 	}
-	tb.s.RunUntil(cfg.Warmup + cfg.Duration)
+	tb.runUntil(cfg.Warmup + cfg.Duration)
 
 	end := linkBytes()
 	res := &LinkLoadResult{Mode: mode, Links: len(end)}
@@ -144,6 +144,7 @@ type FailureResult struct {
 // the dip and the self-healing recovery (§5.9, Appendix E).
 func FabricFailures(cfg HtsimConfig, nFail int, failAt, bin sim.Time) (*FailureResult, error) {
 	cfg.FullFabric = true
+	cfg.Shards = 0 // FailLink fires mid-run outside barrier context: solo only
 	tb, err := newTestbed(cfg, ProtoStardust)
 	if err != nil {
 		return nil, err
@@ -249,12 +250,12 @@ func RunMatrix(cfg HtsimConfig, proto Protocol, flows []workload.Flow, hot map[i
 		}
 		runners[i] = tb.launchFlow(proto, f.Src, f.Dst, 0, 0, nil)
 	}
-	tb.s.RunUntil(cfg.Warmup)
+	tb.runUntil(cfg.Warmup)
 	base := make([]int64, len(runners))
 	for i, r := range runners {
 		base[i] = r.deliveredAt()
 	}
-	tb.s.RunUntil(cfg.Warmup + cfg.Duration)
+	tb.runUntil(cfg.Warmup + cfg.Duration)
 
 	res := &MatrixResult{Proto: proto, Flows: len(flows)}
 	var sum, cold, coldN float64

@@ -8,6 +8,7 @@ import (
 
 	"stardust/internal/fabric"
 	"stardust/internal/netsim"
+	"stardust/internal/parsim"
 	"stardust/internal/sim"
 	"stardust/internal/stats"
 	"stardust/internal/tcp"
@@ -47,7 +48,14 @@ type HtsimConfig struct {
 	// with the topology-faithful per-link fabric (internal/fabric): every
 	// FE device and serial link simulated, cells sprayed per link.
 	FullFabric bool
-	Seed       int64
+	// Shards, when >= 1 together with FullFabric, runs the Stardust
+	// substrate sharded: fabric devices, VOQs, credit schedulers and TCP
+	// endpoints partitioned across that many parsim event loops, with
+	// byte-identical results at any shard count for the same seed. 0 keeps
+	// the classic single event loop. Only the Stardust protocol shards;
+	// the fat-tree contenders always run solo.
+	Shards int
+	Seed   int64
 }
 
 // DefaultHtsim returns the paper-scale configuration.
@@ -73,13 +81,15 @@ func QuickHtsim() HtsimConfig {
 }
 
 // testbed wires either the fat-tree (for the TCP variants) or the Stardust
-// substrate and hands out per-flow route builders.
+// substrate — solo or sharded — and hands out per-flow route builders.
 type testbed struct {
 	cfg   HtsimConfig
 	s     *sim.Simulator
 	ft    *netsim.FatTreeNet
-	sd    *netsim.StardustNet
-	fab   *fabric.Net // non-nil when cfg.FullFabric selected the per-link fabric
+	sd    *netsim.StardustNet        // solo Stardust substrate
+	ssd   *netsim.ShardedStardustNet // sharded Stardust substrate (FullFabric && Shards >= 1)
+	eng   *parsim.Engine             // non-nil iff ssd is
+	fab   *fabric.Net                // non-nil when cfg.FullFabric selected the per-link fabric
 	hosts int
 	rng   *rand.Rand
 }
@@ -98,7 +108,31 @@ func newTestbed(cfg HtsimConfig, proto Protocol) (*testbed, error) {
 		if cfg.StardustSpeedup > 0 {
 			sdc.SpeedUp = cfg.StardustSpeedup
 		}
-		sd, err := netsim.NewStardustNet(tb.s, sdc, cfg.K*cfg.K*cfg.K/4, hostsPer)
+		hosts := cfg.K * cfg.K * cfg.K / 4
+		if cfg.FullFabric && cfg.Shards >= 1 {
+			// Sharded end-to-end run: the engine's lookahead is the link
+			// delay (the fabric's synchronization horizon) and the whole
+			// transport is partitioned by edge FA.
+			cl, err := fabric.ClosFor(cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			eng := parsim.New(parsim.Config{Shards: cfg.Shards, Lookahead: ftc.LinkDelay})
+			fcfg := fabric.DefaultConfig(netsim.Bps(float64(ftc.LinkRate)*1.05), ftc.LinkDelay, cfg.Seed)
+			fn, err := fabric.NewSharded(eng, fcfg, cl, nil)
+			if err != nil {
+				return nil, err
+			}
+			ssd, err := netsim.NewShardedStardustNet(fn, sdc, hosts, hostsPer)
+			if err != nil {
+				return nil, err
+			}
+			tb.eng, tb.ssd, tb.fab = eng, ssd, fn
+			tb.s = eng.Shard(0).Sim()
+			tb.hosts = hosts
+			return tb, nil
+		}
+		sd, err := netsim.NewStardustNet(tb.s, sdc, hosts, hostsPer)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +151,7 @@ func newTestbed(cfg HtsimConfig, proto Protocol) (*testbed, error) {
 			tb.fab = fn
 		}
 		tb.sd = sd
-		tb.hosts = cfg.K * cfg.K * cfg.K / 4
+		tb.hosts = hosts
 	default:
 		ftc := netsim.DefaultFatTree()
 		ftc.K = cfg.K
@@ -140,12 +174,46 @@ func (tb *testbed) linkRate() float64 {
 	if tb.ft != nil {
 		return float64(tb.ft.Cfg.LinkRate)
 	}
+	if tb.ssd != nil {
+		return float64(tb.ssd.Cfg.HostRate)
+	}
 	return float64(tb.sd.Cfg.HostRate)
+}
+
+// sim returns the event heap host h's endpoints must run on: the shard
+// the host is pinned to in a sharded run, the single loop otherwise.
+func (tb *testbed) sim(h int) *sim.Simulator {
+	if tb.ssd != nil {
+		return tb.ssd.HostSim(h)
+	}
+	return tb.s
+}
+
+// now returns the synchronized simulation time.
+func (tb *testbed) now() sim.Time {
+	if tb.eng != nil {
+		return tb.eng.Now()
+	}
+	return tb.s.Now()
+}
+
+// runUntil advances the simulation to t. A sharded run returns at the
+// window boundary at or after t with every shard quiescent, so counters
+// and endpoint state are safe to read afterward.
+func (tb *testbed) runUntil(t sim.Time) {
+	if tb.eng != nil {
+		tb.eng.Run(t)
+		return
+	}
+	tb.s.RunUntil(t)
 }
 
 // routes returns a forward route (without the endpoint) for one path
 // choice of the flow.
 func (tb *testbed) route(src, dst, choice int) []netsim.Handler {
+	if tb.ssd != nil {
+		return tb.ssd.Route(src, dst)
+	}
 	if tb.sd != nil {
 		return tb.sd.Route(src, dst)
 	}
@@ -166,11 +234,13 @@ func (tb *testbed) launchFlow(proto Protocol, src, dst int, flowBytes int64, at 
 	switch proto {
 	case ProtoDCTCP, ProtoStardust:
 		// Stardust runs unmodified NewReno on top (§6.3); the substrate
-		// chops packets into 512B cells itself.
+		// chops packets into 512B cells itself. In a sharded run the
+		// source lives on its host's shard and the sink on the
+		// destination's — the routes already cross between them.
 		cfg.DCTCP = proto == ProtoDCTCP
 		choice := tb.rng.Int()
-		f := tcp.NewSource(tb.s, cfg, fmt.Sprintf("%s-%d-%d", proto, src, dst), flowBytes, nil)
-		sink := tcp.NewSink(tb.s, cfg, f, append(tb.route(dst, src, choice), tcp.Ack))
+		f := tcp.NewSource(tb.sim(src), cfg, fmt.Sprintf("%s-%d-%d", proto, src, dst), flowBytes, nil)
+		sink := tcp.NewSink(tb.sim(dst), cfg, f, append(tb.route(dst, src, choice), tcp.Ack))
 		f.SetRoute(append(tb.route(src, dst, choice), sink))
 		if onDone != nil {
 			f.OnComplete = func(s *tcp.Source) { onDone(s.FCT()) }
@@ -219,12 +289,20 @@ func (tb *testbed) launchFlow(proto Protocol, src, dst int, flowBytes int64, at 
 }
 
 // PermutationResult is one Fig 10(a) series: per-flow goodput sorted
-// ascending, plus the mean utilization.
+// ascending, plus the mean utilization and — for the Stardust substrate —
+// the transport counters the sharded determinism digest is built from.
 type PermutationResult struct {
 	Proto       Protocol
 	Gbps        []float64 // sorted per-flow goodput
+	Delivered   []int64   // per-source-host acked-byte deltas over the window
 	MeanUtilPct float64
 	FabricDrops uint64
+
+	// Stardust-substrate transport counters at the end of the run.
+	CellsSent     uint64
+	CreditsSent   uint64
+	VOQDrops      uint64
+	ReasmTimeouts uint64
 }
 
 // Permutation runs the Fig 10(a) experiment for one protocol: every host
@@ -240,27 +318,42 @@ func Permutation(cfg HtsimConfig, proto Protocol) (*PermutationResult, error) {
 	for src := 0; src < tb.hosts; src++ {
 		runners[src] = tb.launchFlow(proto, src, perm[src], 0, 0, nil)
 	}
-	tb.s.RunUntil(cfg.Warmup)
+	tb.runUntil(cfg.Warmup)
 	base := make([]int64, tb.hosts)
 	for i, r := range runners {
 		base[i] = r.deliveredAt()
 	}
-	tb.s.RunUntil(cfg.Warmup + cfg.Duration)
+	tb.runUntil(cfg.Warmup + cfg.Duration)
 
 	linkRate := tb.linkRate()
 	res := &PermutationResult{Proto: proto}
 	var sum float64
 	for i, r := range runners {
-		gbps := float64(r.deliveredAt()-base[i]) * 8 / cfg.Duration.Seconds() / 1e9
+		delta := r.deliveredAt() - base[i]
+		res.Delivered = append(res.Delivered, delta)
+		gbps := float64(delta) * 8 / cfg.Duration.Seconds() / 1e9
 		res.Gbps = append(res.Gbps, gbps)
 		sum += gbps
 	}
 	sort.Float64s(res.Gbps)
 	res.MeanUtilPct = 100 * sum / (float64(tb.hosts) * linkRate / 1e9)
-	if tb.ft != nil {
+	switch {
+	case tb.ft != nil:
 		res.FabricDrops = tb.ft.TotalDrops()
-	} else {
+	case tb.ssd != nil:
+		res.FabricDrops = tb.ssd.FabricDrops()
+		var tc netsim.TransportCounters
+		tb.ssd.ReadCounters(&tc)
+		res.CellsSent = tc.CellsSent
+		res.CreditsSent = tc.CreditsSent
+		res.VOQDrops = tc.VOQDrops
+		res.ReasmTimeouts = tc.ReasmTimeouts
+	default:
 		res.FabricDrops = tb.sd.FabricDrops()
+		res.CellsSent = tb.sd.CellsSent
+		res.CreditsSent = tb.sd.CreditsSent
+		res.VOQDrops = tb.sd.VOQDrops
+		res.ReasmTimeouts = tb.sd.ReasmTimeouts
 	}
 	return res, nil
 }
@@ -305,8 +398,49 @@ func FCT(cfg HtsimConfig, proto Protocol, measuredFlows int) (*FCTResult, error)
 	}
 	sizes := workload.WebFlowSizes()
 	res := &FCTResult{Proto: proto, Ms: &stats.Sample{}}
-	var launch func()
+	deadline := cfg.Warmup + 40*cfg.Duration
 	remaining := measuredFlows
+
+	if tb.eng != nil {
+		// Sharded run: flow creation mutates multi-shard state (routes,
+		// VOQs), so each measured flow is launched in barrier context and
+		// its completion is detected by polling at the window barrier —
+		// barrier instants are lookahead-quantized, hence identical at
+		// every shard count.
+		var active *flowRunner
+		var launch func()
+		launch = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			size := int64(sizes.Sample(tb.rng))
+			if size < int64(cfg.MSS) {
+				size = int64(cfg.MSS)
+			}
+			r := tb.launchFlow(proto, src, dst, size, tb.now(), nil)
+			active = &r
+		}
+		tb.eng.At(cfg.Warmup, launch)
+		tb.eng.OnBarrier(func(now sim.Time) {
+			if active == nil {
+				return
+			}
+			if fct, done := active.fct(); done {
+				res.Ms.Add(fct.Seconds() * 1e3)
+				active = nil
+				if remaining > 0 {
+					tb.eng.At(now+10*sim.Microsecond, launch)
+				}
+			}
+		})
+		for tb.now() < deadline && res.Ms.N() < measuredFlows {
+			tb.runUntil(tb.now() + cfg.Duration)
+		}
+		return res, nil
+	}
+
+	var launch func()
 	launch = func() {
 		if remaining == 0 {
 			return
@@ -323,7 +457,6 @@ func FCT(cfg HtsimConfig, proto Protocol, measuredFlows int) (*FCTResult, error)
 	}
 	tb.s.At(cfg.Warmup, launch)
 	// Run until the measured flows finish or the budget is spent.
-	deadline := cfg.Warmup + 40*cfg.Duration
 	for tb.s.Now() < deadline && res.Ms.N() < measuredFlows {
 		tb.s.RunUntil(tb.s.Now() + cfg.Duration)
 	}
@@ -350,17 +483,29 @@ func Incast(cfg HtsimConfig, proto Protocol, backends int, responseBytes int64) 
 		backends = tb.hosts - 1
 	}
 	inc := workload.NewIncast(tb.rng, tb.hosts, backends, responseBytes)
-	var fcts []sim.Time
-	for _, b := range inc.Backends {
-		tb.launchFlow(proto, b, inc.Frontend, responseBytes, 0, func(fct sim.Time) {
-			fcts = append(fcts, fct)
-		})
+	// Completion is read off each runner at quiescent points rather than
+	// through callbacks, so the same loop drives solo and sharded runs
+	// (a sharded completion callback would fire on a shard goroutine).
+	runners := make([]flowRunner, len(inc.Backends))
+	for i, b := range inc.Backends {
+		runners[i] = tb.launchFlow(proto, b, inc.Frontend, responseBytes, 0, nil)
+	}
+	collect := func() []sim.Time {
+		var out []sim.Time
+		for _, r := range runners {
+			if fct, done := r.fct(); done {
+				out = append(out, fct)
+			}
+		}
+		return out
 	}
 	// Budget generously: N*450KB over 10G plus slow start.
 	budget := sim.Time(float64(backends)*float64(responseBytes)*8/10e9*float64(sim.Second))*4 + 100*sim.Millisecond
 	deadline := budget
-	for tb.s.Now() < deadline && len(fcts) < backends {
-		tb.s.RunUntil(tb.s.Now() + 10*sim.Millisecond)
+	var fcts []sim.Time
+	for tb.now() < deadline && len(fcts) < backends {
+		tb.runUntil(tb.now() + 10*sim.Millisecond)
+		fcts = collect()
 	}
 	if len(fcts) == 0 {
 		return nil, fmt.Errorf("experiments: no incast flow completed (proto %s, N=%d)", proto, backends)

@@ -501,6 +501,18 @@ func (n *Net) hairpinLane(i int) int32 {
 	return int32(2*len(n.Topo.Links) + n.Topo.NumFE1 + i)
 }
 
+// Lanes returns the first event lane not used by the fabric: the lane
+// space [0, Lanes()) names the fabric's directed links, reach flows and
+// hairpin paths. A transport layered on top of a sharded fabric (the
+// sharded Stardust substrate) allocates its own lanes from Lanes() up, so
+// the two layers' same-instant events never collide on one lane.
+func (n *Net) Lanes() int32 {
+	return int32(2*len(n.Topo.Links) + n.Topo.NumFE1 + n.Topo.NumFA)
+}
+
+// NumFA returns the number of Fabric Adapters (edge devices).
+func (n *Net) NumFA() int { return n.Topo.NumFA }
+
 // applySet installs set as the advertised reachability of one link via
 // the wire-format message sequence (exercising the real protocol path).
 func applySet(t *reach.Table, port int, set reach.Bitmap, numFA int) {

@@ -33,6 +33,12 @@ type FabricRunConfig struct {
 	// barrier context (quantized to window boundaries), so the run is
 	// deterministic for any shard count > 1 at the same seed.
 	Shards int
+	// TransportHostsPer, when > 0, lays the sharded Stardust transport
+	// over the fabric with that many hosts per FA, driven by a permutation
+	// of long-running TCP flows instead of raw cell injectors, and scrapes
+	// its counters at the window barrier (TransportMonitor). Forces the
+	// sharded engine (Shards floors at 1).
+	TransportHostsPer int
 	// Controller configures the attached management plane.
 	Controller Config
 }
@@ -61,11 +67,13 @@ func (c FabricRunConfig) withDefaults() FabricRunConfig {
 // and the chaos schedule. The daemon advances it in steps from a single
 // goroutine; Advance serializes callers.
 type FabricRun struct {
-	Cfg FabricRunConfig
-	Sim *sim.Simulator
-	Fab *fabric.Net
-	Ctl *Controller
-	Eng *parsim.Engine // non-nil when Cfg.Shards > 1
+	Cfg   FabricRunConfig
+	Sim   *sim.Simulator
+	Fab   *fabric.Net
+	Ctl   *Controller
+	Eng   *parsim.Engine             // non-nil when the run is sharded
+	Net   *netsim.ShardedStardustNet // non-nil when the transport overlay is on
+	Trans *TransportMonitor          // barrier-scraped transport telemetry
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -80,14 +88,27 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 		return nil, err
 	}
 	fcfg := fabric.DefaultConfig(netsim.Bps(10e9), sim.Microsecond, cfg.Seed)
+	if cfg.TransportHostsPer > 0 {
+		// The transport's credit schedulers run 3% over the host rate, so
+		// the fabric needs rate headroom over the edge (§6.2 uses 1.05) or
+		// credit bursts slowly flood the trunks — same margin the htsim
+		// testbed and benchmarks give their fabrics.
+		fcfg.LinkRate = netsim.Bps(float64(fcfg.LinkRate) * 1.05)
+	}
 
 	var (
 		s   *sim.Simulator
 		fab *fabric.Net
 		eng *parsim.Engine
 	)
-	if cfg.Shards > 1 {
-		eng = parsim.New(parsim.Config{Shards: cfg.Shards, Lookahead: fcfg.LinkDelay})
+	if cfg.Shards > 1 || cfg.TransportHostsPer > 0 {
+		// The transport overlay always runs on the engine (its barrier is
+		// what makes the scrape race-free), even at one shard.
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		eng = parsim.New(parsim.Config{Shards: shards, Lookahead: fcfg.LinkDelay})
 		if fab, err = fabric.NewSharded(eng, fcfg, cl, nil); err != nil {
 			return nil, err
 		}
@@ -110,17 +131,25 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 	} else {
 		r.Ctl = Attach(fab, cfg.Controller)
 	}
-	// Per-FA pacing: each FA offers Load×(uplink capacity), spread over
-	// rotating destinations, as a self-rescheduling injection.
-	perFA := cfg.Load * float64(cl.FAUplinks) * float64(fcfg.LinkRate)
-	gap := sim.Time(float64(cfg.CellBytes*8) / perFA * float64(sim.Second))
-	if gap < sim.Nanosecond {
-		gap = sim.Nanosecond
-	}
-	for fa := 0; fa < cl.NumFA; fa++ {
-		// Stagger starts so FAs do not inject in lockstep. The injector
-		// lives on its FA's shard (sharded mode) or the solo loop.
-		fab.NewInjector(fa, gap, cfg.CellBytes, 0, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+	if cfg.TransportHostsPer > 0 {
+		// The transport overlay is the load source: TCP flows over the
+		// sharded Stardust substrate instead of raw cell injectors.
+		if err := r.buildTransport(cfg.TransportHostsPer); err != nil {
+			return nil, err
+		}
+	} else {
+		// Per-FA pacing: each FA offers Load×(uplink capacity), spread over
+		// rotating destinations, as a self-rescheduling injection.
+		perFA := cfg.Load * float64(cl.FAUplinks) * float64(fcfg.LinkRate)
+		gap := sim.Time(float64(cfg.CellBytes*8) / perFA * float64(sim.Second))
+		if gap < sim.Nanosecond {
+			gap = sim.Nanosecond
+		}
+		for fa := 0; fa < cl.NumFA; fa++ {
+			// Stagger starts so FAs do not inject in lockstep. The injector
+			// lives on its FA's shard (sharded mode) or the solo loop.
+			fab.NewInjector(fa, gap, cfg.CellBytes, 0, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+		}
 	}
 	if cfg.FailEvery > 0 {
 		if eng != nil {

@@ -35,6 +35,7 @@ func NewServer(q *RunQueue, fr *FabricRun) *Server {
 	s.mux.HandleFunc("GET /api/v1/fabric/telemetry", s.telemetry)
 	s.mux.HandleFunc("GET /api/v1/fabric/events", s.events)
 	s.mux.HandleFunc("GET /api/v1/fabric/anomalies", s.anomalies)
+	s.mux.HandleFunc("GET /api/v1/transport", s.transport)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
@@ -231,6 +232,16 @@ func (s *Server) anomalies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.run.Ctl.Anomalies())
 }
 
+// transport serves the barrier-scraped counters of the sharded Stardust
+// transport overlay.
+func (s *Server) transport(w http.ResponseWriter, r *http.Request) {
+	if s.run == nil || s.run.Trans == nil {
+		writeErr(w, http.StatusNotFound, "no transport overlay attached (start stardustd with -transport-hosts-per)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.run.Trans.Stats())
+}
+
 // metrics is the Prometheus text exposition: queue and cache counters,
 // and — when a fabric run is attached — the chassis aggregates including
 // the failure/recovery event counters.
@@ -269,4 +280,15 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("stardust_mgmt_reach_updates_total", "reachability withdrawals/readvertisements observed at the spine", float64(st.ReachUpdates))
 	counter("stardust_mgmt_events_total", "management events published", float64(s.run.Ctl.Bus().LastSeq()))
 	gauge("stardust_mgmt_anomalies", "active anomaly findings", float64(len(s.run.Ctl.Anomalies())))
+	if s.run.Trans == nil {
+		return
+	}
+	ts := s.run.Trans.Stats()
+	counter("stardust_transport_scrapes_total", "transport barrier scrapes", float64(ts.Scrapes))
+	counter("stardust_transport_cells_sent_total", "cells fragmented by the source adapters", float64(ts.CellsSent))
+	counter("stardust_transport_cells_delivered_total", "cells reassembled at destination adapters", float64(ts.CellsDelivered))
+	counter("stardust_transport_credits_sent_total", "credit grants issued by the egress schedulers", float64(ts.CreditsSent))
+	counter("stardust_transport_voq_drops_total", "ingress VOQ tail-drops", float64(ts.VOQDrops))
+	counter("stardust_transport_reasm_timeouts_total", "reassembly-timer packet discards", float64(ts.ReasmTimeouts))
+	counter("stardust_transport_delivered_bytes_total", "packet bytes delivered in order", float64(ts.DeliveredBytes))
 }

@@ -1,0 +1,419 @@
+package netsim_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"stardust/internal/fabric"
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/sim"
+)
+
+// Property/invariant harness for the sharded Stardust transport:
+// randomized host counts, traffic matrices and fail/heal programs drive
+// raw packets through the full VOQ → credit → cell → reassembly pipeline,
+// with every packet carrying a unique id so its fate (delivered in order,
+// VOQ tail-drop, reassembly-timeout discard, queue drop) is accounted
+// exactly. The same program runs at shards ∈ {1, 2, 4} and the canonical
+// digests must be byte-identical — the transport extension of the fabric
+// determinism contract, verified rather than assumed — and the loss-free
+// variant is cross-checked against the solo StardustNet's delivered set.
+
+// flowRec records one flow's deliveries. The terminal route hop runs
+// pinned to the destination host's shard, so no locking is needed; the
+// harness reads it only after the engine drains.
+type flowRec struct {
+	src, dst int
+	sent     []uint64 // injected packet ids, in injection order
+	got      []uint64 // delivered packet ids, in delivery order
+}
+
+// lockedIDs collects packet ids from hooks that fire on arbitrary shards
+// (drops, discards); order is canonicalized by sorting before use.
+type lockedIDs struct {
+	mu  sync.Mutex
+	ids []uint64
+}
+
+func (l *lockedIDs) record(p *netsim.Packet) {
+	l.mu.Lock()
+	l.ids = append(l.ids, uint64(p.Seq))
+	l.mu.Unlock()
+}
+
+func (l *lockedIDs) sorted() []uint64 {
+	out := append([]uint64(nil), l.ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// transportProgram is one randomized run: derived entirely from the seed,
+// so every shard count executes the identical offered load and fail/heal
+// schedule.
+type transportProgram struct {
+	seed     int64
+	k        int
+	hostsPer int
+	flows    [][2]int // (src, dst) pairs
+	packets  int      // per flow
+	size     int      // packet bytes
+	gap      sim.Time
+	failN    int
+	dur      sim.Time
+}
+
+func newProgram(seed int64) transportProgram {
+	rng := rand.New(rand.NewSource(seed))
+	k := 4
+	hostsPer := 1 + rng.Intn(2) // 1 or 2 hosts per FA
+	hosts := (k * k / 2) * hostsPer
+	var flows [][2]int
+	for src := 0; src < hosts; src++ {
+		nDst := 1 + rng.Intn(2)
+		for i := 0; i < nDst; i++ {
+			flows = append(flows, [2]int{src, rng.Intn(hosts)}) // self allowed: hairpin path
+		}
+	}
+	return transportProgram{
+		seed:     seed,
+		k:        k,
+		hostsPer: hostsPer,
+		flows:    flows,
+		packets:  40 + rng.Intn(60),
+		size:     512 + rng.Intn(9000),
+		gap:      8 * sim.Microsecond,
+		failN:    rng.Intn(4),
+		dur:      sim.Time(1500) * sim.Microsecond,
+	}
+}
+
+// transportOutcome is the canonical result of one run: a deterministic
+// function of (program, seed) alone, independent of the shard count.
+type transportOutcome struct {
+	injected  uint64
+	delivered uint64
+	dropped   uint64
+	discarded uint64
+	digest    uint64
+}
+
+func (o transportOutcome) String() string {
+	return fmt.Sprintf("injected=%d delivered=%d dropped=%d discarded=%d digest=%016x",
+		o.injected, o.delivered, o.dropped, o.discarded, o.digest)
+}
+
+// runTransportProperty executes the program on `shards` event loops,
+// checks the per-run invariants, and returns the canonical outcome.
+func runTransportProperty(t *testing.T, prog transportProgram, shards int) transportOutcome {
+	t.Helper()
+	cl, err := fabric.ClosFor(prog.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	look := sim.Microsecond
+	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
+	fcfg := fabric.DefaultConfig(netsim.Bps(10e9*1.05), look, prog.seed)
+	fab, err := fabric.NewSharded(eng, fcfg, cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := cl.NumFA * prog.hostsPer
+	sdc := netsim.DefaultStardust(10e9, cl.FAUplinks, look)
+	net, err := netsim.NewShardedStardustNet(fab, sdc, hosts, prog.hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drops := &lockedIDs{}    // VOQ tail-drops + NIC/port queue drops
+	discards := &lockedIDs{} // §4.1 reassembly-timer discards
+	net.OnVOQDrop = drops.record
+	net.OnReasmDiscard = discards.record
+	net.VisitQueues(func(q *netsim.Queue) { q.OnDrop = drops.record })
+
+	recs := make([]*flowRec, len(prog.flows))
+	for fi, f := range prog.flows {
+		fi, f := fi, f
+		rec := &flowRec{src: f[0], dst: f[1]}
+		recs[fi] = rec
+		route := append(net.Route(f[0], f[1]), netsim.HandlerFunc(func(p *netsim.Packet) {
+			rec.got = append(rec.got, uint64(p.Seq))
+			p.Release()
+		}))
+		sm := net.HostSim(f[0])
+		rng := rand.New(rand.NewSource(prog.seed ^ int64(fi)*104729))
+		for i := 0; i < prog.packets; i++ {
+			id := uint64(fi)<<32 | uint64(i+1)
+			rec.sent = append(rec.sent, id)
+			at := sim.Time(i)*prog.gap + sim.Time(rng.Intn(4000))*sim.Nanosecond
+			sm.AtLaneFunc(at, 0, func() {
+				p := netsim.NewPacket()
+				p.Size = prog.size
+				p.Seq = int64(id)
+				p.SetRoute(route)
+				p.SendOn()
+			})
+		}
+	}
+
+	// Random fail/heal schedule in barrier context; every link heals well
+	// before the drain horizon.
+	rng := rand.New(rand.NewSource(prog.seed ^ 0x5d))
+	for i := 0; i < prog.failN; i++ {
+		lk := rng.Intn(fab.NumLinks())
+		failAt := prog.dur/4 + sim.Time(rng.Int63n(int64(prog.dur/4)))
+		healAt := failAt + sim.Time(rng.Int63n(int64(prog.dur/4))) + 20*look
+		eng.At(failAt, func() { fab.FailLink(lk) })
+		eng.At(healAt, func() { fab.RestoreLink(lk) })
+	}
+
+	// Credit conservation and byte-accounting identities at every barrier.
+	eng.OnBarrier(func(now sim.Time) {
+		if err := net.CheckInvariants(); err != nil {
+			t.Errorf("t=%d shards=%d: %v", now, shards, err)
+		}
+	})
+
+	// The credit loops re-arm forever, so the engine never goes quiet; run
+	// to a horizon comfortably past the last injection plus reassembly
+	// timeouts and control-plane latency.
+	horizon := prog.dur + sim.Time(prog.packets)*prog.gap + 4*sim.Millisecond
+	eng.Run(horizon)
+
+	if got := net.InFlight(); got != 0 {
+		t.Fatalf("shards=%d: %d packets still in flight at drain", shards, got)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+
+	// Exact packet-fate accounting: the union of delivered, dropped and
+	// discarded ids must be precisely the injected id set, each seen once.
+	var injected, delivered uint64
+	seen := make(map[uint64]int)
+	for _, rec := range recs {
+		injected += uint64(len(rec.sent))
+		delivered += uint64(len(rec.got))
+		for _, id := range rec.got {
+			seen[id]++
+		}
+		// Per-VOQ in-order delivery: ids of one flow are injected in
+		// ascending order and must arrive in ascending order (gaps from
+		// discards allowed, reordering not).
+		for i := 1; i < len(rec.got); i++ {
+			if rec.got[i] <= rec.got[i-1] {
+				t.Fatalf("shards=%d: flow %d->%d delivered %x after %x (reordered)",
+					shards, rec.src, rec.dst, rec.got[i], rec.got[i-1])
+			}
+		}
+	}
+	for _, id := range drops.ids {
+		seen[id]++
+	}
+	for _, id := range discards.ids {
+		seen[id]++
+	}
+	if uint64(len(seen)) != injected {
+		t.Fatalf("shards=%d: %d distinct packet fates for %d injected", shards, len(seen), injected)
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("shards=%d: packet %x accounted %d times", shards, id, cnt)
+		}
+	}
+
+	// Cell conservation: every cell handed to the fabric either reached
+	// the destination adapter or is counted as a fabric loss.
+	var tc netsim.TransportCounters
+	net.ReadCounters(&tc)
+	if tc.CellsDelivered+tc.FabricDrops != tc.CellsSent {
+		t.Fatalf("shards=%d: cell leak: %d delivered + %d lost != %d sent",
+			shards, tc.CellsDelivered, tc.FabricDrops, tc.CellsSent)
+	}
+	if uint64(len(discards.ids)) != tc.ReasmTimeouts {
+		t.Fatalf("shards=%d: %d discard hooks vs %d counted timeouts", shards, len(discards.ids), tc.ReasmTimeouts)
+	}
+
+	// Canonical full-state digest: per-flow delivery sequences, sorted
+	// drop/discard sets, transport counters, and every host queue's and
+	// directed fabric link's counters.
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, rec := range recs {
+		w(uint64(len(rec.got)))
+		for _, id := range rec.got {
+			w(id)
+		}
+	}
+	for _, id := range drops.sorted() {
+		w(id)
+	}
+	for _, id := range discards.sorted() {
+		w(id)
+	}
+	w(tc.CellsSent)
+	w(tc.CellsDelivered)
+	w(tc.CreditsSent)
+	w(tc.CreditBytes)
+	w(tc.VOQDrops)
+	w(tc.ReasmTimeouts)
+	w(tc.ShippedBytes)
+	w(tc.DeliveredBytes)
+	net.VisitQueues(func(q *netsim.Queue) {
+		w(q.FwdBytes)
+		w(q.Forwarded)
+		w(q.Drops)
+	})
+	var lc [2]fabric.LinkCounters
+	for i := 0; i < fab.NumLinks(); i++ {
+		fab.ReadLinkCounters(i, &lc)
+		for d := 0; d < 2; d++ {
+			w(lc[d].FwdBytes)
+			w(lc[d].FwdCells)
+			w(lc[d].Drops)
+		}
+	}
+	return transportOutcome{
+		injected:  injected,
+		delivered: delivered,
+		dropped:   uint64(len(drops.ids)),
+		discarded: uint64(len(discards.ids)),
+		digest:    h.Sum64(),
+	}
+}
+
+// TestTransportPropertyInvariants is the transport property suite:
+// randomized programs, each run at shards {1, 4} (and once at 2),
+// asserting credit conservation, per-VOQ in-order delivery, exact
+// packet-fate accounting — and byte-identical digests across shard
+// counts.
+func TestTransportPropertyInvariants(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			prog := newProgram(seed)
+			ref := runTransportProperty(t, prog, 1)
+			got4 := runTransportProperty(t, prog, 4)
+			if got4 != ref {
+				t.Fatalf("shards=4 diverged from shards=1:\n  1: %v\n  4: %v", ref, got4)
+			}
+			if seed == seeds[0] {
+				got2 := runTransportProperty(t, prog, 2)
+				if got2 != ref {
+					t.Fatalf("shards=2 diverged from shards=1:\n  1: %v\n  2: %v", ref, got2)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTransportMatchesSolo cross-checks the sharded transport
+// against the solo StardustNet over the solo per-link fabric: with no
+// failures both must deliver every injected packet, per flow, in order —
+// the delivered sets must be identical (the two engines break
+// same-instant ties differently, so only the sets and per-flow order are
+// comparable, not event interleavings).
+func TestShardedTransportMatchesSolo(t *testing.T) {
+	const seed = 11
+	const k = 4
+	const hostsPer = 2
+	cl, err := fabric.ClosFor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := cl.NumFA * hostsPer
+	const packets = 60
+	const size = 4000
+
+	// Per-flow delivery logs indexed by source host: each log is written
+	// only by its own flow's terminal handler (pinned to one shard), so
+	// the slice-of-slices needs no locking.
+	type delivery = [][]uint64
+
+	program := func(route func(src, dst int) []netsim.Handler,
+		schedule func(src int, at sim.Time, fire func())) delivery {
+		got := make(delivery, hosts)
+		for src := 0; src < hosts; src++ {
+			src := src
+			dst := (src + 3) % hosts
+			r := append(route(src, dst), netsim.HandlerFunc(func(p *netsim.Packet) {
+				got[src] = append(got[src], uint64(p.Seq))
+				p.Release()
+			}))
+			for i := 0; i < packets; i++ {
+				id := uint64(src)<<32 | uint64(i+1)
+				schedule(src, sim.Time(i)*10*sim.Microsecond, func() {
+					p := netsim.NewPacket()
+					p.Size = size
+					p.Seq = int64(id)
+					p.SetRoute(r)
+					p.SendOn()
+				})
+			}
+		}
+		return got
+	}
+
+	// Solo reference: StardustNet over the classic single-loop fabric.
+	s := sim.New()
+	soloFab, err := fabric.New(s, fabric.DefaultConfig(netsim.Bps(10e9*1.05), sim.Microsecond, seed), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := netsim.DefaultStardust(10e9, cl.FAUplinks, sim.Microsecond)
+	solo, err := netsim.NewStardustNet(s, sdc, hosts, hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloFab.OnDeliver = solo.DeliverCell
+	solo.UseFabric(soloFab)
+	soloGot := program(solo.Route, func(_ int, at sim.Time, fire func()) { s.At(at, fire) })
+	s.RunUntil(20 * sim.Millisecond)
+
+	// Sharded run of the same program at 4 shards.
+	eng := parsim.New(parsim.Config{Shards: 4, Lookahead: sim.Microsecond})
+	shFab, err := fabric.NewSharded(eng, fabric.DefaultConfig(netsim.Bps(10e9*1.05), sim.Microsecond, seed), cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := netsim.NewShardedStardustNet(shFab, sdc, hosts, hostsPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shGot := program(sh.Route, func(src int, at sim.Time, fire func()) {
+		sh.HostSim(src).AtLaneFunc(at, 0, fire)
+	})
+	eng.Run(20 * sim.Millisecond)
+
+	for src := 0; src < hosts; src++ {
+		if len(soloGot[src]) != packets {
+			t.Fatalf("solo flow %d delivered %d of %d", src, len(soloGot[src]), packets)
+		}
+		if len(shGot[src]) != packets {
+			t.Fatalf("sharded flow %d delivered %d of %d (fabric drops %d, timeouts %d)",
+				src, len(shGot[src]), packets, sh.FabricDrops(), sh.ReasmTimeouts())
+		}
+		for i := range soloGot[src] {
+			if soloGot[src][i] != shGot[src][i] {
+				t.Fatalf("flow %d delivery %d: solo id %x vs sharded %x", src, i, soloGot[src][i], shGot[src][i])
+			}
+		}
+	}
+	if sh.ReasmTimeouts() != 0 || solo.ReasmTimeouts != 0 {
+		t.Fatalf("loss-free run discarded packets: solo %d, sharded %d", solo.ReasmTimeouts, sh.ReasmTimeouts())
+	}
+}

@@ -111,6 +111,18 @@ func (r *ring[T]) push(v T) {
 	r.n++
 }
 
+// at returns the i-th oldest item (0 = head) without removing it.
+func (r *ring[T]) at(i int) (v T) {
+	if i < 0 || i >= r.n {
+		return v
+	}
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
 // peek returns the oldest item without removing it, or the zero value.
 func (r *ring[T]) peek() (v T) {
 	if r.n == 0 {

@@ -105,10 +105,11 @@ type StardustNet struct {
 	fab     CellFabric // nil = fluid trunk model
 
 	// Stats
-	CellsSent     uint64
-	CreditsSent   uint64
-	VOQDrops      uint64
-	ReasmTimeouts uint64 // packets discarded by the reassembly timer
+	CellsSent      uint64
+	CellsDelivered uint64 // cells that reached the destination adapter
+	CreditsSent    uint64
+	VOQDrops       uint64
+	ReasmTimeouts  uint64 // packets discarded by the reassembly timer
 }
 
 // UseFabric routes cells through f instead of the fluid trunk model.
@@ -395,10 +396,12 @@ func (v *stardustVOQ) ship(p *Packet) {
 func (n *StardustNet) reassemble(c *Packet) {
 	state, ok := c.Flow.(*reasmState)
 	if !ok {
+		c.Release() // foreign cell from a misbehaving fabric: not ours, not counted
 		return
 	}
 	payload := c.Size - n.Cfg.CellHeader
 	c.Release()
+	n.CellsDelivered++
 	state.remaining -= payload
 	if state.remaining > 0 {
 		return

@@ -18,6 +18,12 @@ func htsimConfig(c engine.Context) experiments.HtsimConfig {
 	cfg.StardustCredit = c.Params.Int64("credit", 0)
 	cfg.StardustSpeedup = c.Params.Float("speedup", 0)
 	cfg.FullFabric = c.Params.Bool("fabric", false)
+	if cfg.FullFabric {
+		// Every fabric=true run goes through the sharded transport so the
+		// -shards flag scales it across cores; the result stream is
+		// byte-identical at any shard count for the same seed.
+		cfg.Shards = effectiveShards(c)
+	}
 	cfg.Seed = c.Seed
 	return cfg
 }
@@ -51,7 +57,7 @@ var htsimDocs = map[string]string{
 	"dur_ms":    "measurement window in ms, after warmup",
 	"warmup_ms": "warmup before measurement starts, in ms",
 	"proto":     "protocols to run: all, or a comma list of MPTCP,DCTCP,DCQCN,Stardust",
-	"fabric":    "run Stardust over the per-link cell fabric instead of the fluid trunk",
+	"fabric":    "run Stardust over the per-link cell fabric instead of the fluid trunk; honors -shards (sharded transport, byte-identical at any shard count)",
 }
 
 // withDocs merges extra entries over a copy of base.

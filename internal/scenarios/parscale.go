@@ -1,7 +1,9 @@
 package scenarios
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math/rand"
 	"strings"
@@ -13,6 +15,14 @@ import (
 	"stardust/internal/parsim"
 	"stardust/internal/sim"
 )
+
+// digest64 folds v into h little-endian — the one serialization both the
+// parscale and parperm digests use, so their encodings can never drift.
+func digest64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
 
 // Scenarios over the sharded (parallel) fabric engine: parscale sweeps
 // shards×K and reports the deterministic traffic outcome — plus, in
@@ -105,13 +115,7 @@ func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cel
 	}
 
 	h := fnv.New64a()
-	var buf [8]byte
-	w := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
+	w := func(v uint64) { digest64(h, v) }
 	for _, s := range sinks {
 		w(s.cells)
 		w(s.bytes)

@@ -12,7 +12,7 @@ import (
 
 // The full scenario set the six cmd binaries rely on.
 var wantScenarios = []string{
-	"htsim/permutation", "htsim/fct", "htsim/incast",
+	"htsim/permutation", "htsim/fct", "htsim/incast", "htsim/parperm",
 	"fabric/fig9", "fabric/pushpull", "fabric/recovery",
 	"fabric/linkload", "fabric/failures",
 	"fabric/parscale", "fabric/parheal",
@@ -88,6 +88,33 @@ func TestShardedScenarioDeterminism(t *testing.T) {
 					t.Fatalf("workers=%d shards=%d format=%s diverged from the 1x1 reference:\n%s\n----\n%s",
 						workers, shards, format, got, ref)
 				}
+			}
+		}
+	}
+
+	// The end-to-end transport jobs are an order of magnitude heavier
+	// (full TCP flows), so they cover the same workers×shards grid in one
+	// format — the per-format emission machinery is already exercised
+	// above, and CI's determinism matrix diffs the CLI output too.
+	tjobs := []engine.Job{
+		// TCP over the sharded Stardust substrate, full digest of the
+		// delivered-byte vector.
+		{Scenario: "htsim/parperm", Params: engine.Params{"k": "4", "dur_ms": "3", "warmup_ms": "1"}},
+		// And the regular Fig 10(a) scenario in fabric=true mode, which
+		// routes through the same sharded transport under the -shards flag.
+		{Scenario: "htsim/permutation", Params: engine.Params{
+			"k": "4", "dur_ms": "3", "warmup_ms": "2", "proto": "Stardust", "fabric": "true"}},
+	}
+	ref := runBytes(t, engine.Options{Workers: 1, Shards: 1, Seed: 1, Format: "json"}, tjobs)
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 2, 4} {
+			if workers == 1 && shards == 1 {
+				continue
+			}
+			got := runBytes(t, engine.Options{Workers: workers, Shards: shards, Seed: 1, Format: "json"}, tjobs)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("transport workers=%d shards=%d diverged from the 1x1 reference:\n%s\n----\n%s",
+					workers, shards, got, ref)
 			}
 		}
 	}

@@ -79,8 +79,9 @@ type PortScheduler struct {
 	tcOrder  []uint8 // deterministic class iteration order
 	prios    []int   // distinct priorities, descending
 	throttle float64
-	fciPend  bool // an FCI mark arrived since the last credit tick
-	paused   bool // egress buffer back-pressure (§4.1)
+	fciPend  bool          // an FCI mark arrived since the last credit tick
+	paused   bool          // egress buffer back-pressure (§4.1)
+	scratch  []*classState // reused eligible-class buffer: NextCredit allocates nothing
 
 	// Stats
 	Issued      uint64
@@ -222,13 +223,14 @@ func (s *PortScheduler) NextCredit() (Credit, bool) {
 	for _, prio := range s.prios {
 		// Gather classes at this priority with demand, in deterministic
 		// traffic-class order.
-		var eligible []*classState
+		eligible := s.scratch[:0]
 		for _, tc := range s.tcOrder {
 			cs := s.classes[tc]
 			if cs.cfg.Priority == prio && len(cs.ring) > 0 {
 				eligible = append(eligible, cs)
 			}
 		}
+		s.scratch = eligible // keep the grown backing array for the next tick
 		if len(eligible) == 0 {
 			continue
 		}
