@@ -97,6 +97,17 @@ func BenchmarkFabricCellPath(b *testing.B) {
 	}
 }
 
+// reportEventRate attaches the kernel-throughput metric benchguard gates
+// alongside ns/op: simulator events per wall-clock second divided by the
+// shard count, so the number measures per-core event-kernel speed rather
+// than how many loops ran. Lower is worse; the CI gate fails when the
+// median drops more than the tolerance below the committed baseline.
+func reportEventRate(b *testing.B, events uint64, shards int) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec/float64(shards), "events/sec/core")
+	}
+}
+
 // fabricInjector injects one 512B cell per scheduled event (src and dst
 // packed into the action arg), keeping the benchmark loop allocation-free.
 type fabricInjector struct{ n *fabric.Net }
@@ -137,9 +148,11 @@ func BenchmarkFabricCellPathSharded(b *testing.B) {
 	}
 	deadline := sim.Time(b.N/numFA+2)*gap + sim.Millisecond
 	b.ReportAllocs()
+	ev0 := eng.Processed()
 	b.ResetTimer()
 	eng.RunUntilQuiet(deadline)
 	b.StopTimer()
+	reportEventRate(b, eng.Processed()-ev0, 2)
 	if n.Injected() != uint64(b.N) {
 		b.Fatalf("injected %d of %d", n.Injected(), b.N)
 	}
@@ -216,6 +229,7 @@ func BenchmarkTransportPathSharded(b *testing.B) {
 	quota := b.N / hosts
 	extra := b.N % hosts
 	b.ReportAllocs()
+	ev0 := eng.Processed()
 	b.ResetTimer()
 	for h, j := range injs {
 		q := quota
@@ -233,6 +247,7 @@ func BenchmarkTransportPathSharded(b *testing.B) {
 		eng.Run(eng.Now() + sim.Millisecond)
 	}
 	b.StopTimer()
+	reportEventRate(b, eng.Processed()-ev0, 2)
 	if got := delivered() - warm; got != uint64(b.N) {
 		b.Fatalf("delivered %d of %d packets (voq drops %d, fabric drops %d, timeouts %d)",
 			got, b.N, net.VOQDrops(), net.FabricDrops(), net.ReasmTimeouts())

@@ -14,6 +14,11 @@
 // the hardware-independent half — so hot paths whose wall time is too
 // noisy for a CI gate still cannot silently start allocating.
 //
+// Benchmarks that report the custom events/sec/core metric (the sharded
+// engine's per-core kernel throughput) are additionally gated on it when
+// guarded: the median must not drop more than -tolerance below the
+// baseline (lower is worse, the mirror image of the ns/op gate).
+//
 // Refresh the baseline after an intentional performance change with:
 //
 //	benchguard -in bench.txt -out BENCH_baseline.json
@@ -45,11 +50,21 @@ type Entry struct {
 	// allocation creeping into a free-list hot path shows up here no
 	// matter what machine runs the benchmark.
 	MedianAllocs float64 `json:"median_allocs_op,omitempty"`
+	// EventSamples are the events/sec/core values (only for benchmarks
+	// that call ReportMetric with the sharded kernel-throughput metric).
+	EventSamples []float64 `json:"samples_events_sec_core,omitempty"`
+	// MedianEvents is the per-core kernel-throughput statistic — the
+	// inverse-direction twin of MedianNsOp: guarded benchmarks fail when
+	// it drops below baseline*(1-tolerance).
+	MedianEvents float64 `json:"median_events_sec_core,omitempty"`
 }
 
 // benchLine matches e.g.
-// "BenchmarkPacketPath-4   200000   521.5 ns/op   0 B/op   0 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+[0-9.e+]+ B/op\s+([0-9.e+]+) allocs/op)?`)
+// "BenchmarkPacketPath-4   200000   521.5 ns/op   0 B/op   0 allocs/op"
+// with an optional custom-metric column, which `go test` prints between
+// ns/op and B/op:
+// "BenchmarkTransportPathSharded-4  20000  6500 ns/op  1.5e+06 events/sec/core  0 B/op  0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) events/sec/core)?(?:\s+[0-9.e+]+ B/op\s+([0-9.e+]+) allocs/op)?`)
 
 func parse(path string) (map[string]*Entry, error) {
 	f, err := os.Open(path)
@@ -76,7 +91,12 @@ func parse(path string) (map[string]*Entry, error) {
 		}
 		e.Samples = append(e.Samples, ns)
 		if m[3] != "" {
-			if allocs, err := strconv.ParseFloat(m[3], 64); err == nil {
+			if ev, err := strconv.ParseFloat(m[3], 64); err == nil {
+				e.EventSamples = append(e.EventSamples, ev)
+			}
+		}
+		if m[4] != "" {
+			if allocs, err := strconv.ParseFloat(m[4], 64); err == nil {
 				e.AllocSamples = append(e.AllocSamples, allocs)
 			}
 		}
@@ -88,6 +108,9 @@ func parse(path string) (map[string]*Entry, error) {
 		e.MedianNsOp = median(e.Samples)
 		if len(e.AllocSamples) > 0 {
 			e.MedianAllocs = median(e.AllocSamples)
+		}
+		if len(e.EventSamples) > 0 {
+			e.MedianEvents = median(e.EventSamples)
 		}
 	}
 	return out, nil
@@ -188,6 +211,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
 				name, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
 			os.Exit(1)
+		}
+		// Throughput gate: only for benchmarks whose baseline carries the
+		// events/sec/core metric; lower is worse, so the floor mirrors the
+		// ns/op ceiling.
+		if len(want.EventSamples) > 0 {
+			if len(got.EventSamples) == 0 {
+				fmt.Fprintf(os.Stderr, "benchguard: %s has no events/sec/core in %s (ReportMetric missing?)\n", name, *in)
+				os.Exit(2)
+			}
+			floor := want.MedianEvents * (1 - *tolerance)
+			fmt.Printf("benchguard: %s median %.0f events/sec/core (baseline %.0f, floor %.0f)\n",
+				name, got.MedianEvents, want.MedianEvents, floor)
+			if got.MedianEvents < floor {
+				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.0f events/sec/core below %.0f (baseline %.0f -%.0f%%)\n",
+					name, got.MedianEvents, floor, want.MedianEvents, 100**tolerance)
+				os.Exit(1)
+			}
 		}
 		gateAllocs(name, want, got)
 	}

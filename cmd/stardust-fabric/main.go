@@ -17,7 +17,10 @@ import (
 
 func main() {
 	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal")
-	timings := flag.Bool("partimings", false, "parscale: report events/sec and speedup vs one shard (nondeterministic output)")
+	timings := flag.Bool("partimings", false, "parscale: report events/sec (total and per core) and speedup vs one shard (nondeterministic output)")
+	hotspot := flag.Float64("hotspot", 1, "parscale: boost factor for the first quarter of the FAs (>1 = skewed matrix)")
+	rebalance := flag.Bool("rebalance", false, "parscale: enable adaptive shard rebalancing (deterministic output is unchanged)")
+	parshards := flag.Int("parshards", 0, "parscale: explicit shards parameter — also reports the per-shard event split (0 = the -shards flag)")
 	scale := flag.Int("scale", 4, "fig9: scale divisor of the 256-FA topology (1 = paper scale)")
 	util := flag.Float64("util", 0, "fig9: run a single utilization instead of the paper's set")
 	dist := flag.Bool("dist", false, "fig9: dump the full latency/queue distributions (TSV)")
@@ -41,6 +44,8 @@ func main() {
 	case "parscale":
 		job = engine.Job{Scenario: "fabric/parscale", Params: engine.Params{
 			"k": fmt.Sprint(*k), "timings": fmt.Sprint(*timings),
+			"hotspot": fmt.Sprint(*hotspot), "rebalance": fmt.Sprint(*rebalance),
+			"shards": fmt.Sprint(*parshards),
 		}}
 	case "parheal":
 		job = engine.Job{Scenario: "fabric/parheal", Params: engine.Params{

@@ -5,17 +5,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // Flags bundles the engine options every cmd binary shares. Bind them
 // onto a FlagSet with AddFlags, then hand the parsed value to Main.
 type Flags struct {
-	Workers int
-	Shards  int
-	Format  string
-	Seed    int64
-	List    bool
-	Timings bool
+	Workers    int
+	Shards     int
+	Format     string
+	Seed       int64
+	List       bool
+	Timings    bool
+	CPUProfile string
+	MemProfile string
 }
 
 // AddFlags registers the common engine flags on fs and returns the
@@ -28,6 +32,8 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.Int64Var(&f.Seed, "seed", 1, "base RNG seed (same seed => byte-identical output)")
 	fs.BoolVar(&f.List, "list", false, "list registered scenarios and exit")
 	fs.BoolVar(&f.Timings, "timings", false, "print a wall-clock summary to stderr")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a post-run heap profile to this file (inspect with go tool pprof)")
 	return f
 }
 
@@ -64,15 +70,56 @@ func WriteRegistry(w io.Writer) {
 	}
 }
 
+// fatal prints err and exits — only used after profiles are flushed.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 // Main is the shared entry point of the cmd binaries: it honors -list,
-// runs the jobs with the common options, and exits non-zero on failure.
+// wraps the run in the requested CPU/heap profiles, runs the jobs with
+// the common options, and exits non-zero on failure. Profiles are
+// stopped and flushed before any exit path, including a failed run, so a
+// profile of a crashing sweep is still readable.
 func Main(f *Flags, jobs []Job) {
 	if f.List {
 		WriteRegistry(os.Stdout)
 		return
 	}
-	if _, err := Run(f.Options(), jobs); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		fp, err := os.Create(f.CPUProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(fp); err != nil {
+			fp.Close()
+			fatal(err)
+		}
+		cpuFile = fp
+	}
+	_, runErr := Run(f.Options(), jobs)
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if f.MemProfile != "" {
+		fp, err := os.Create(f.MemProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle the pools so the profile shows retained state
+		if err := pprof.WriteHeapProfile(fp); err != nil {
+			fp.Close()
+			fatal(err)
+		}
+		if err := fp.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }

@@ -225,6 +225,11 @@ type Net struct {
 	shards []*shardState  // len 1 in solo mode
 	assign Sharding
 
+	// Rebalancing state (sharded mode; see rebalance.go).
+	laneGroups   []int32 // lane -> owning event group (FA index + 1; 0 = FEs)
+	migrateHooks []func(fa, from, to int)
+	migrations   uint64
+
 	fas    []*faDev
 	egress []faEgress
 	fe1    []*feDev
@@ -469,6 +474,27 @@ func build(cfg Config, c *topo.Clos, shards []*shardState, assign Sharding, eng 
 			sp.downPeer[lk.BPort] = lk.A.Index
 		default:
 			return nil, fmt.Errorf("fabric: unsupported link %v-%v", lk.A, lk.B)
+		}
+	}
+
+	if eng != nil {
+		// Lane -> event-group table for adaptive rebalancing (rebalance.go):
+		// deliveries onto an FA — its down links and its hairpin path — belong
+		// to that FA's migratable group; everything landing on an FE (uplink
+		// deliveries, FE<->FE links, reach flows) stays in immovable group 0.
+		tbl := make([]int32, n.Lanes())
+		for li, lk := range c.Links {
+			if lk.A.Kind == topo.KindFA {
+				tbl[2*li+1] = n.GroupOfFA(lk.A.Index) // FE1 -> FA delivery
+			}
+		}
+		for i := 0; i < c.NumFA; i++ {
+			tbl[n.hairpinLane(i)] = n.GroupOfFA(i)
+		}
+		n.laneGroups = tbl
+		for _, sh := range shards {
+			sh.sm.SetLaneGroups(tbl)
+			sh.sm.EnsureGroups(c.NumFA + 1)
 		}
 	}
 

@@ -1,0 +1,220 @@
+// Adaptive shard rebalancing: migrate Fabric Adapters (with everything
+// pinned to them — egress endpoints, host transports layered above, their
+// pending events) between parsim shards at window barriers, steered by
+// deterministic per-group executed-event counts.
+//
+// The contiguous blocks of AssignShards are the right cut for uniform
+// traffic, but a hotspot (incast toward one FA, a few hot sources) piles
+// several busy adapters onto one shard while others idle. Rebalancing
+// meters how many events each FA's device group executed per window —
+// simulated state, never wall-clock, so the measurement is identical at
+// every shard count and on every machine — and when the heaviest shard
+// exceeds the lightest by a configured ratio, moves the hottest movable
+// group over, greedily and deterministically.
+//
+// Migration preserves byte-determinism by construction. An FA's group is
+// the closure of state only its own events touch: the adapter, its uplink
+// serialization queues, its egress endpoint, and (via fabric.Net.OnMigrateFA)
+// the transport state of the hosts behind it. All of the group's pending
+// events are tagged — lane-keyed deliveries through the kernel's lane-group
+// table, causal work by group inheritance — so sim.ExtractGroup can lift
+// them out of the old shard's event store in (time, lane, seq) order and
+// sim.InjectOrdered can replay them into the new shard's with their
+// relative order intact. Events of different groups at the same instant on
+// the default lane may interleave differently after a move, but such
+// events touch disjoint state and emit only lane-keyed messages (the same
+// commutativity argument that makes shard-count independence hold), so
+// every observable outcome is unchanged. FEs are the fabric's shared core
+// and never move (group 0).
+package fabric
+
+import (
+	"fmt"
+
+	"stardust/internal/netsim"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// GroupOfFA returns the kernel event-group id of Fabric Adapter fa's
+// device group (FA fa, its egress, and any transport state pinned to it).
+// Group 0 is the immovable remainder (FEs, links owned by FEs).
+func (n *Net) GroupOfFA(fa int) int32 { return int32(fa) + 1 }
+
+// LaneGroups returns the lane→group table installed on every shard's
+// Simulator: tbl[lane] is the group owning deliveries on that lane. A
+// transport layered on the fabric extends this table with its own lanes
+// and re-installs it (sim.SetLaneGroups) on every shard.
+func (n *Net) LaneGroups() []int32 { return n.laneGroups }
+
+// OnMigrateFA registers fn to run whenever MigrateFA moves an adapter,
+// after the fabric's own state is re-pinned but within the same barrier.
+// A transport layered on the fabric uses this to move the hosts behind
+// the adapter along with it.
+func (n *Net) OnMigrateFA(fn func(fa, from, to int)) {
+	n.migrateHooks = append(n.migrateHooks, fn)
+}
+
+// Migrations counts completed MigrateFA moves (telemetry; barrier context).
+func (n *Net) Migrations() uint64 { return n.migrations }
+
+// MigrateFA moves Fabric Adapter fa's device group to shard `to`: its
+// pending events (fabric and any registered transport's alike — they share
+// the group id) are lifted from the old shard's event store and replayed
+// into the new one in order, and every queue, propagation hop and counter
+// home of the group is re-pinned. Barrier context only, sharded mode only.
+func (n *Net) MigrateFA(fa, to int) error {
+	if n.eng == nil {
+		return fmt.Errorf("fabric: MigrateFA needs a sharded fabric")
+	}
+	n.checkBarrier()
+	if to < 0 || to >= n.eng.Shards() {
+		return fmt.Errorf("fabric: shard %d out of range [0,%d)", to, n.eng.Shards())
+	}
+	from := n.assign.FA[fa]
+	if from == to {
+		return nil
+	}
+	// Move the group's pending events first: the barrier has already
+	// flushed every mailbox, so the old shard's store holds all of them.
+	evs := n.shards[from].sm.ExtractGroup(n.GroupOfFA(fa))
+	n.shards[to].sm.InjectOrdered(evs)
+
+	n.assign.FA[fa] = to
+	sh := n.shards[to]
+	n.fas[fa].sh = sh
+	n.egress[fa].sh = sh
+	// Re-pin the adapter's links: uplink queues serialize on the FA's
+	// shard and their propagation hops re-source from it; down links
+	// deliver onto it, so their propagation hops re-target it.
+	for li, lk := range n.Topo.Links {
+		if lk.A.Kind != topo.KindFA || lk.A.Index != fa {
+			continue
+		}
+		fe := n.fe1[lk.B.Index]
+		up, dn := n.links[2*li], n.links[2*li+1]
+		up.q.Sim = sh.sm
+		up.route[1].(*netsim.LanePipe).Sched = n.eng.Shard(to).To(fe.sh.id)
+		dn.sh = sh
+		dn.route[1].(*netsim.LanePipe).Sched = n.eng.Shard(fe.sh.id).To(to)
+	}
+	n.hairpin[fa][0].(*netsim.LanePipe).Sched = sh.sm
+	n.migrations++
+	for _, fn := range n.migrateHooks {
+		fn(fa, from, to)
+	}
+	return nil
+}
+
+// RebalanceConfig tunes the adaptive planner.
+type RebalanceConfig struct {
+	// Interval is the number of windows between planning decisions.
+	Interval int
+	// Ratio triggers a move when the heaviest shard's per-interval event
+	// count exceeds the lightest's by this factor (> 1).
+	Ratio float64
+	// MaxMoves bounds migrations per decision (hysteresis against
+	// thrashing).
+	MaxMoves int
+}
+
+// DefaultRebalance returns the planner configuration used by the
+// scenarios: decide every 8 windows, act on a 4:3 imbalance, move at most
+// two groups per decision.
+func DefaultRebalance() RebalanceConfig {
+	return RebalanceConfig{Interval: 8, Ratio: 4.0 / 3.0, MaxMoves: 2}
+}
+
+// EnableRebalancing installs the adaptive planner as a barrier hook: every
+// cfg.Interval windows it meters per-group executed-event counts (via the
+// kernel's group meters — deterministic simulated state), and while the
+// heaviest shard exceeds the lightest by cfg.Ratio, migrates the hottest
+// group whose move strictly improves the balance. All tie-breaks are by
+// lowest index, so the decision sequence is a pure function of the
+// simulated traffic: the same seed gives the same migrations, and a
+// single-shard engine never moves anything — which is how rebalanced runs
+// stay byte-identical across shard counts.
+func (n *Net) EnableRebalancing(cfg RebalanceConfig) error {
+	if n.eng == nil {
+		return fmt.Errorf("fabric: rebalancing needs a sharded fabric")
+	}
+	if cfg.Interval < 1 || cfg.Ratio <= 1 || cfg.MaxMoves < 1 {
+		return fmt.Errorf("fabric: bad rebalance config %+v", cfg)
+	}
+	numG := n.Topo.NumFA + 1
+	lastGroup := make([]uint64, numG) // per group, summed across shards
+	lastProc := make([]uint64, n.eng.Shards())
+	windows := 0
+	n.eng.OnBarrier(func(now sim.Time) {
+		windows++
+		if windows%cfg.Interval != 0 || n.eng.Shards() < 2 {
+			return
+		}
+		// Per-group and per-shard event counts over the interval. A group
+		// sits on one shard between decisions, so summing its meter across
+		// shards attributes the whole delta to its current home.
+		groupDelta := make([]uint64, numG)
+		load := make([]uint64, n.eng.Shards())
+		for si, sh := range n.shards {
+			load[si] = sh.sm.Processed - lastProc[si]
+			lastProc[si] = sh.sm.Processed
+		}
+		for g := 1; g < numG; g++ {
+			var total uint64
+			for _, sh := range n.shards {
+				total += sh.sm.GroupProcessed(int32(g))
+			}
+			groupDelta[g] = total - lastGroup[g]
+			lastGroup[g] = total
+		}
+		for move := 0; move < cfg.MaxMoves; move++ {
+			heavy, light := 0, 0
+			for si := range load {
+				if load[si] > load[heavy] {
+					heavy = si
+				}
+				if load[si] < load[light] {
+					light = si
+				}
+			}
+			if float64(load[heavy]) <= cfg.Ratio*float64(load[light]) {
+				return
+			}
+			// Hottest group on the heavy shard whose move strictly improves
+			// the pair; first (lowest FA) wins ties.
+			best := -1
+			for fa := 0; fa < n.Topo.NumFA; fa++ {
+				if n.assign.FA[fa] != heavy {
+					continue
+				}
+				d := groupDelta[fa+1]
+				if d == 0 || load[light]+d >= load[heavy] {
+					continue
+				}
+				if best < 0 || d > groupDelta[best+1] {
+					best = fa
+				}
+			}
+			if best < 0 {
+				return
+			}
+			if err := n.MigrateFA(best, light); err != nil {
+				panic(err) // barrier context with validated shards; unreachable
+			}
+			load[heavy] -= groupDelta[best+1]
+			load[light] += groupDelta[best+1]
+		}
+	})
+	return nil
+}
+
+// ShardEvents returns the cumulative executed-event count of every shard's
+// event loop — the imbalance evidence the parscale scenario reports.
+// Barrier context only.
+func (n *Net) ShardEvents() []uint64 {
+	out := make([]uint64, len(n.shards))
+	for i, sh := range n.shards {
+		out[i] = sh.sm.Processed
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/sim"
+)
+
+// Rebalancing invariants: hotspot-skewed workloads run with the adaptive
+// planner enabled must produce byte-identical digests at every shard
+// count (migrations may differ per shard count — the *outcome* may not),
+// keep exact cell-fate accounting across migration barriers even while
+// links fail and heal, and actually shrink the max-shard event share
+// versus static contiguous assignment.
+
+// hotInjector paces cells out of one FA with a skewed rate: hot FAs send
+// `boost` times faster. Unlike propInjector it resolves its FA's shard on
+// every event and tags its chain with the FA's migration group, so it
+// follows the FA through rebalancing migrations.
+type hotInjector struct {
+	net   *Net
+	fa    int
+	numFA int
+	rng   *rand.Rand
+	gap   sim.Time
+	stop  sim.Time
+	next  uint64
+	sent  uint64
+}
+
+func (j *hotInjector) start(at sim.Time) {
+	sm := j.net.shards[j.net.assign.FA[j.fa]].sm
+	prev := sm.Group()
+	sm.SetGroup(j.net.GroupOfFA(j.fa))
+	sm.AtAction(at, j, 0)
+	sm.SetGroup(prev)
+}
+
+// Act implements sim.Action: inject one uniquely-tagged cell, reschedule.
+func (j *hotInjector) Act(uint64) {
+	sm := j.net.shards[j.net.assign.FA[j.fa]].sm
+	if sm.Now() >= j.stop {
+		return
+	}
+	c := netsim.NewPacket()
+	c.Size = 512
+	j.next++
+	c.Seq = int64(uint64(j.fa)<<32 | j.next)
+	j.net.Inject(c, j.fa, j.rng.Intn(j.numFA))
+	j.sent++
+	sm.AfterAction(j.gap+sim.Time(j.rng.Intn(500))*sim.Nanosecond, j, 0)
+}
+
+// rebalResult is the canonical outcome of one hotspot run plus the
+// per-run telemetry the imbalance assertions need.
+type rebalResult struct {
+	outcome    propResult
+	migrations uint64
+	maxShare   float64 // max shard's fraction of all executed events
+}
+
+// runHotspot executes a hotspot-skewed randomized program: the first
+// quarter of the FAs inject 6x faster than the rest, so contiguous
+// assignment piles them onto the low shards. failN links fail and heal
+// mid-run. With rebalance, the adaptive planner is enabled.
+func runHotspot(t *testing.T, seed int64, shards int, rebalance bool, failN int) rebalResult {
+	t.Helper()
+	cl, err := ClosFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	look := sim.Microsecond
+	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
+	cfg := DefaultConfig(10e9, look, seed)
+	n, err := NewSharded(eng, cfg, cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebalance {
+		if err := n.EnableRebalancing(DefaultRebalance()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sinks := make([]*idSink, cl.NumFA)
+	for fa := range sinks {
+		sinks[fa] = &idSink{}
+		n.SetEgress(fa, sinks[fa])
+	}
+	drops := &dropLog{}
+	n.OnCellDrop = drops.record
+	n.VisitQueues(func(q *netsim.Queue) { q.OnDrop = drops.record })
+
+	const dur = 2 * sim.Millisecond
+	hot := cl.NumFA / 4
+	injectors := make([]*hotInjector, cl.NumFA)
+	for fa := 0; fa < cl.NumFA; fa++ {
+		gap := 12 * sim.Microsecond
+		if fa < hot {
+			gap = 2 * sim.Microsecond
+		}
+		j := &hotInjector{
+			net: n, fa: fa, numFA: cl.NumFA,
+			rng:  rand.New(rand.NewSource(seed ^ int64(fa)*7919)),
+			gap:  gap,
+			stop: dur,
+		}
+		injectors[fa] = j
+		j.start(sim.Time(fa) * sim.Microsecond / 4)
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x4eba))
+	for i := 0; i < failN; i++ {
+		lk := rng.Intn(n.NumLinks())
+		failAt := dur/4 + sim.Time(rng.Int63n(int64(dur/4)))
+		healAt := failAt + sim.Time(rng.Int63n(int64(dur/4))) + 10*look
+		eng.At(failAt, func() { n.FailLink(lk) })
+		eng.At(healAt, func() { n.RestoreLink(lk) })
+	}
+
+	eng.OnBarrier(func(now sim.Time) {
+		inj, del, drp := n.Injected(), n.Delivered(), n.Drops()
+		if del+drp > inj {
+			t.Errorf("t=%d: delivered %d + dropped %d exceeds injected %d", now, del, drp, inj)
+		}
+	})
+
+	eng.RunUntilQuiet(dur + 20*cfg.ReachDelay)
+	if !eng.Quiet() {
+		t.Fatalf("shards=%d rebalance=%v: fabric did not drain", shards, rebalance)
+	}
+
+	// Exact cell-fate accounting across every migration barrier: the union
+	// of delivered and dropped ids is precisely the injected id set.
+	var wantInjected uint64
+	for _, j := range injectors {
+		wantInjected += j.sent
+	}
+	inj, del, drp := n.Injected(), n.Delivered(), n.Drops()
+	if inj != wantInjected {
+		t.Fatalf("shards=%d: fabric counted %d injected, injectors sent %d", shards, inj, wantInjected)
+	}
+	if del+drp != inj {
+		t.Fatalf("shards=%d rebalance=%v: conservation violated: %d delivered + %d dropped != %d injected",
+			shards, rebalance, del, drp, inj)
+	}
+	seen := make(map[uint64]int, inj)
+	for _, s := range sinks {
+		for _, id := range s.ids {
+			seen[id]++
+		}
+	}
+	for _, id := range drops.ids {
+		seen[id]++
+	}
+	if uint64(len(seen)) != inj {
+		t.Fatalf("shards=%d rebalance=%v: %d distinct cell ids for %d injected",
+			shards, rebalance, len(seen), inj)
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("shards=%d rebalance=%v: cell %x seen %d times", shards, rebalance, id, cnt)
+		}
+	}
+	if failN > 0 {
+		if u := n.UnreachablePairs(); u != 0 {
+			t.Fatalf("shards=%d: %d unreachable pairs after full heal", shards, u)
+		}
+	}
+
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range sinks {
+		w(uint64(len(s.ids)))
+		for _, id := range s.ids {
+			w(id)
+		}
+	}
+	dropped := append([]uint64(nil), drops.ids...)
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
+	for _, id := range dropped {
+		w(id)
+	}
+	var lc [2]LinkCounters
+	for i := 0; i < n.NumLinks(); i++ {
+		n.ReadLinkCounters(i, &lc)
+		for d := 0; d < 2; d++ {
+			w(lc[d].FwdBytes)
+			w(lc[d].FwdCells)
+			w(lc[d].Drops)
+		}
+	}
+
+	var maxEv, totEv uint64
+	for _, ev := range n.ShardEvents() {
+		totEv += ev
+		if ev > maxEv {
+			maxEv = ev
+		}
+	}
+	return rebalResult{
+		outcome: propResult{
+			injected:  inj,
+			delivered: del,
+			dropped:   drp,
+			events:    eng.Processed(),
+			digest:    h.Sum64(),
+		},
+		migrations: n.Migrations(),
+		maxShare:   float64(maxEv) / float64(totEv),
+	}
+}
+
+// TestRebalanceDigestDeterminism: with the adaptive planner enabled, the
+// same hotspot seed must yield byte-identical canonical outcomes at
+// shards {1, 2, 4} — and the multi-shard runs must actually migrate, or
+// the test would be vacuous.
+func TestRebalanceDigestDeterminism(t *testing.T) {
+	seeds := []int64{5, 19}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ref := runHotspot(t, seed, 1, true, 0)
+			if ref.migrations != 0 {
+				t.Fatalf("single-shard run migrated %d times", ref.migrations)
+			}
+			for _, shards := range []int{2, 4} {
+				got := runHotspot(t, seed, shards, true, 0)
+				if got.outcome != ref.outcome {
+					t.Fatalf("shards=%d diverged from shards=1:\n  1: %v\n  %d: %v",
+						shards, ref.outcome, shards, got.outcome)
+				}
+				if got.migrations == 0 {
+					t.Fatalf("shards=%d: hotspot run never migrated — rebalancing untested", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestRebalanceMigrationUnderFailHeal: exact cell-fate accounting must
+// survive migrations interleaved with link failures and heals — including
+// a forced migration of a hot FA in the middle of the failure window.
+func TestRebalanceMigrationUnderFailHeal(t *testing.T) {
+	const seed = 23
+	ref := runHotspot(t, seed, 1, true, 3)
+	got := runHotspot(t, seed, 4, true, 3)
+	if got.outcome != ref.outcome {
+		t.Fatalf("shards=4 diverged from shards=1 under fail/heal:\n  1: %v\n  4: %v",
+			ref.outcome, got.outcome)
+	}
+	if got.migrations == 0 {
+		t.Fatal("fail/heal hotspot run never migrated — rebalancing untested")
+	}
+}
+
+// TestForcedMigrationKeepsAccounting drives an explicit MigrateFA of the
+// hottest adapter back and forth across a barrier while a link it uses is
+// down — the sharpest version of the migration path, with runHotspot's
+// exact fate accounting as the oracle.
+func TestForcedMigrationKeepsAccounting(t *testing.T) {
+	const seed = 31
+	cl, err := ClosFor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	look := sim.Microsecond
+	eng := parsim.New(parsim.Config{Shards: 2, Lookahead: look})
+	cfg := DefaultConfig(10e9, look, seed)
+	n, err := NewSharded(eng, cfg, cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := make([]*idSink, cl.NumFA)
+	for fa := range sinks {
+		sinks[fa] = &idSink{}
+		n.SetEgress(fa, sinks[fa])
+	}
+	drops := &dropLog{}
+	n.OnCellDrop = drops.record
+	n.VisitQueues(func(q *netsim.Queue) { q.OnDrop = drops.record })
+
+	const dur = sim.Millisecond
+	injectors := make([]*hotInjector, cl.NumFA)
+	for fa := 0; fa < cl.NumFA; fa++ {
+		j := &hotInjector{
+			net: n, fa: fa, numFA: cl.NumFA,
+			rng:  rand.New(rand.NewSource(seed ^ int64(fa)*7919)),
+			gap:  3 * sim.Microsecond,
+			stop: dur,
+		}
+		injectors[fa] = j
+		j.start(0)
+	}
+	// Fail FA 0's first uplink, migrate FA 0 while the link is down,
+	// migrate it back, then heal.
+	eng.At(dur/4, func() { n.FailLink(0) })
+	eng.At(dur/4+20*look, func() {
+		if err := n.MigrateFA(0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.At(dur/2, func() {
+		if err := n.MigrateFA(0, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.At(3*dur/4, func() { n.RestoreLink(0) })
+
+	eng.RunUntilQuiet(dur + 20*cfg.ReachDelay)
+	if !eng.Quiet() {
+		t.Fatal("fabric did not drain")
+	}
+	if got := n.Migrations(); got != 2 {
+		t.Fatalf("expected 2 migrations, counted %d", got)
+	}
+	var wantInjected uint64
+	for _, j := range injectors {
+		wantInjected += j.sent
+	}
+	inj, del, drp := n.Injected(), n.Delivered(), n.Drops()
+	if inj != wantInjected {
+		t.Fatalf("fabric counted %d injected, injectors sent %d", inj, wantInjected)
+	}
+	if del+drp != inj {
+		t.Fatalf("conservation violated across forced migration: %d + %d != %d", del, drp, inj)
+	}
+	seen := make(map[uint64]int, inj)
+	for _, s := range sinks {
+		for _, id := range s.ids {
+			seen[id]++
+		}
+	}
+	for _, id := range drops.ids {
+		seen[id]++
+	}
+	if uint64(len(seen)) != inj {
+		t.Fatalf("%d distinct cell ids for %d injected", len(seen), inj)
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("cell %x seen %d times", id, cnt)
+		}
+	}
+	if u := n.UnreachablePairs(); u != 0 {
+		t.Fatalf("%d unreachable pairs after heal", u)
+	}
+}
+
+// TestRebalanceReducesImbalance: at the same shard count, the adaptive
+// planner must execute a smaller max-shard share of events than static
+// contiguous assignment on the hotspot workload — the scheduler is doing
+// its one job.
+func TestRebalanceReducesImbalance(t *testing.T) {
+	const seed = 5
+	static := runHotspot(t, seed, 2, false, 0)
+	adaptive := runHotspot(t, seed, 2, true, 0)
+	if adaptive.outcome != static.outcome {
+		t.Fatalf("rebalancing changed the outcome:\n  off: %v\n  on:  %v",
+			static.outcome, adaptive.outcome)
+	}
+	if adaptive.migrations == 0 {
+		t.Fatal("adaptive run never migrated")
+	}
+	if adaptive.maxShare >= static.maxShare {
+		t.Fatalf("rebalancing did not reduce imbalance: max share %.3f (adaptive) vs %.3f (static)",
+			adaptive.maxShare, static.maxShare)
+	}
+	t.Logf("max-shard event share: static %.3f, adaptive %.3f (%d migrations)",
+		static.maxShare, adaptive.maxShare, adaptive.migrations)
+}

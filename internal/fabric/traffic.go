@@ -10,10 +10,11 @@ import (
 // parheal scenarios, the managed FabricRun, and the sharded cell-path
 // benchmark. Everything it does is a function of (FA, instant) alone: it
 // lives on its FA's shard and keeps its own rotation counter, so the
-// offered traffic is identical at every shard count.
+// offered traffic is identical at every shard count. The shard is
+// resolved per event rather than cached, so the injector follows its FA
+// through adaptive rebalancing migrations.
 type Injector struct {
 	net   *Net
-	sm    *sim.Simulator
 	fa    int
 	numFA int
 	gap   sim.Time
@@ -22,6 +23,8 @@ type Injector struct {
 	quota int      // < 0 = no cell limit
 	n     int
 	sent  uint64
+	boost sim.Time // hotspot mode: gap override while Now < boostEnd
+	until sim.Time
 }
 
 // NewInjector builds an injector for FA fa pacing one cell of cellBytes
@@ -29,26 +32,48 @@ type Injector struct {
 // cells (< 0 = unbounded), whichever comes first. Call Start to schedule
 // the first cell.
 func (n *Net) NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, quota int) *Injector {
-	sm := n.Sim
-	if n.eng != nil {
-		sm = n.eng.Shard(n.assign.FA[fa]).Sim()
-	}
 	return &Injector{
-		net: n, sm: sm, fa: fa, numFA: n.Topo.NumFA,
+		net: n, fa: fa, numFA: n.Topo.NumFA,
 		gap: gap, cell: cellBytes, stop: stop, quota: quota,
 	}
 }
 
+// Boost overrides the pacing gap with `gap` until time until — the
+// hotspot knob of the parscale imbalance experiments. Call before Start.
+func (j *Injector) Boost(gap, until sim.Time) { j.boost, j.until = gap, until }
+
+// sim resolves the event heap of the injector's FA — re-resolved on every
+// call because rebalancing may have migrated the FA since the last event.
+func (j *Injector) sim() *sim.Simulator {
+	if j.net.eng == nil {
+		return j.net.Sim
+	}
+	return j.net.shards[j.net.assign.FA[j.fa]].sm
+}
+
 // Start schedules the first injection at absolute time at — stagger
-// starts across FAs so they do not inject in lockstep.
-func (j *Injector) Start(at sim.Time) { j.sm.AtAction(at, j, 0) }
+// starts across FAs so they do not inject in lockstep. In sharded mode
+// the event is tagged with the FA's migration group, so the pacing chain
+// follows the FA when rebalancing moves it.
+func (j *Injector) Start(at sim.Time) {
+	sm := j.sim()
+	if j.net.eng != nil {
+		prev := sm.Group()
+		sm.SetGroup(j.net.GroupOfFA(j.fa))
+		sm.AtAction(at, j, 0)
+		sm.SetGroup(prev)
+		return
+	}
+	sm.AtAction(at, j, 0)
+}
 
 // Sent returns the number of cells injected so far.
 func (j *Injector) Sent() uint64 { return j.sent }
 
 // Act implements sim.Action: inject one cell and reschedule.
 func (j *Injector) Act(uint64) {
-	if j.stop != 0 && j.sm.Now() >= j.stop {
+	sm := j.sim()
+	if j.stop != 0 && sm.Now() >= j.stop {
 		return
 	}
 	if j.quota == 0 {
@@ -63,5 +88,9 @@ func (j *Injector) Act(uint64) {
 	dst := (j.fa + 1 + j.n%(j.numFA-1)) % j.numFA
 	j.net.Inject(c, j.fa, dst)
 	j.sent++
-	j.sm.AfterAction(j.gap, j, 0)
+	gap := j.gap
+	if j.boost != 0 && sm.Now() < j.until {
+		gap = j.boost
+	}
+	sm.AfterAction(gap, j, 0)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -37,6 +38,16 @@ func NewServer(q *RunQueue, fr *FabricRun) *Server {
 	s.mux.HandleFunc("GET /api/v1/fabric/anomalies", s.anomalies)
 	s.mux.HandleFunc("GET /api/v1/transport", s.transport)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
+	// Live profiling of the daemon (the server uses its own mux, so the
+	// net/http/pprof handlers are wired explicitly rather than relying on
+	// that package's DefaultServeMux side effect):
+	//
+	//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 

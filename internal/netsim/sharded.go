@@ -62,6 +62,16 @@ type ShardedCellFabric interface {
 	// Lanes returns the first event lane not used by the fabric; the
 	// transport allocates its lanes from there up.
 	Lanes() int32
+	// GroupOfFA returns the kernel event-group id of FA fa's migratable
+	// device group (0 is the immovable remainder).
+	GroupOfFA(fa int) int32
+	// LaneGroups returns the fabric's lane -> group table; the transport
+	// extends it over its own lanes and re-installs it on every shard.
+	LaneGroups() []int32
+	// OnMigrateFA registers a hook run (in barrier context) after the
+	// fabric migrates FA fa between shards; the transport re-pins the
+	// hosts behind the adapter from it.
+	OnMigrateFA(fn func(fa, from, to int))
 }
 
 // sdShard is the per-shard slice of a ShardedStardustNet: the shard's
@@ -117,7 +127,7 @@ type ShardedStardustNet struct {
 
 	shards []*sdShard
 	hostSh []int   // shard of each host
-	pipes  []*Pipe // per shard: shared intra-shard propagation hop
+	hpipes []*Pipe // per host: intra-shard propagation hop (follows migrations)
 
 	hostUp []*Queue // per host: NIC into the source FA
 	port   []*Queue // per host: egress port
@@ -175,12 +185,11 @@ func NewShardedStardustNet(fab ShardedCellFabric, cfg StardustConfig, hosts, hos
 		voqs:     make(map[voqKey]*svoq),
 	}
 	n.shards = make([]*sdShard, eng.Shards())
-	n.pipes = make([]*Pipe, eng.Shards())
 	for i := range n.shards {
 		n.shards[i] = &sdShard{id: i, sm: eng.Shard(i).Sim()}
-		n.pipes[i] = NewPipe(n.shards[i].sm, cfg.LinkDelay)
 	}
 	n.hostSh = make([]int, hosts)
+	n.hpipes = make([]*Pipe, hosts)
 	n.hostUp = make([]*Queue, hosts)
 	n.port = make([]*Queue, hosts)
 	n.scheds = make([]*sched.PortScheduler, hosts)
@@ -193,6 +202,7 @@ func NewShardedStardustNet(fab ShardedCellFabric, cfg StardustConfig, hosts, hos
 		}
 		sh := n.shards[shID]
 		n.hostSh[h] = shID
+		n.hpipes[h] = NewPipe(sh.sm, cfg.LinkDelay)
 		n.hostUp[h] = NewQueue(sh.sm, fmt.Sprintf("ssd-nic%d", h), cfg.HostRate, cfg.NICBytes, 0)
 		n.port[h] = NewQueue(sh.sm, fmt.Sprintf("ssd-port%d", h), cfg.HostRate, cfg.PortBytes, 0)
 		n.scheds[h] = sched.New(sched.Config{
@@ -205,7 +215,13 @@ func NewShardedStardustNet(fab ShardedCellFabric, cfg StardustConfig, hosts, hos
 		l.net, l.h, l.sh = n, h, sh
 		l.tmr = sim.NewTimer(sh.sm)
 		l.fn = l.tick
+		// Tag the credit loop's root event with the host's migration group
+		// so the pacing chain (which re-arms causally) follows its FA when
+		// rebalancing moves it.
+		prev := sh.sm.Group()
+		sh.sm.SetGroup(fab.GroupOfFA(h / hostsPer))
 		l.tmr.Arm(n.scheds[h].CreditInterval(), l.fn)
+		sh.sm.SetGroup(prev)
 	}
 	numFA := hosts / hostsPer
 	n.egress = make([]sdEgress, numFA)
@@ -213,7 +229,81 @@ func NewShardedStardustNet(fab ShardedCellFabric, cfg StardustConfig, hosts, hos
 		n.egress[fa] = sdEgress{net: n, sh: n.shards[fab.ShardOfFA(fa)]}
 		fab.SetEgress(fa, &n.egress[fa])
 	}
+	// Extend the fabric's lane -> group table over the transport's pair
+	// lanes: each control flow belongs to the group of the half it is
+	// applied at (requests and ship notes run at the destination, grants at
+	// the source), so ExtractGroup lifts a migrating FA's pending transport
+	// events along with its fabric ones.
+	tbl := make([]int32, int(base)+3*hosts*hosts)
+	copy(tbl, fab.LaneGroups())
+	for src := 0; src < hosts; src++ {
+		for dst := 0; dst < hosts; dst++ {
+			tbl[n.laneOf(src, dst, 0)] = fab.GroupOfFA(dst / hostsPer)
+			tbl[n.laneOf(src, dst, 1)] = fab.GroupOfFA(src / hostsPer)
+			tbl[n.laneOf(src, dst, 2)] = fab.GroupOfFA(dst / hostsPer)
+		}
+	}
+	for _, sh := range n.shards {
+		sh.sm.SetLaneGroups(tbl)
+		sh.sm.EnsureGroups(numFA + 1)
+	}
+	fab.OnMigrateFA(n.migrate)
 	return n, nil
+}
+
+// migrate re-pins the hosts behind FA fa after the fabric moved it to
+// shard `to` — the transport half of an adaptive rebalancing step. The
+// pending events already moved with the fabric's ExtractGroup (fabric and
+// transport share the group id space), so this only re-points the homes
+// future events are scheduled from: queues, propagation hops, timers and
+// the pair lane schedulers of every flow touching a migrated host.
+func (n *ShardedStardustNet) migrate(fa, _, to int) {
+	sh := n.shards[to]
+	lo, hi := fa*n.hostsPer, (fa+1)*n.hostsPer
+	for h := lo; h < hi; h++ {
+		n.hostSh[h] = to
+		n.hpipes[h].Sim = sh.sm
+		n.hostUp[h].Sim = sh.sm
+		n.port[h].Sim = sh.sm
+		n.loops[h].sh = sh
+		n.loops[h].tmr.Rebind(sh.sm)
+	}
+	n.egress[fa].sh = sh
+	// Every pair with a migrated half needs its cross-shard schedulers
+	// rebuilt. Host-order iteration keeps this loop deterministic (map
+	// range order is not), though the result would be order-independent.
+	for src := 0; src < n.hosts; src++ {
+		srcIn := src >= lo && src < hi
+		for dst := 0; dst < n.hosts; dst++ {
+			if !srcIn && (dst < lo || dst >= hi) {
+				continue
+			}
+			v, ok := n.voqs[voqKey{src: src, dst: dst}]
+			if !ok {
+				continue
+			}
+			st := v.stream
+			srcSh, dstSh := n.hostSh[src], n.hostSh[dst]
+			v.sh = n.shards[srcSh]
+			st.sh = n.shards[dstSh]
+			st.reasmTmr.Rebind(n.shards[dstSh].sm)
+			v.reqTo = n.eng.Shard(srcSh).To(dstSh)
+			v.shipTo = n.eng.Shard(srcSh).To(dstSh)
+			st.grantTo = n.eng.Shard(dstSh).To(srcSh)
+		}
+	}
+}
+
+// ScheduleHost schedules a.Act(arg) at absolute time at on host h's
+// shard, tagged with h's migration group. Endpoint drivers that must
+// survive adaptive rebalancing start their event chains here (and
+// re-resolve HostSim per event) instead of caching a Simulator.
+func (n *ShardedStardustNet) ScheduleHost(h int, at sim.Time, a sim.Action, arg uint64) {
+	sm := n.shards[n.hostSh[h]].sm
+	prev := sm.Group()
+	sm.SetGroup(n.fab.GroupOfFA(h / n.hostsPer))
+	sm.AtAction(at, a, arg)
+	sm.SetGroup(prev)
 }
 
 // Engine returns the parsim engine the transport runs on.
@@ -252,7 +342,7 @@ func (n *ShardedStardustNet) laneOf(src, dst, kind int) int32 {
 // (HostSim(dst)). Barrier context only — it may create the pair's VOQ.
 func (n *ShardedStardustNet) Route(src, dst int) []Handler {
 	v := n.voq(src, dst)
-	return []Handler{n.hostUp[src], n.pipes[n.hostSh[src]], v, n.port[dst], n.pipes[n.hostSh[dst]]}
+	return []Handler{n.hostUp[src], n.hpipes[src], v, n.port[dst], n.hpipes[dst]}
 }
 
 // voq returns (creating on first use) the split VOQ of the pair src→dst.

@@ -57,13 +57,19 @@ type parRun struct {
 	unreachable int
 	digest      uint64
 	wall        time.Duration
+	shardEvents []uint64
+	migrations  uint64
 }
 
 // runShardedFabric builds a ClosFor(k) fabric across `shards` event loops,
 // offers `load` of each FA's uplink capacity for dur, optionally fails
 // failN seed-chosen links at failAt and heals them at healAt, drains, and
-// returns the canonical outcome.
-func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cellBytes, failN int, failAt, healAt sim.Time) (parRun, error) {
+// returns the canonical outcome. hotspot > 1 makes the first quarter of
+// the FAs inject that factor faster (a skewed matrix that concentrates
+// events on the low shards under contiguous assignment); rebalance turns
+// on the adaptive group planner, which must not change any deterministic
+// output — only the per-shard event split.
+func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cellBytes int, hotspot float64, rebalance bool, failN int, failAt, healAt sim.Time) (parRun, error) {
 	cl, err := fabric.ClosFor(k)
 	if err != nil {
 		return parRun{}, err
@@ -80,13 +86,29 @@ func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cel
 		sinks[fa] = &cellCounter{}
 		n.SetEgress(fa, sinks[fa])
 	}
+	if rebalance {
+		if err := n.EnableRebalancing(fabric.DefaultRebalance()); err != nil {
+			return parRun{}, err
+		}
+	}
 	perFA := load * float64(cl.FAUplinks) * float64(cfg.LinkRate)
 	gap := sim.Time(float64(cellBytes*8) / perFA * float64(sim.Second))
 	if gap < sim.Nanosecond {
 		gap = sim.Nanosecond
 	}
+	hotFAs := 0
+	if hotspot > 1 {
+		hotFAs = (cl.NumFA + 3) / 4
+	}
 	for fa := 0; fa < cl.NumFA; fa++ {
-		n.NewInjector(fa, gap, cellBytes, dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+		g := gap
+		if fa < hotFAs {
+			g = sim.Time(float64(gap) / hotspot)
+			if g < sim.Nanosecond {
+				g = sim.Nanosecond
+			}
+		}
+		n.NewInjector(fa, g, cellBytes, dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
 	}
 	if failN > 0 {
 		rng := rand.New(rand.NewSource(seed ^ 0xfa11))
@@ -106,12 +128,19 @@ func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cel
 	if healAt > horizon {
 		horizon = healAt
 	}
+	drain := 4 * cfg.ReachDelay
+	if hotspot > 1 {
+		// A hotspot overloads its FAs' uplink queues, so cells keep
+		// draining well past the injection stop: allow every queue on a
+		// four-hop path to empty completely at line rate.
+		drain += 8 * sim.Time(float64(cfg.LinkBytes*8)/float64(cfg.LinkRate)*float64(sim.Second))
+	}
 	t0 := time.Now()
-	eng.RunUntilQuiet(horizon + 4*cfg.ReachDelay)
+	eng.RunUntilQuiet(horizon + drain)
 	wall := time.Since(t0)
 	if !eng.Quiet() {
 		return parRun{}, fmt.Errorf("fabric did not drain: work still pending past t=%d (%d heap events)",
-			horizon+4*cfg.ReachDelay, eng.Pending())
+			horizon+drain, eng.Pending())
 	}
 
 	h := fnv.New64a()
@@ -137,7 +166,37 @@ func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cel
 		unreachable: n.UnreachablePairs(),
 		digest:      h.Sum64(),
 		wall:        wall,
+		shardEvents: n.ShardEvents(),
+		migrations:  n.Migrations(),
 	}, nil
+}
+
+// addShardSplit emits the per-shard event counts, the imbalance ratio
+// (max shard's share over the even split, 1.0 = perfectly balanced) and
+// the migration count — deterministic, but a function of the shard
+// count, so they follow the same rule as the shards echo in
+// addParMetrics: emitted only when the shard count was an explicit
+// scenario parameter, never when it came from the -shards flag the CI
+// determinism matrix sweeps.
+func addShardSplit(res *engine.Result, b *strings.Builder, r parRun) {
+	var sum, max uint64
+	for _, ev := range r.shardEvents {
+		sum += ev
+		if ev > max {
+			max = ev
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	imb := float64(max) * float64(len(r.shardEvents)) / float64(sum)
+	for i, ev := range r.shardEvents {
+		res.Add(fmt.Sprintf("shard%d_events", i), float64(ev), "")
+	}
+	res.Add("imbalance", imb, "x")
+	res.Add("migrations", float64(r.migrations), "")
+	fmt.Fprintf(b, "  shard events %d", r.shardEvents)
+	fmt.Fprintf(b, ", imbalance %.3fx, migrations %d\n", imb, r.migrations)
 }
 
 // addParMetrics emits the deterministic half of a parRun. shardsParam is
@@ -199,15 +258,17 @@ func init() {
 		Desc: "sharded-engine scaling sweep: shards×K, deterministic traffic digest (+ events/sec and speedup with timings=true)",
 		Defaults: engine.Params{
 			"k": "4", "shards": "0", "dur_ms": "5", "load": "0.5", "cell": "512",
-			"timings": "false",
+			"hotspot": "1", "rebalance": "false", "timings": "false",
 		},
 		Docs: map[string]string{
-			"k":       "fat-tree K sizing the Clos (comma list sweeps)",
-			"shards":  "event-loop shards; 0 = the -shards flag (comma list sweeps)",
-			"dur_ms":  "injection duration in ms",
-			"load":    "offered load per FA as a fraction of its uplink capacity",
-			"cell":    "cell size in bytes",
-			"timings": "true adds wall-clock events/sec and speedup vs one shard — nondeterministic output, keep off when diffing runs",
+			"k":         "fat-tree K sizing the Clos (comma list sweeps)",
+			"shards":    "event-loop shards; 0 = the -shards flag (comma list sweeps). Explicit values also report the per-shard event split",
+			"dur_ms":    "injection duration in ms",
+			"load":      "offered load per FA as a fraction of its uplink capacity",
+			"cell":      "cell size in bytes",
+			"hotspot":   "boost factor for the first quarter of the FAs (>1 = skewed matrix, changes the offered traffic)",
+			"rebalance": "true enables adaptive shard rebalancing; every deterministic output stays byte-identical, only the per-shard split moves",
+			"timings":   "true adds wall-clock events/sec (total and per core) and speedup vs one shard — nondeterministic output, keep off when diffing runs",
 		},
 		Variants: parVariants,
 		Run: func(c engine.Context) (engine.Result, error) {
@@ -216,7 +277,9 @@ func init() {
 			dur := msTime(c.Params.Int("dur_ms", 5))
 			load := c.Params.Float("load", 0.5)
 			cell := c.Params.Int("cell", 512)
-			r, err := runShardedFabric(c.Seed, k, shards, dur, load, cell, 0, 0, 0)
+			hotspot := c.Params.Float("hotspot", 1)
+			rebalance := c.Params.Bool("rebalance", false)
+			r, err := runShardedFabric(c.Seed, k, shards, dur, load, cell, hotspot, rebalance, 0, 0, 0)
 			if err != nil {
 				return engine.Result{}, err
 			}
@@ -225,10 +288,13 @@ func init() {
 			var b strings.Builder
 			fmt.Fprintf(&b, "parscale K=%d%s: %d cells injected, %d delivered, %d dropped, %d events, digest %016x\n",
 				k, shardLabel(c), r.injected, r.delivered, r.drops, r.events, r.digest)
+			if c.Params.Int("shards", 0) != 0 {
+				addShardSplit(&res, &b, r)
+			}
 			if c.Params.Bool("timings", false) {
 				ref := r
 				if shards != 1 {
-					if ref, err = runShardedFabric(c.Seed, k, 1, dur, load, cell, 0, 0, 0); err != nil {
+					if ref, err = runShardedFabric(c.Seed, k, 1, dur, load, cell, hotspot, rebalance, 0, 0, 0); err != nil {
 						return engine.Result{}, err
 					}
 					if ref.digest != r.digest {
@@ -239,9 +305,10 @@ func init() {
 				evps := float64(r.events) / r.wall.Seconds()
 				speedup := ref.wall.Seconds() / r.wall.Seconds()
 				res.Add("events_per_sec", evps, "1/s")
+				res.Add("events_per_sec_per_core", evps/float64(shards), "1/s")
 				res.Add("speedup_vs_1", speedup, "x")
-				fmt.Fprintf(&b, "  wall %v, %.0f events/sec, %.2fx vs one shard (byte-identical digest)\n",
-					r.wall.Round(time.Millisecond), evps, speedup)
+				fmt.Fprintf(&b, "  wall %v, %.0f events/sec (%.0f per core), %.2fx vs one shard (byte-identical digest)\n",
+					r.wall.Round(time.Millisecond), evps, evps/float64(shards), speedup)
 			}
 			res.Text = b.String()
 			return res, nil
@@ -272,6 +339,7 @@ func init() {
 				msTime(c.Params.Int("dur_ms", 6)),
 				c.Params.Float("load", 0.4),
 				c.Params.Int("cell", 512),
+				1, false,
 				c.Params.Int("fail", 3),
 				msTime(c.Params.Int("fail_ms", 2)),
 				msTime(c.Params.Int("heal_ms", 4)))

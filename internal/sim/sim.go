@@ -24,7 +24,47 @@
 // uint64 argument. The Action form exists for hot paths (queues draining,
 // packets propagating, timers re-arming): it stores the callback and its
 // argument inline in the event, so scheduling allocates nothing.
+//
+// # Event store
+//
+// Events live in a near-future bucket ladder (a calendar queue) instead of
+// one big binary heap. The ladder covers a sliding window of ladderBuckets
+// buckets of 2^bucketShift picoseconds each; an event scheduled inside the
+// window is appended to its bucket in O(1), and a whole bucket is sorted
+// once by (time, lane, seq) when its turn comes, so draining a window's
+// worth of events costs O(1) amortized heap traffic — the run-combining the
+// single heap could not do. Two small binary heaps back the ladder up: the
+// "young" heap absorbs events scheduled into the bucket currently draining
+// (they must interleave with the sorted run), and the "overflow" heap holds
+// events beyond the ladder horizon (long timers), migrating into the ladder
+// as the window slides. The sort key is exactly the old heap's comparison,
+// so the execution order — and therefore every simulation in the repository
+// — is bit-identical to the single-heap kernel.
+//
+// Each bucket stores events as a struct-of-arrays split: a hot array of
+// 24-byte keys (time, seq, lane, index) that the sort and the drain loop
+// touch, and a cold array of bodies (callback, argument, group) read once
+// per execution. Keys pack 2.6 to a cache line where the old 56-byte event
+// fit one, which is what makes the bucket sort cheap.
+//
+// # Groups
+//
+// Every event carries a group tag — a small integer naming the model entity
+// cluster (e.g. "FA 3 and its hosts") the event belongs to. Tags propagate
+// causally: an event scheduled while another executes inherits the running
+// event's group, and lane-keyed events take the lane owner's group from a
+// shared lane table (SetLaneGroups). Groups are what make adaptive shard
+// rebalancing possible: ExtractGroup removes one group's pending events in
+// (time, lane, seq) order so they can be re-injected into another shard's
+// Simulator at a quiescent barrier (InjectOrdered), and per-group executed
+// event counts (GroupProcessed) give the rebalancer a deterministic,
+// sim-state-only load meter.
 package sim
+
+import (
+	"math/bits"
+	"slices"
+)
 
 // Time is a point in simulated time, in picoseconds.
 type Time int64
@@ -76,13 +116,131 @@ type LaneScheduler interface {
 	AtLane(t Time, lane int32, a Action, arg uint64)
 }
 
-type event struct {
+// Ladder geometry. A bucket spans 2^bucketShift picoseconds (65.5 ns) and
+// the ladder holds ladderBuckets of them — a 16.8 µs horizon, which covers
+// the link/control delays and serialization times of every hot simulation
+// in this repository; longer timers ride the overflow heap. The width is
+// tuned on the transport benchmark: narrower buckets spend their time in
+// ladder advances, wider ones in the per-bucket sort.
+const (
+	bucketShift   = 16
+	ladderBuckets = 256
+	ladderMask    = ladderBuckets - 1
+)
+
+// eventKey is the hot half of an event: the full (time, lane, seq) ordering
+// key plus the index of the cold body in the same region. 24 bytes, so the
+// bucket sort streams 2.6 keys per cache line.
+type eventKey struct {
 	at   Time
 	seq  uint64
 	lane int32
-	fn   func()
-	act  Action
-	arg  uint64
+	idx  int32
+}
+
+// keyLess is the one ordering every region agrees on: (time, lane, seq),
+// bit-identical to the retired single-heap kernel.
+func keyLess(a, b *eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
+// eventBody is the cold half of an event: read once, at execution.
+type eventBody struct {
+	fn    func()
+	act   Action
+	arg   uint64
+	group int32
+}
+
+// bucket is one ladder slot: parallel key/body arrays, appended in
+// scheduling order and sorted by key only when the bucket's turn comes.
+// Drained slots hand their arrays back to the Simulator's buffer pool
+// rather than keeping them: the set of live slots slides with the clock,
+// so per-slot capacity would have to be re-grown for every new window
+// position, while a shared LIFO pool converges once to the largest bucket
+// load and then never allocates again.
+type bucket struct {
+	keys   []eventKey
+	bodies []eventBody
+}
+
+// event is the AoS form used by the young/overflow heaps and by group
+// extraction, where events are few and cache density does not pay.
+type event struct {
+	at    Time
+	seq   uint64
+	lane  int32
+	group int32
+	fn    func()
+	act   Action
+	arg   uint64
+}
+
+func (e *event) key() eventKey { return eventKey{at: e.at, seq: e.seq, lane: e.lane} }
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (time, lane, seq) — no interface boxing, no allocation per push.
+type eventHeap struct{ ev []event }
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	e := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // drop callback references for the GC
+	h.ev = h.ev[:n]
+	h.siftDown(0)
+	return e
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
 }
 
 // Simulator is a single-threaded discrete-event scheduler. The zero value is
@@ -91,10 +249,39 @@ type event struct {
 type Simulator struct {
 	now     Time
 	seq     uint64
-	events  []event // binary min-heap ordered by (at, seq)
 	stopped bool
+	npend   int
 	// Processed counts events executed so far; useful for budgeting runs.
 	Processed uint64
+
+	// Bucket ladder: ladder[b&ladderMask] holds the events of absolute
+	// bucket b for b in (curB, curB+ladderBuckets). occupied is the
+	// nonempty-slot bitmap the advance scan walks with TrailingZeros.
+	curB     int64
+	ladder   []bucket
+	occupied [ladderBuckets / 64]uint64
+
+	// Current sorted run: the events of bucket curB, drained by cursor.
+	run    bucket
+	runPos int
+
+	// young absorbs events scheduled at or before the draining bucket —
+	// they must interleave with the sorted run; overflow holds events
+	// beyond the ladder horizon.
+	young    eventHeap
+	overflow eventHeap
+
+	// Recycled slot buffers (see bucket).
+	freeKeys   [][]eventKey
+	freeBodies [][]eventBody
+
+	// Group machinery (see the package comment). curGroup is the running
+	// event's group, inherited by everything it schedules; laneGroups maps
+	// explicit lanes to their owner's group; groupCount is the per-group
+	// executed-event meter (present only after EnsureGroups).
+	curGroup   int32
+	laneGroups []int32
+	groupCount []uint64
 }
 
 // New returns a Simulator starting at time zero.
@@ -104,65 +291,65 @@ func New() *Simulator { return &Simulator{} }
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of events waiting to run.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return s.npend }
 
-func (s *Simulator) less(i, j int) bool {
-	if s.events[i].at != s.events[j].at {
-		return s.events[i].at < s.events[j].at
-	}
-	if s.events[i].lane != s.events[j].lane {
-		return s.events[i].lane < s.events[j].lane
-	}
-	return s.events[i].seq < s.events[j].seq
+func (s *Simulator) bucketOf(t Time) int64 { return int64(t) >> bucketShift }
+
+func (s *Simulator) markOccupied(b int64) {
+	slot := uint64(b) & ladderMask
+	s.occupied[slot>>6] |= 1 << (slot & 63)
 }
 
-// push inserts e into the heap. The heap is hand-rolled rather than built on
-// container/heap so events are stored by value: no interface boxing, no
-// allocation per scheduled event.
-func (s *Simulator) push(e event) {
-	s.events = append(s.events, e)
-	i := len(s.events) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s.events[i], s.events[parent] = s.events[parent], s.events[i]
-		i = parent
-	}
+func (s *Simulator) clearOccupied(b int64) {
+	slot := uint64(b) & ladderMask
+	s.occupied[slot>>6] &^= 1 << (slot & 63)
 }
 
-func (s *Simulator) pop() event {
-	e := s.events[0]
-	n := len(s.events) - 1
-	s.events[0] = s.events[n]
-	s.events[n] = event{} // drop callback references for the GC
-	s.events = s.events[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && s.less(l, min) {
-			min = l
-		}
-		if r < n && s.less(r, min) {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s.events[i], s.events[min] = s.events[min], s.events[i]
-		i = min
+// bucketAdd appends one event to ladder bucket b, pulling recycled arrays
+// from the pool when the slot is bare.
+func (s *Simulator) bucketAdd(b int64, k eventKey, body eventBody) {
+	if s.ladder == nil {
+		s.ladder = make([]bucket, ladderBuckets)
 	}
-	return e
+	slot := &s.ladder[b&ladderMask]
+	if slot.keys == nil {
+		if n := len(s.freeKeys); n > 0 {
+			slot.keys = s.freeKeys[n-1]
+			slot.bodies = s.freeBodies[n-1]
+			s.freeKeys = s.freeKeys[:n-1]
+			s.freeBodies = s.freeBodies[:n-1]
+		}
+	}
+	k.idx = int32(len(slot.bodies))
+	slot.bodies = append(slot.bodies, body)
+	slot.keys = append(slot.keys, k)
+	s.markOccupied(b)
 }
 
 func (s *Simulator) schedule(t Time, lane int32, fn func(), act Action, arg uint64) {
 	if t < s.now {
 		t = s.now
 	}
+	group := s.curGroup
+	// DefaultLane and unmapped lanes fall through to the inherited group;
+	// the len test rejects DefaultLane (the table never reaches 2^31-1), so
+	// the sign test only runs for mapped explicit lanes.
+	if int(lane) < len(s.laneGroups) && lane >= 0 {
+		group = s.laneGroups[lane]
+	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, lane: lane, fn: fn, act: act, arg: arg})
+	s.npend++
+	b := s.bucketOf(t)
+	// Single unsigned compare for the common case: b in (curB, curB+NB).
+	if uint64(b-s.curB-1) < ladderBuckets-1 {
+		s.bucketAdd(b,
+			eventKey{at: t, seq: s.seq, lane: lane},
+			eventBody{fn: fn, act: act, arg: arg, group: group})
+	} else if b <= s.curB {
+		s.young.push(event{at: t, seq: s.seq, lane: lane, group: group, fn: fn, act: act, arg: arg})
+	} else {
+		s.overflow.push(event{at: t, seq: s.seq, lane: lane, group: group, fn: fn, act: act, arg: arg})
+	}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
@@ -198,13 +385,175 @@ func (s *Simulator) AtLaneFunc(t Time, lane int32, fn func()) {
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
-// Run executes events until the queue is empty or Stop is called.
-func (s *Simulator) Run() {
-	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		s.step()
+// nextBucket finds the smallest absolute bucket in (curB, curB+ladderBuckets)
+// with pending events, or -1. The occupancy bitmap makes the scan a handful
+// of word tests.
+func (s *Simulator) nextBucket() int64 {
+	for b := s.curB + 1; b < s.curB+ladderBuckets; {
+		slot := uint64(b) & ladderMask
+		word := s.occupied[slot>>6] >> (slot & 63)
+		if word != 0 {
+			return b + int64(bits.TrailingZeros64(word))
+		}
+		// Jump to the next word boundary (still circular in absolute terms).
+		b += int64(64 - (slot & 63))
+	}
+	return -1
+}
+
+// sortKeys orders a bucket's keys by (time, lane, seq). Buckets are small —
+// a ladder slot spans tens of ns — and appended in near-ascending time
+// order (adaptive: ~O(n)), so a hand-rolled insertion sort with the
+// comparison inlined beats the generic sort's comparator indirection;
+// pathological buckets fall back to slices.SortFunc.
+func sortKeys(keys []eventKey) {
+	if len(keys) > 96 {
+		slices.SortFunc(keys, func(a, b eventKey) int {
+			if keyLess(&a, &b) {
+				return -1
+			}
+			return 1
+		})
+		return
+	}
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && keyLess(&k, &keys[j]) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
 	}
 }
+
+// advance slides the ladder to the next nonempty bucket and loads it as the
+// sorted run. Returns false when nothing is pending anywhere.
+func (s *Simulator) advance() bool {
+	for {
+		next := s.nextBucket()
+		if s.overflow.len() > 0 {
+			ob := s.bucketOf(s.overflow.ev[0].at)
+			if next < 0 || ob < next {
+				next = ob
+			}
+		}
+		if next < 0 {
+			return false
+		}
+		s.curB = next
+		// Events parked in overflow may now fall inside the window; migrate
+		// them before loading the run so the new bucket is complete.
+		horizon := s.curB + ladderBuckets
+		for s.overflow.len() > 0 && s.bucketOf(s.overflow.ev[0].at) < horizon {
+			e := s.overflow.pop()
+			b := s.bucketOf(e.at)
+			if b <= s.curB {
+				s.young.push(e)
+				continue
+			}
+			s.bucketAdd(b, e.key(), eventBody{fn: e.fn, act: e.act, arg: e.arg, group: e.group})
+		}
+		var slot *bucket
+		if s.ladder != nil {
+			slot = &s.ladder[s.curB&ladderMask]
+		}
+		if (slot == nil || len(slot.keys) == 0) && s.young.len() == 0 {
+			// The candidate bucket was emptied (group extraction); retry.
+			if slot != nil {
+				if slot.keys != nil {
+					s.freeKeys = append(s.freeKeys, slot.keys[:0])
+					s.freeBodies = append(s.freeBodies, slot.bodies[:0])
+					slot.keys, slot.bodies = nil, nil
+				}
+				s.clearOccupied(s.curB)
+			}
+			continue
+		}
+		if slot != nil && slot.keys != nil {
+			// Take the bucket's arrays as the new run and recycle the drained
+			// run's arrays through the pool (see bucket). Executed bodies had
+			// their callback references dropped in step, so the returned
+			// arrays hold nothing for the GC.
+			s.freeKeys = append(s.freeKeys, s.run.keys[:0])
+			s.freeBodies = append(s.freeBodies, s.run.bodies[:0])
+			s.run.keys, s.run.bodies = slot.keys, slot.bodies
+			slot.keys, slot.bodies = nil, nil
+			s.clearOccupied(s.curB)
+		} else {
+			s.run.keys = s.run.keys[:0]
+			s.run.bodies = s.run.bodies[:0]
+		}
+		s.runPos = 0
+		if len(s.run.keys) > 1 {
+			sortKeys(s.run.keys)
+		}
+		return true
+	}
+}
+
+// drain is the one event loop behind Run/RunBefore/RunUntil: it executes
+// events in (time, lane, seq) order until the store empties, Stop is
+// called, or the next event's time reaches the limit (at >= limit with
+// haveLimit; RunUntil passes deadline+1 to make the bound inclusive).
+// Fusing the select-next and execute steps keeps the run/young comparison
+// and the region bookkeeping to one pass per event — this loop is the
+// single hottest code in the repository.
+func (s *Simulator) drain(limit Time, haveLimit bool) {
+	s.stopped = false
+	for !s.stopped {
+		if s.runPos >= len(s.run.keys) && s.young.len() == 0 {
+			if !s.advance() {
+				return
+			}
+		}
+		var at Time
+		var group int32
+		var fn func()
+		var act Action
+		var arg uint64
+		haveRun := s.runPos < len(s.run.keys)
+		useYoung := s.young.len() > 0
+		if haveRun && useYoung {
+			rk, yk := &s.run.keys[s.runPos], s.young.ev[0].key()
+			useYoung = !keyLess(rk, &yk)
+		}
+		if useYoung {
+			e := &s.young.ev[0]
+			at = e.at
+			if haveLimit && at >= limit {
+				return
+			}
+			group, fn, act, arg = e.group, e.fn, e.act, e.arg
+			s.young.pop()
+		} else {
+			k := &s.run.keys[s.runPos]
+			at = k.at
+			if haveLimit && at >= limit {
+				return
+			}
+			body := &s.run.bodies[k.idx]
+			group, fn, act, arg = body.group, body.fn, body.act, body.arg
+			body.fn, body.act = nil, nil // drop callback references for the GC
+			s.runPos++
+		}
+		s.now = at
+		s.npend--
+		s.Processed++
+		s.curGroup = group
+		if int(group) < len(s.groupCount) && group >= 0 {
+			s.groupCount[group]++
+		}
+		if fn != nil {
+			fn()
+		} else if act != nil {
+			act.Act(arg)
+		}
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() { s.drain(0, false) }
 
 // RunBefore executes every event with a timestamp strictly below end and
 // leaves the clock exactly at end. It is the window-stepping primitive of
@@ -212,42 +561,159 @@ func (s *Simulator) Run() {
 // window (they may still be joined by cross-shard arrivals with the same
 // timestamp but a smaller lane).
 func (s *Simulator) RunBefore(end Time) {
-	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at >= end {
-			break
-		}
-		s.step()
-	}
+	s.drain(end, true)
 	if s.now < end {
 		s.now = end
 	}
 }
 
-// RunUntil executes events with timestamps <= deadline. The clock is left at
-// min(deadline, time of last event executed); if events remain they stay
-// queued for a later Run/RunUntil call.
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at deadline if it has not passed it; if events remain they stay queued
+// for a later Run/RunUntil call.
 func (s *Simulator) RunUntil(deadline Time) {
-	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at > deadline {
-			break
-		}
-		s.step()
-	}
+	s.drain(deadline+1, deadline+1 > deadline) // overflow ⇒ unbounded
 	if s.now < deadline {
 		s.now = deadline
 	}
 }
 
-func (s *Simulator) step() {
-	e := s.pop()
-	s.now = e.at
-	s.Processed++
-	if e.fn != nil {
-		e.fn()
-	} else if e.act != nil {
-		e.act.Act(e.arg)
+// SetGroup sets the group tag stamped on events scheduled from now on —
+// until the next executed event overrides it with its own group (tags
+// propagate causally). Use it at construction time to pin a model entity's
+// initial events to its group.
+func (s *Simulator) SetGroup(g int32) { s.curGroup = g }
+
+// Group returns the current group tag (the running event's group, inside an
+// event).
+func (s *Simulator) Group() int32 { return s.curGroup }
+
+// SetLaneGroups installs the shared lane-ownership table: events scheduled
+// on explicit lane l take group tbl[l] (the lane owner's group) instead of
+// the scheduler's current group. Typically one table is shared by every
+// Simulator of a parsim engine. The slice is retained, not copied.
+func (s *Simulator) SetLaneGroups(tbl []int32) { s.laneGroups = tbl }
+
+// EnsureGroups sizes the per-group executed-event meter to at least n
+// groups. Without it GroupProcessed reports zero and execution skips the
+// meter entirely.
+func (s *Simulator) EnsureGroups(n int) {
+	if n > len(s.groupCount) {
+		grown := make([]uint64, n)
+		copy(grown, s.groupCount)
+		s.groupCount = grown
+	}
+}
+
+// GroupProcessed returns the number of executed events tagged with group g
+// (zero when the meter was never sized past g). Deterministic: the executed
+// event multiset is a function of the model alone, not the partitioning.
+func (s *Simulator) GroupProcessed(g int32) uint64 {
+	if int(g) < len(s.groupCount) && g >= 0 {
+		return s.groupCount[g]
+	}
+	return 0
+}
+
+// Event is one extracted pending event, opaque except for its ordering key
+// and group; it exists to move a group's events between Simulators at a
+// migration barrier.
+type Event struct {
+	At    Time
+	Lane  int32
+	Group int32
+	seq   uint64
+	fn    func()
+	act   Action
+	arg   uint64
+}
+
+// ExtractGroup removes every pending event tagged with group g and returns
+// them sorted by (time, lane, seq) — the order they would have executed in.
+// Cold path: it scans every region of the store. The extracted events'
+// callbacks keep their bindings; hand them to another Simulator with
+// InjectOrdered at a quiescent barrier.
+func (s *Simulator) ExtractGroup(g int32) []Event {
+	var out []Event
+	take := func(e event) {
+		out = append(out, Event{At: e.at, Lane: e.lane, Group: e.group, seq: e.seq, fn: e.fn, act: e.act, arg: e.arg})
+	}
+	// Current run remainder.
+	if s.runPos < len(s.run.keys) {
+		kept := s.run.keys[:s.runPos]
+		for _, k := range s.run.keys[s.runPos:] {
+			body := &s.run.bodies[k.idx]
+			if body.group == g {
+				take(event{at: k.at, seq: k.seq, lane: k.lane, group: body.group, fn: body.fn, act: body.act, arg: body.arg})
+				body.fn, body.act = nil, nil
+				continue
+			}
+			kept = append(kept, k)
+		}
+		s.run.keys = kept
+	}
+	// Young and overflow heaps.
+	for _, h := range []*eventHeap{&s.young, &s.overflow} {
+		kept := h.ev[:0]
+		for _, e := range h.ev {
+			if e.group == g {
+				take(e)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		for i := len(kept); i < len(h.ev); i++ {
+			h.ev[i] = event{}
+		}
+		h.ev = kept
+		for i := len(h.ev)/2 - 1; i >= 0; i-- {
+			h.siftDown(i)
+		}
+	}
+	// Ladder buckets.
+	for i := range s.ladder {
+		b := &s.ladder[i]
+		kept := b.keys[:0]
+		for _, k := range b.keys {
+			body := &b.bodies[k.idx]
+			if body.group == g {
+				take(event{at: k.at, seq: k.seq, lane: k.lane, group: body.group, fn: body.fn, act: body.act, arg: body.arg})
+				body.fn, body.act = nil, nil
+				continue
+			}
+			kept = append(kept, k)
+		}
+		if len(kept) == 0 && len(b.keys) > 0 {
+			// Slot fully drained by extraction; its occupancy bit goes stale
+			// and advance()'s empty-slot retry tolerates that.
+			b.keys = kept
+			continue
+		}
+		b.keys = kept
+	}
+	s.npend -= len(out)
+	slices.SortFunc(out, func(a, b Event) int {
+		ak := eventKey{at: a.At, seq: a.seq, lane: a.Lane}
+		bk := eventKey{at: b.At, seq: b.seq, lane: b.Lane}
+		if keyLess(&ak, &bk) {
+			return -1
+		}
+		return 1
+	})
+	return out
+}
+
+// InjectOrdered schedules extracted events onto s, preserving their
+// relative order (they are assigned fresh, ascending sequence numbers).
+// Events whose time has passed are clamped to now, like At. Call it with
+// the receiving Simulator quiescent at the same barrier the events were
+// extracted.
+func (s *Simulator) InjectOrdered(evs []Event) {
+	for i := range evs {
+		e := &evs[i]
+		save := s.curGroup
+		s.curGroup = e.Group
+		s.schedule(e.At, e.Lane, e.fn, e.act, e.arg)
+		s.curGroup = save
 	}
 }
 
@@ -266,6 +732,12 @@ type Timer struct {
 
 // NewTimer returns an unarmed timer.
 func NewTimer(s *Simulator) *Timer { return &Timer{sim: s} }
+
+// Rebind points the timer at a different Simulator — the migration hook: a
+// timer whose owning entity moves shards keeps its generation (so an event
+// still pending on the old shard, once migrated, keeps firing or staying
+// stale exactly as before) but arms future events on the new event loop.
+func (t *Timer) Rebind(s *Simulator) { t.sim = s }
 
 // Arm (re)schedules fn to fire after d. Any previously armed deadline is
 // cancelled. Callers on hot paths should pass the same stored func value on
