@@ -182,6 +182,25 @@ func main() {
 		}
 		return want, got
 	}
+	// fail prints the regression verdict plus the full evidence: both
+	// sides' raw sample lists and the baseline-refresh command, so the CI
+	// log alone is enough to judge noise vs real regression.
+	fail := func(want, got *Entry, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: "+format+"\n", args...)
+		fmt.Fprintf(os.Stderr, "  baseline ns/op samples: %v (median %.1f)\n", want.Samples, want.MedianNsOp)
+		fmt.Fprintf(os.Stderr, "  measured ns/op samples: %v (median %.1f)\n", got.Samples, got.MedianNsOp)
+		if len(want.AllocSamples) > 0 || len(got.AllocSamples) > 0 {
+			fmt.Fprintf(os.Stderr, "  baseline allocs/op samples: %v (median %.0f)\n", want.AllocSamples, want.MedianAllocs)
+			fmt.Fprintf(os.Stderr, "  measured allocs/op samples: %v (median %.0f)\n", got.AllocSamples, got.MedianAllocs)
+		}
+		if len(want.EventSamples) > 0 || len(got.EventSamples) > 0 {
+			fmt.Fprintf(os.Stderr, "  baseline events/sec/core samples: %v (median %.0f)\n", want.EventSamples, want.MedianEvents)
+			fmt.Fprintf(os.Stderr, "  measured events/sec/core samples: %v (median %.0f)\n", got.EventSamples, got.MedianEvents)
+		}
+		fmt.Fprintf(os.Stderr, "  if this change is intentional, refresh the baseline:\n")
+		fmt.Fprintf(os.Stderr, "    go run ./cmd/benchguard -in %s -out %s\n", *in, *baseline)
+		os.Exit(1)
+	}
 	// allocs/op is hardware-independent, so it gets no tolerance: any
 	// allocation creeping into a guarded free-list hot path fails the
 	// gate even on a runner much faster than the baseline machine.
@@ -192,9 +211,8 @@ func main() {
 		fmt.Printf("benchguard: %s median %.0f allocs/op (baseline %.0f)\n",
 			name, got.MedianAllocs, want.MedianAllocs)
 		if got.MedianAllocs > want.MedianAllocs {
-			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.0f allocs/op exceeds baseline %.0f\n",
+			fail(want, got, "%s %.0f allocs/op exceeds baseline %.0f",
 				name, got.MedianAllocs, want.MedianAllocs)
-			os.Exit(1)
 		}
 	}
 
@@ -208,9 +226,8 @@ func main() {
 		fmt.Printf("benchguard: %s median %.1f ns/op (baseline %.1f, limit %.1f)\n",
 			name, got.MedianNsOp, want.MedianNsOp, limit)
 		if got.MedianNsOp > limit {
-			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)\n",
+			fail(want, got, "%s %.1f ns/op exceeds %.1f (baseline %.1f +%.0f%%)",
 				name, got.MedianNsOp, limit, want.MedianNsOp, 100**tolerance)
-			os.Exit(1)
 		}
 		// Throughput gate: only for benchmarks whose baseline carries the
 		// events/sec/core metric; lower is worse, so the floor mirrors the
@@ -224,9 +241,8 @@ func main() {
 			fmt.Printf("benchguard: %s median %.0f events/sec/core (baseline %.0f, floor %.0f)\n",
 				name, got.MedianEvents, want.MedianEvents, floor)
 			if got.MedianEvents < floor {
-				fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %s %.0f events/sec/core below %.0f (baseline %.0f -%.0f%%)\n",
+				fail(want, got, "%s %.0f events/sec/core below %.0f (baseline %.0f -%.0f%%)",
 					name, got.MedianEvents, floor, want.MedianEvents, 100**tolerance)
-				os.Exit(1)
 			}
 		}
 		gateAllocs(name, want, got)

@@ -1,22 +1,27 @@
 // Command stardust-fabric runs the cell-fabric experiments: the Fig 9
 // latency/queue distributions (slotted model), the topology-faithful
 // per-link fabric's load-balance (linkload) and failure-recovery
-// (failures) scenarios, and the sharded-engine scaling (parscale) and
-// fail/heal (parheal) scenarios. Each instance is independent, so
-// -workers=N runs sweeps in parallel; parscale/parheal additionally split
-// one instance across -shards event loops.
+// (failures) scenarios, the sharded-engine scaling (parscale) and
+// fail/heal (parheal) scenarios, and the distributed-runtime sweep
+// (distscale). Each instance is independent, so -workers=N runs sweeps in
+// parallel; parscale/parheal additionally split one instance across
+// -shards event loops, or across real peer processes with -peers/-join.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"stardust/internal/distsim"
 	"stardust/internal/engine"
 	_ "stardust/internal/scenarios"
 )
 
 func main() {
-	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal")
+	// Before anything else: a forked peer child (-exp distscale, devnet)
+	// re-executes this binary and must branch into the peer loop here.
+	distsim.MaybeRunPeer()
+	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal, distscale")
 	timings := flag.Bool("partimings", false, "parscale: report events/sec (total and per core) and speedup vs one shard (nondeterministic output)")
 	hotspot := flag.Float64("hotspot", 1, "parscale: boost factor for the first quarter of the FAs (>1 = skewed matrix)")
 	rebalance := flag.Bool("rebalance", false, "parscale: enable adaptive shard rebalancing (deterministic output is unchanged)")
@@ -50,6 +55,10 @@ func main() {
 	case "parheal":
 		job = engine.Job{Scenario: "fabric/parheal", Params: engine.Params{
 			"k": fmt.Sprint(*k), "fail": fmt.Sprint(*failN),
+		}}
+	case "distscale":
+		job = engine.Job{Scenario: "fabric/distscale", Params: engine.Params{
+			"k": fmt.Sprint(*k),
 		}}
 	default:
 		p := engine.Params{

@@ -1,0 +1,261 @@
+// Package distsim runs one sharded fabric simulation across multiple OS
+// processes over TCP, preserving the repo's byte-identical-digest
+// guarantee: the same seed produces the same bytes whether the shards are
+// goroutines in one process or spread over remote peers.
+//
+// The design is a replicated deterministic model. Go closures cannot
+// cross a process boundary, so instead of shipping state, every process —
+// the coordinator and each peer — builds the identical fabric model from
+// a compact Spec and executes only the shards it owns. Unowned shards'
+// event heaps accumulate dead build-time events (harmless: never run) and
+// their clocks advance in lock-step via sim.Simulator.SkipTo, so
+// barrier-context code reading Now() behaves identically on every
+// replica. Barrier controls (link fail/heal schedules) run identically on
+// every replica; only the mailbox messages that leave a process's owned
+// shard set cross the wire, batched into one frame per peer per window.
+//
+// The coordinator is a devolved controller in the paper's sense: it owns
+// no shards, relays mail between peers in a star, drives the lock-step
+// window loop, and aggregates counters and the digest at the end. Its own
+// replica tracks the control schedule and administrative state, so it can
+// report control-replicated quantities (dead FAs) itself.
+package distsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"stardust/internal/fabric"
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// Spec is the complete, JSON-serializable recipe for one fabric
+// simulation: every process that builds a Model from an identical Spec
+// holds an identical replica. It mirrors the parameters of the
+// fabric/parscale and fabric/parheal scenarios.
+type Spec struct {
+	K         int      `json:"k"`
+	Seed      int64    `json:"seed"`
+	Shards    int      `json:"shards"`
+	Dur       sim.Time `json:"dur"`
+	Load      float64  `json:"load"`
+	CellBytes int      `json:"cell"`
+	Hotspot   float64  `json:"hotspot"`
+	FailN     int      `json:"failN"`
+	FailAt    sim.Time `json:"failAt"`
+	HealAt    sim.Time `json:"healAt"`
+}
+
+// CellSink counts delivered cells for one destination FA. Installed with
+// SetEgress it runs pinned to the FA's shard: no locking, and in a
+// distributed run only the FA's owner accumulates real counts.
+type CellSink struct {
+	Cells uint64
+	Bytes uint64
+}
+
+// Receive implements netsim.Handler.
+func (s *CellSink) Receive(c *netsim.Packet) {
+	s.Cells++
+	s.Bytes += uint64(c.Size)
+	c.Release()
+}
+
+// Model is one process's replica of the simulation: the sharded fabric,
+// its engine, the per-FA delivery sinks, and the run horizon.
+type Model struct {
+	Spec    Spec
+	Clos    *topo.Clos
+	Eng     *parsim.Engine
+	Net     *fabric.Net
+	Sinks   []*CellSink
+	Horizon sim.Time
+	Drain   sim.Time
+}
+
+// NewModel builds the replica deterministically from spec: same spec,
+// same replica, on every process. The construction order (seed
+// consumption, injector scheduling, control registration) is part of the
+// determinism contract — change it and remote digests diverge from local
+// ones.
+func NewModel(spec Spec) (*Model, error) {
+	cl, err := fabric.ClosFor(spec.K)
+	if err != nil {
+		return nil, err
+	}
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	look := sim.Microsecond
+	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
+	cfg := fabric.DefaultConfig(10e9, look, spec.Seed)
+	n, err := fabric.NewSharded(eng, cfg, cl, nil)
+	if err != nil {
+		return nil, err
+	}
+	sinks := make([]*CellSink, cl.NumFA)
+	for fa := range sinks {
+		sinks[fa] = &CellSink{}
+		n.SetEgress(fa, sinks[fa])
+	}
+	perFA := spec.Load * float64(cl.FAUplinks) * float64(cfg.LinkRate)
+	gap := sim.Time(float64(spec.CellBytes*8) / perFA * float64(sim.Second))
+	if gap < sim.Nanosecond {
+		gap = sim.Nanosecond
+	}
+	hotFAs := 0
+	if spec.Hotspot > 1 {
+		hotFAs = (cl.NumFA + 3) / 4
+	}
+	for fa := 0; fa < cl.NumFA; fa++ {
+		g := gap
+		if fa < hotFAs {
+			g = sim.Time(float64(gap) / spec.Hotspot)
+			if g < sim.Nanosecond {
+				g = sim.Nanosecond
+			}
+		}
+		n.NewInjector(fa, g, spec.CellBytes, spec.Dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+	}
+	if spec.FailN > 0 {
+		rng := rand.New(rand.NewSource(spec.Seed ^ 0xfa11))
+		for i := 0; i < spec.FailN; i++ {
+			lk := rng.Intn(n.NumLinks())
+			eng.At(spec.FailAt, func() { n.FailLink(lk) })
+			eng.At(spec.HealAt, func() { n.RestoreLink(lk) })
+		}
+	}
+	// Drain past the last scheduled action: a heal scheduled beyond the
+	// horizon would otherwise silently never run.
+	horizon := spec.Dur
+	if spec.FailAt > horizon {
+		horizon = spec.FailAt
+	}
+	if spec.HealAt > horizon {
+		horizon = spec.HealAt
+	}
+	drain := 4 * cfg.ReachDelay
+	if spec.Hotspot > 1 {
+		// A hotspot overloads its FAs' uplink queues, so cells keep
+		// draining well past the injection stop: allow every queue on a
+		// four-hop path to empty completely at line rate.
+		drain += 8 * sim.Time(float64(cfg.LinkBytes*8)/float64(cfg.LinkRate)*float64(sim.Second))
+	}
+	return &Model{
+		Spec:    spec,
+		Clos:    cl,
+		Eng:     eng,
+		Net:     n,
+		Sinks:   sinks,
+		Horizon: horizon,
+		Drain:   drain,
+	}, nil
+}
+
+// Outcome is the deterministic result of one run — a pure function of the
+// Spec, identical however the shards were placed.
+type Outcome struct {
+	Injected    uint64
+	Delivered   uint64
+	Drops       uint64
+	Events      uint64
+	Unreachable int
+	Digest      uint64
+	ShardEvents []uint64
+}
+
+// foldDigest computes the canonical fabric digest: per-FA sink counters
+// followed by both directions of every topology link's forwarding
+// counters, each folded little-endian into FNV-64a. dirs[d] is
+// {FwdBytes, FwdCells, Drops} of directed link d.
+func foldDigest(sinkCells, sinkBytes []uint64, dirs [][3]uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	for i := range sinkCells {
+		w(sinkCells[i])
+		w(sinkBytes[i])
+	}
+	for _, d := range dirs {
+		w(d[0])
+		w(d[1])
+		w(d[2])
+	}
+	return h.Sum64()
+}
+
+// gather snapshots the digest inputs from this replica. Quiescent /
+// barrier context only; in a distributed run each index is only valid on
+// its owner.
+func (m *Model) gather() (sinkCells, sinkBytes []uint64, dirs [][3]uint64) {
+	numFA := m.Clos.NumFA
+	sinkCells = make([]uint64, numFA)
+	sinkBytes = make([]uint64, numFA)
+	for fa, s := range m.Sinks {
+		sinkCells[fa] = s.Cells
+		sinkBytes[fa] = s.Bytes
+	}
+	dirs = make([][3]uint64, 2*len(m.Clos.Links))
+	for d := range dirs {
+		b, c, dr := m.Net.DirCounters(d)
+		dirs[d] = [3]uint64{b, c, dr}
+	}
+	return sinkCells, sinkBytes, dirs
+}
+
+// RunLocal executes the whole model in this process (the classic
+// goroutine-sharded path) and returns the canonical outcome.
+func (m *Model) RunLocal() (Outcome, error) {
+	m.Eng.RunUntilQuiet(m.Horizon + m.Drain)
+	if !m.Eng.Quiet() {
+		return Outcome{}, fmt.Errorf("fabric did not drain: work still pending past t=%d (%d heap events)",
+			m.Horizon+m.Drain, m.Eng.Pending())
+	}
+	sinkCells, sinkBytes, dirs := m.gather()
+	return Outcome{
+		Injected:    m.Net.Injected(),
+		Delivered:   m.Net.Delivered(),
+		Drops:       m.Net.Drops(),
+		Events:      m.Eng.Processed(),
+		Unreachable: m.Net.UnreachablePairs(),
+		Digest:      foldDigest(sinkCells, sinkBytes, dirs),
+		ShardEvents: m.Net.ShardEvents(),
+	}, nil
+}
+
+// OwnersFor partitions spec.Shards shards over npeers peers in contiguous
+// blocks — the same deterministic rule fabric.AssignShards uses for
+// devices over shards, so two runs with the same (spec, npeers) always
+// cut identically.
+func OwnersFor(shards, npeers int) []int {
+	owners := make([]int, shards)
+	for s := range owners {
+		owners[s] = s * npeers / shards
+	}
+	return owners
+}
+
+// modelHash fingerprints everything the peers must agree on before the
+// first window: the spec, the partition map, and the replica's derived
+// dimensions. A mismatch is detected at the READY handshake, not as a
+// digest divergence half an hour into a run.
+func modelHash(spec Spec, owners []int, m *Model) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v/%v/%d/%d/%d/%d", spec, owners, m.Clos.NumFA, m.Clos.NumFE1, m.Clos.NumFE2, m.Net.Lanes())
+	return h.Sum64()
+}

@@ -164,6 +164,11 @@ type Context struct {
 	// simulation across this many cores. Most scenarios are single-loop
 	// and ignore it. Always >= 1.
 	Shards int
+	// DistPeers/DistListen mirror Options: when DistPeers > 0, a
+	// dist-capable scenario serves its simulation as a distributed
+	// coordinator on DistListen instead of running shards in-process.
+	DistPeers  int
+	DistListen string
 }
 
 // Metric is one named scalar of a scenario outcome; the ordered metric

@@ -7,6 +7,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"stardust/internal/distsim"
 )
 
 // Flags bundles the engine options every cmd binary shares. Bind them
@@ -20,6 +22,13 @@ type Flags struct {
 	Timings    bool
 	CPUProfile string
 	MemProfile string
+	// Distributed execution (see internal/distsim): Peers>0 makes
+	// dist-capable scenarios serve as coordinator on Listen and wait for
+	// that many peer processes; Join turns this process into a peer of the
+	// coordinator at the given address and runs no scenarios of its own.
+	Peers  int
+	Listen string
+	Join   string
 }
 
 // AddFlags registers the common engine flags on fs and returns the
@@ -34,6 +43,9 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Timings, "timings", false, "print a wall-clock summary to stderr")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a post-run heap profile to this file (inspect with go tool pprof)")
+	fs.IntVar(&f.Peers, "peers", 0, "distributed run: serve as coordinator for this many peer processes (0 = in-process shards)")
+	fs.StringVar(&f.Listen, "listen", "127.0.0.1:0", "distributed run: coordinator listen address (with -peers)")
+	fs.StringVar(&f.Join, "join", "", "distributed run: join the coordinator at this address as a peer and exit")
 	return f
 }
 
@@ -41,11 +53,13 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 // stdout (results) and stderr (timings).
 func (f *Flags) Options() Options {
 	o := Options{
-		Workers: f.Workers,
-		Shards:  f.Shards,
-		Seed:    f.Seed,
-		Format:  f.Format,
-		Out:     os.Stdout,
+		Workers:    f.Workers,
+		Shards:     f.Shards,
+		Seed:       f.Seed,
+		Format:     f.Format,
+		Out:        os.Stdout,
+		DistPeers:  f.Peers,
+		DistListen: f.Listen,
 	}
 	if f.Timings {
 		o.Timing = os.Stderr
@@ -77,13 +91,26 @@ func fatal(err error) {
 }
 
 // Main is the shared entry point of the cmd binaries: it honors -list,
-// wraps the run in the requested CPU/heap profiles, runs the jobs with
-// the common options, and exits non-zero on failure. Profiles are
-// stopped and flushed before any exit path, including a failed run, so a
-// profile of a crashing sweep is still readable.
+// handles the distributed peer modes, wraps the run in the requested
+// CPU/heap profiles, runs the jobs with the common options, and exits
+// non-zero on failure. Profiles are stopped and flushed before any exit
+// path, including a failed run, so a profile of a crashing sweep is
+// still readable.
+//
+// Callers must invoke distsim.MaybeRunPeer() at the very top of main(),
+// before flag parsing — a forked peer child (devnet, fabric/distscale)
+// re-executes the binary and must branch into the peer loop first.
 func Main(f *Flags, jobs []Job) {
 	if f.List {
 		WriteRegistry(os.Stdout)
+		return
+	}
+	if f.Join != "" {
+		// Peer mode: this process owns no scenarios; it serves shards for
+		// the coordinator at -join and exits when the run completes.
+		if err := distsim.RunPeer(f.Join); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	var cpuFile *os.File

@@ -41,6 +41,12 @@ type Options struct {
 	// ordered, deterministic emission to Out is unaffected; this hook
 	// exists so a serving layer can stream live run progress.
 	Progress func(RunResult)
+	// DistPeers > 0 asks dist-capable scenarios to run as a distributed
+	// coordinator serving that many peer processes on DistListen instead
+	// of executing shards in-process. The worker pool collapses to one:
+	// concurrent instances would fight over the peers.
+	DistPeers  int
+	DistListen string
 }
 
 // RunResult is the outcome of one scenario instance.
@@ -111,6 +117,9 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.DistPeers > 0 {
+		workers = 1
+	}
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = 1
@@ -133,7 +142,7 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 			for i := range work {
 				in := insts[i]
 				t0 := time.Now()
-				res, err := runInstance(in, shards)
+				res, err := runInstance(in, shards, opts)
 				results[i] = RunResult{
 					Name:    in.sc.Name,
 					Params:  in.params,
@@ -178,11 +187,17 @@ func Run(opts Options, jobs []Job) ([]RunResult, error) {
 
 // runInstance executes one instance, converting a panic in scenario code
 // into an error so one bad instance cannot take down a sweep.
-func runInstance(in instance, shards int) (res Result, err error) {
+func runInstance(in instance, shards int, opts Options) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("scenario panicked: %v", r)
 		}
 	}()
-	return in.sc.Run(Context{Params: in.params, Seed: in.seed, Shards: shards})
+	return in.sc.Run(Context{
+		Params:     in.params,
+		Seed:       in.seed,
+		Shards:     shards,
+		DistPeers:  opts.DistPeers,
+		DistListen: opts.DistListen,
+	})
 }

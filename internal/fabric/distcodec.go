@@ -1,0 +1,277 @@
+// Distributed support: the wire codec for cross-shard mailbox messages
+// and the ownership/report accessors the distributed runtime
+// (internal/distsim) aggregates counters through.
+//
+// A distributed run replicates the whole deterministic model on every
+// process and executes only an owned subset of the shards per process, so
+// a cross-shard message never needs to carry model objects — only enough
+// to rebind the message to the receiver's replica. Exactly two action
+// kinds cross shard cuts in a fabric simulation, and both are compact:
+//
+//   - a cell (*netsim.Packet) in flight on a directed link's propagation
+//     lane — the lane IS the directed link index, so the receiver rebinds
+//     the decoded cell to its own replica's link route;
+//   - a reachability re-advertisement (applyReach) on an FE1's reach
+//     lane — spine index, down port and the reach.Message batch.
+//
+// A transport overlay (packets with Flow state, closure actions) cannot
+// be rebound to a remote replica; EncodeMail rejects it with a
+// deterministic error rather than guessing.
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/reach"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// Wire kinds of a cross-shard mail payload.
+const (
+	MailCell  byte = 1 // *netsim.Packet on a directed link's lane
+	MailReach byte = 2 // applyReach on an FE1's reach lane
+)
+
+// Cell flag bits.
+const (
+	cellAck  = 1 << 0
+	cellCE   = 1 << 1
+	cellEcho = 1 << 2
+	cellDown = 1 << 3
+)
+
+// EncodeMail serializes one cross-shard message for the wire. It consumes
+// the message: an encoded cell is released back to the packet pool, so
+// the caller must not touch m.Act afterwards. Messages the codec cannot
+// rebind on a remote replica (transport packets with Flow state, unknown
+// action types) return an error — the distributed runtime turns that into
+// a deterministic "not distributable" failure instead of silent
+// corruption.
+func (n *Net) EncodeMail(m parsim.Mail) (kind byte, payload []byte, err error) {
+	switch a := m.Act.(type) {
+	case *netsim.Packet:
+		if a.Flow != nil {
+			return 0, nil, fmt.Errorf("fabric: cell on lane %d carries transport flow state; the transport overlay is not distributable", m.Lane)
+		}
+		if int(m.Lane) >= 2*len(n.Topo.Links) {
+			return 0, nil, fmt.Errorf("fabric: packet on non-link lane %d is not distributable", m.Lane)
+		}
+		var flags byte
+		if a.Ack {
+			flags |= cellAck
+		}
+		if a.CE {
+			flags |= cellCE
+		}
+		if a.Echo {
+			flags |= cellEcho
+		}
+		if a.Down {
+			flags |= cellDown
+		}
+		buf := make([]byte, 0, 16)
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(a.Size))
+		buf = binary.AppendUvarint(buf, uint64(a.Dst))
+		buf = binary.AppendVarint(buf, a.Seq)
+		a.Release()
+		return MailCell, buf, nil
+	case applyReach:
+		buf := make([]byte, 0, 8+20*len(a.msgs))
+		buf = binary.AppendUvarint(buf, uint64(a.sp.id.Index))
+		buf = binary.AppendUvarint(buf, uint64(a.port))
+		buf = binary.AppendUvarint(buf, uint64(len(a.msgs)))
+		for _, msg := range a.msgs {
+			buf = binary.AppendUvarint(buf, uint64(msg.Origin))
+			buf = binary.AppendUvarint(buf, uint64(msg.Chunk))
+			f := byte(0)
+			if msg.Faulty {
+				f = 1
+			}
+			buf = append(buf, f)
+			for _, w := range msg.Bits {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+		return MailReach, buf, nil
+	default:
+		return 0, nil, fmt.Errorf("fabric: cross-shard action %T on lane %d is not distributable", m.Act, m.Lane)
+	}
+}
+
+// DecodeMail rebinds one wire payload to this replica of the model,
+// returning the action and argument to inject on the destination shard at
+// the original (time, lane) key.
+func (n *Net) DecodeMail(kind byte, lane int32, payload []byte) (sim.Action, uint64, error) {
+	switch kind {
+	case MailCell:
+		if int(lane) >= 2*len(n.Topo.Links) || lane < 0 {
+			return nil, 0, fmt.Errorf("fabric: cell on bad link lane %d", lane)
+		}
+		if len(payload) < 1 {
+			return nil, 0, fmt.Errorf("fabric: truncated cell payload")
+		}
+		flags := payload[0]
+		rest := payload[1:]
+		size, k1 := binary.Uvarint(rest)
+		if k1 <= 0 {
+			return nil, 0, fmt.Errorf("fabric: truncated cell size")
+		}
+		dst, k2 := binary.Uvarint(rest[k1:])
+		if k2 <= 0 {
+			return nil, 0, fmt.Errorf("fabric: truncated cell dst")
+		}
+		seq, k3 := binary.Varint(rest[k1+k2:])
+		if k3 <= 0 {
+			return nil, 0, fmt.Errorf("fabric: truncated cell seq")
+		}
+		p := netsim.NewPacket()
+		p.Size = int(size)
+		p.Dst = int32(dst)
+		p.Seq = seq
+		p.Ack = flags&cellAck != 0
+		p.CE = flags&cellCE != 0
+		p.Echo = flags&cellEcho != 0
+		p.Down = flags&cellDown != 0
+		// A cell crossing a shard cut was scheduled by the link's LanePipe
+		// with the queue and pipe hops already behind it: rebind it to the
+		// tail of this replica's route so the next hop is the link itself.
+		p.SetRoute(n.links[lane].route[2:])
+		return p, 0, nil
+	case MailReach:
+		spine, k1 := binary.Uvarint(payload)
+		if k1 <= 0 || int(spine) >= len(n.fe2) {
+			return nil, 0, fmt.Errorf("fabric: bad reach spine")
+		}
+		port, k2 := binary.Uvarint(payload[k1:])
+		if k2 <= 0 {
+			return nil, 0, fmt.Errorf("fabric: truncated reach port")
+		}
+		cnt, k3 := binary.Uvarint(payload[k1+k2:])
+		if k3 <= 0 {
+			return nil, 0, fmt.Errorf("fabric: truncated reach count")
+		}
+		rest := payload[k1+k2+k3:]
+		msgs := make([]reach.Message, cnt)
+		for i := range msgs {
+			origin, a := binary.Uvarint(rest)
+			if a <= 0 {
+				return nil, 0, fmt.Errorf("fabric: truncated reach origin")
+			}
+			chunk, b := binary.Uvarint(rest[a:])
+			if b <= 0 {
+				return nil, 0, fmt.Errorf("fabric: truncated reach chunk")
+			}
+			rest = rest[a+b:]
+			if len(rest) < 1+8*len(msgs[i].Bits) {
+				return nil, 0, fmt.Errorf("fabric: truncated reach bitmap")
+			}
+			msgs[i].Origin = uint16(origin)
+			msgs[i].Chunk = uint16(chunk)
+			msgs[i].Faulty = rest[0] != 0
+			rest = rest[1:]
+			for w := range msgs[i].Bits {
+				msgs[i].Bits[w] = binary.LittleEndian.Uint64(rest)
+				rest = rest[8:]
+			}
+		}
+		return applyReach{sp: n.fe2[spine], port: int(port), msgs: msgs}, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("fabric: unknown mail kind %d", kind)
+	}
+}
+
+// ShardOfNode returns the shard owning a device (0 in solo mode).
+func (n *Net) ShardOfNode(id topo.NodeID) int {
+	if n.eng == nil {
+		return 0
+	}
+	switch id.Kind {
+	case topo.KindFA:
+		return n.assign.FA[id.Index]
+	case topo.KindFE1:
+		return n.assign.FE1[id.Index]
+	default:
+		return n.assign.FE2[id.Index]
+	}
+}
+
+// OwnerOfLinkDir returns the shard owning directed link d (2i = A->B of
+// topology link i, 2i+1 = B->A): the sending device's shard, where the
+// direction's serialization queue — and therefore its counters — lives.
+func (n *Net) OwnerOfLinkDir(d int) int {
+	lk := n.Topo.Links[d/2]
+	if d%2 == 0 {
+		return n.ShardOfNode(lk.A)
+	}
+	return n.ShardOfNode(lk.B)
+}
+
+// ShardOfFE2 returns the shard owning spine i — the shard whose replica
+// holds the authoritative copy of that spine's reachability table.
+func (n *Net) ShardOfFE2(i int) int {
+	if n.eng == nil {
+		return 0
+	}
+	return n.assign.FE2[i]
+}
+
+// SpineUnreachable counts the destination FAs spine i currently has no
+// live down path to — the per-spine half of UnreachablePairs, reported by
+// the spine's owner in a distributed run. Barrier context only.
+func (n *Net) SpineUnreachable(i int) int {
+	bad := 0
+	sp := n.fe2[i]
+	for fa := 0; fa < n.Topo.NumFA; fa++ {
+		if !sp.tbl.Reachable(fa) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// DeadFAs counts the FAs with no live uplink at all — the other half of
+// UnreachablePairs. FA liveness is administrative state mutated only by
+// barrier controls, which every distributed replica runs identically, so
+// any replica can report it.
+func (n *Net) DeadFAs() int {
+	bad := 0
+	for _, d := range n.fas {
+		if d.live.Count() == 0 {
+			bad++
+		}
+	}
+	return bad
+}
+
+// ShardTraffic is one shard's slice of the fabric's traffic accounting —
+// written only by that shard's event loop, so in a distributed run only
+// the shard's owner holds real values and reports them.
+type ShardTraffic struct {
+	Injected     uint64
+	Delivered    uint64
+	DeadDrops    uint64
+	NoRouteDrops uint64
+}
+
+// TrafficOfShard snapshots shard s's counters. Barrier context only.
+func (n *Net) TrafficOfShard(s int) ShardTraffic {
+	sh := n.shards[s]
+	return ShardTraffic{
+		Injected:     sh.injected,
+		Delivered:    sh.delivered,
+		DeadDrops:    sh.deadDrops,
+		NoRouteDrops: sh.noRouteDrops,
+	}
+}
+
+// DirCounters snapshots directed link d's forwarding counters (the
+// digest-relevant subset of ReadLinkCounters). Barrier context only.
+func (n *Net) DirCounters(d int) (fwdBytes, fwdCells, drops uint64) {
+	l := n.links[d]
+	return l.q.FwdBytes, l.q.Forwarded, l.q.Drops
+}

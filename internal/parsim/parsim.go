@@ -274,6 +274,145 @@ func (e *Engine) RunUntilQuiet(max sim.Time) sim.Time {
 	return e.now
 }
 
+// Mail is one cross-shard message in exported form — the unit the
+// distributed runtime (internal/distsim) serializes over the wire. Inside
+// one process the Act value is a live model object; a distributed peer
+// encodes it with a model codec at the barrier and the receiving peer
+// decodes it against its own replica of the model.
+type Mail struct {
+	At   sim.Time
+	Lane int32
+	Act  sim.Action
+	Arg  uint64
+}
+
+// OwnedPending counts the events pending on the owned subset of shards.
+// On a distributed replica only the owned shards execute, so the global
+// pending count is the sum of OwnedPending over all peers — unowned
+// replicas' heaps hold stale build-time events that are executed (and
+// therefore drained) only by their owner.
+func (e *Engine) OwnedPending(owned []bool) int {
+	n := 0
+	for i, s := range e.shards {
+		if owned[i] {
+			n += s.sm.Pending()
+		}
+	}
+	return n
+}
+
+// OwnedProcessed sums executed events over the owned shards.
+func (e *Engine) OwnedProcessed(owned []bool) uint64 {
+	var n uint64
+	for i, s := range e.shards {
+		if owned[i] {
+			n += s.sm.Processed
+		}
+	}
+	return n
+}
+
+// ControlsPending returns the number of registered barrier controls that
+// have not run yet. Controls are part of the replicated model (every
+// distributed replica registers the same schedule), so any replica's count
+// is the global count.
+func (e *Engine) ControlsPending() int { return len(e.ctls) }
+
+// DeliverMail inserts one cross-shard message into shard dst's heap — the
+// receiving half of a distributed mailbox flush. Call it in barrier
+// context, before the window the message belongs to begins; the lookahead
+// guarantees m.At lies in that window or later, and the (time, lane) key
+// orders it exactly as a locally flushed message. Messages on one lane
+// must be delivered in their send order (they originate from a single
+// sending entity); across lanes the order of DeliverMail calls is
+// irrelevant.
+func (e *Engine) DeliverMail(dst int, m Mail) {
+	if e.inWindow {
+		panic("parsim: DeliverMail outside barrier context")
+	}
+	e.shards[dst].sm.AtLane(m.At, m.Lane, m.Act, m.Arg)
+}
+
+// StepOwned advances exactly one window — the distributed counterpart of
+// one iteration of Run's loop. It runs the controls due at the window
+// start, executes the window on every shard with owned[i] == true
+// (concurrently when there are several), advances unowned shards' clocks
+// without executing them, flushes the mailboxes — pairs inside the owned
+// set go straight to the destination heap, mail leaving it is handed to
+// emit in (source shard, send order) — and runs the barrier hooks. The
+// caller must deliver the mail it receives from other peers (DeliverMail)
+// before the next StepOwned. Returns the new synchronized time.
+//
+// With every shard owned and emit nil this is bit-identical to one window
+// of Run — the property the distributed determinism tests assert.
+func (e *Engine) StepOwned(owned []bool, emit func(src, dst int, m Mail)) sim.Time {
+	if e.inWindow {
+		panic("parsim: StepOwned re-entered from a window")
+	}
+	if len(owned) != len(e.shards) {
+		panic("parsim: StepOwned ownership length does not match shard count")
+	}
+	start := e.now
+	end := start + e.look
+	e.runControls(start)
+	e.inWindow = true
+	nOwned := 0
+	for i := range e.shards {
+		if owned[i] {
+			nOwned++
+		}
+	}
+	if nOwned > 1 && !e.serial {
+		var wg sync.WaitGroup
+		for i, s := range e.shards {
+			if !owned[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(s *Shard) {
+				s.sm.RunBefore(end)
+				wg.Done()
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for i, s := range e.shards {
+			if owned[i] {
+				s.sm.RunBefore(end)
+			}
+		}
+	}
+	for i, s := range e.shards {
+		if !owned[i] {
+			s.sm.SkipTo(end)
+		}
+	}
+	e.inWindow = false
+	for _, src := range e.shards {
+		for dst, msgs := range src.out {
+			if len(msgs) == 0 {
+				continue
+			}
+			if owned[dst] {
+				dsm := e.shards[dst].sm
+				for _, m := range msgs {
+					dsm.AtLane(m.at, m.lane, m.act, m.arg)
+				}
+			} else {
+				for _, m := range msgs {
+					emit(src.id, dst, Mail{At: m.at, Lane: m.lane, Act: m.act, Arg: m.arg})
+				}
+			}
+			src.out[dst] = msgs[:0]
+		}
+	}
+	e.now = end
+	for _, fn := range e.hooks {
+		fn(end)
+	}
+	return end
+}
+
 func (e *Engine) advance(until sim.Time, stopWhenQuiet bool) {
 	until = e.ceil(until)
 	parallel := len(e.shards) > 1 && !e.serial

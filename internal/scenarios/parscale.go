@@ -4,15 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash"
-	"hash/fnv"
-	"math/rand"
+	"os"
 	"strings"
 	"time"
 
+	"stardust/internal/distsim"
 	"stardust/internal/engine"
 	"stardust/internal/fabric"
-	"stardust/internal/netsim"
-	"stardust/internal/parsim"
 	"stardust/internal/sim"
 )
 
@@ -32,20 +30,6 @@ func digest64(h hash.Hash, v uint64) {
 // of every per-link counter, so the CI determinism matrix can compare the
 // full fabric state, not just aggregate counts, across {workers}×{shards}.
 
-// cellCounter counts delivered cells for one destination FA. Installed
-// with SetEgress, it runs pinned to the FA's shard: no locking.
-type cellCounter struct {
-	cells uint64
-	bytes uint64
-}
-
-// Receive implements netsim.Handler.
-func (cc *cellCounter) Receive(c *netsim.Packet) {
-	cc.cells++
-	cc.bytes += uint64(c.Size)
-	c.Release()
-}
-
 // parRun is the outcome of one sharded fabric run. Everything except wall
 // is a deterministic function of (seed, parameters) — independent of the
 // shard count, which is the whole point.
@@ -61,114 +45,75 @@ type parRun struct {
 	migrations  uint64
 }
 
-// runShardedFabric builds a ClosFor(k) fabric across `shards` event loops,
-// offers `load` of each FA's uplink capacity for dur, optionally fails
-// failN seed-chosen links at failAt and heals them at healAt, drains, and
-// returns the canonical outcome. hotspot > 1 makes the first quarter of
-// the FAs inject that factor faster (a skewed matrix that concentrates
-// events on the low shards under contiguous assignment); rebalance turns
-// on the adaptive group planner, which must not change any deterministic
-// output — only the per-shard event split.
-func runShardedFabric(seed int64, k, shards int, dur sim.Time, load float64, cellBytes int, hotspot float64, rebalance bool, failN int, failAt, healAt sim.Time) (parRun, error) {
-	cl, err := fabric.ClosFor(k)
+// parSpec assembles the distsim Spec shared by the parscale family: the
+// model construction itself lives in distsim.NewModel so the in-process,
+// coordinator, and remote-peer replicas are one code path.
+func parSpec(seed int64, k, shards int, dur sim.Time, load float64, cellBytes int, hotspot float64, failN int, failAt, healAt sim.Time) distsim.Spec {
+	return distsim.Spec{
+		K: k, Seed: seed, Shards: shards, Dur: dur, Load: load,
+		CellBytes: cellBytes, Hotspot: hotspot,
+		FailN: failN, FailAt: failAt, HealAt: healAt,
+	}
+}
+
+func fromOutcome(out distsim.Outcome, wall time.Duration, migrations uint64) parRun {
+	return parRun{
+		injected:    out.Injected,
+		delivered:   out.Delivered,
+		drops:       out.Drops,
+		events:      out.Events,
+		unreachable: out.Unreachable,
+		digest:      out.Digest,
+		wall:        wall,
+		shardEvents: out.ShardEvents,
+		migrations:  migrations,
+	}
+}
+
+// runShardedFabric executes spec with in-process goroutine shards.
+// rebalance turns on the adaptive group planner, which must not change
+// any deterministic output — only the per-shard event split.
+func runShardedFabric(spec distsim.Spec, rebalance bool) (parRun, error) {
+	m, err := distsim.NewModel(spec)
 	if err != nil {
 		return parRun{}, err
-	}
-	look := sim.Microsecond
-	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
-	cfg := fabric.DefaultConfig(10e9, look, seed)
-	n, err := fabric.NewSharded(eng, cfg, cl, nil)
-	if err != nil {
-		return parRun{}, err
-	}
-	sinks := make([]*cellCounter, cl.NumFA)
-	for fa := range sinks {
-		sinks[fa] = &cellCounter{}
-		n.SetEgress(fa, sinks[fa])
 	}
 	if rebalance {
-		if err := n.EnableRebalancing(fabric.DefaultRebalance()); err != nil {
+		if err := m.Net.EnableRebalancing(fabric.DefaultRebalance()); err != nil {
 			return parRun{}, err
 		}
 	}
-	perFA := load * float64(cl.FAUplinks) * float64(cfg.LinkRate)
-	gap := sim.Time(float64(cellBytes*8) / perFA * float64(sim.Second))
-	if gap < sim.Nanosecond {
-		gap = sim.Nanosecond
-	}
-	hotFAs := 0
-	if hotspot > 1 {
-		hotFAs = (cl.NumFA + 3) / 4
-	}
-	for fa := 0; fa < cl.NumFA; fa++ {
-		g := gap
-		if fa < hotFAs {
-			g = sim.Time(float64(gap) / hotspot)
-			if g < sim.Nanosecond {
-				g = sim.Nanosecond
-			}
-		}
-		n.NewInjector(fa, g, cellBytes, dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
-	}
-	if failN > 0 {
-		rng := rand.New(rand.NewSource(seed ^ 0xfa11))
-		for i := 0; i < failN; i++ {
-			lk := rng.Intn(n.NumLinks())
-			eng.At(failAt, func() { n.FailLink(lk) })
-			eng.At(healAt, func() { n.RestoreLink(lk) })
-		}
-	}
-	// Drain past the last scheduled action: a heal scheduled beyond the
-	// horizon would otherwise silently never run and the "0 unreachable
-	// after heal" claim below would be about a fabric that never healed.
-	horizon := dur
-	if failAt > horizon {
-		horizon = failAt
-	}
-	if healAt > horizon {
-		horizon = healAt
-	}
-	drain := 4 * cfg.ReachDelay
-	if hotspot > 1 {
-		// A hotspot overloads its FAs' uplink queues, so cells keep
-		// draining well past the injection stop: allow every queue on a
-		// four-hop path to empty completely at line rate.
-		drain += 8 * sim.Time(float64(cfg.LinkBytes*8)/float64(cfg.LinkRate)*float64(sim.Second))
-	}
 	t0 := time.Now()
-	eng.RunUntilQuiet(horizon + drain)
-	wall := time.Since(t0)
-	if !eng.Quiet() {
-		return parRun{}, fmt.Errorf("fabric did not drain: work still pending past t=%d (%d heap events)",
-			horizon+drain, eng.Pending())
+	out, err := m.RunLocal()
+	if err != nil {
+		return parRun{}, err
 	}
+	return fromOutcome(out, time.Since(t0), m.Net.Migrations()), nil
+}
 
-	h := fnv.New64a()
-	w := func(v uint64) { digest64(h, v) }
-	for _, s := range sinks {
-		w(s.cells)
-		w(s.bytes)
+// runDistFabric executes spec as a distributed coordinator: it listens on
+// c.DistListen, waits for c.DistPeers peer processes (started with -join
+// or devnet), and drives the run over the wire. The outcome is
+// byte-identical to runShardedFabric on the same spec — that equivalence
+// is what the distributed CI job diffs.
+func runDistFabric(spec distsim.Spec, c engine.Context) (parRun, error) {
+	l, err := distsim.Listen(c.DistListen)
+	if err != nil {
+		return parRun{}, err
 	}
-	var lc [2]fabric.LinkCounters
-	for i := 0; i < n.NumLinks(); i++ {
-		n.ReadLinkCounters(i, &lc)
-		for d := 0; d < 2; d++ {
-			w(lc[d].FwdBytes)
-			w(lc[d].FwdCells)
-			w(lc[d].Drops)
-		}
+	// The resolved address goes to stderr: with -listen :0 the peers need
+	// it, and stdout must stay byte-identical to the in-process run.
+	fmt.Fprintf(os.Stderr, "distsim: coordinator listening on %s for %d peer(s)\n", l.Addr(), c.DistPeers)
+	t0 := time.Now()
+	out, err := distsim.Serve(l, distsim.CoordConfig{
+		Spec:   spec,
+		Peers:  c.DistPeers,
+		Rejoin: true,
+	})
+	if err != nil {
+		return parRun{}, err
 	}
-	return parRun{
-		injected:    n.Injected(),
-		delivered:   n.Delivered(),
-		drops:       n.Drops(),
-		events:      eng.Processed(),
-		unreachable: n.UnreachablePairs(),
-		digest:      h.Sum64(),
-		wall:        wall,
-		shardEvents: n.ShardEvents(),
-		migrations:  n.Migrations(),
-	}, nil
+	return fromOutcome(out, time.Since(t0), 0), nil
 }
 
 // addShardSplit emits the per-shard event counts, the imbalance ratio
@@ -279,7 +224,20 @@ func init() {
 			cell := c.Params.Int("cell", 512)
 			hotspot := c.Params.Float("hotspot", 1)
 			rebalance := c.Params.Bool("rebalance", false)
-			r, err := runShardedFabric(c.Seed, k, shards, dur, load, cell, hotspot, rebalance, 0, 0, 0)
+			spec := parSpec(c.Seed, k, shards, dur, load, cell, hotspot, 0, 0, 0)
+			var r parRun
+			var err error
+			if c.DistPeers > 0 {
+				if rebalance {
+					return engine.Result{}, fmt.Errorf("parscale: adaptive rebalancing is in-process only (drop rebalance=true or -peers)")
+				}
+				if c.Params.Bool("timings", false) {
+					return engine.Result{}, fmt.Errorf("parscale: timings compare against an in-process reference and are unavailable with -peers")
+				}
+				r, err = runDistFabric(spec, c)
+			} else {
+				r, err = runShardedFabric(spec, rebalance)
+			}
 			if err != nil {
 				return engine.Result{}, err
 			}
@@ -294,7 +252,9 @@ func init() {
 			if c.Params.Bool("timings", false) {
 				ref := r
 				if shards != 1 {
-					if ref, err = runShardedFabric(c.Seed, k, 1, dur, load, cell, hotspot, rebalance, 0, 0, 0); err != nil {
+					ref1 := spec
+					ref1.Shards = 1
+					if ref, err = runShardedFabric(ref1, rebalance); err != nil {
 						return engine.Result{}, err
 					}
 					if ref.digest != r.digest {
@@ -335,14 +295,21 @@ func init() {
 		Run: func(c engine.Context) (engine.Result, error) {
 			k := c.Params.Int("k", 4)
 			shards := effectiveShards(c)
-			r, err := runShardedFabric(c.Seed, k, shards,
+			spec := parSpec(c.Seed, k, shards,
 				msTime(c.Params.Int("dur_ms", 6)),
 				c.Params.Float("load", 0.4),
 				c.Params.Int("cell", 512),
-				1, false,
+				1,
 				c.Params.Int("fail", 3),
 				msTime(c.Params.Int("fail_ms", 2)),
 				msTime(c.Params.Int("heal_ms", 4)))
+			var r parRun
+			var err error
+			if c.DistPeers > 0 {
+				r, err = runDistFabric(spec, c)
+			} else {
+				r, err = runShardedFabric(spec, false)
+			}
 			if err != nil {
 				return engine.Result{}, err
 			}

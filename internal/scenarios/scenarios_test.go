@@ -2,20 +2,30 @@ package scenarios
 
 import (
 	"bytes"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"stardust/internal/distsim"
 	"stardust/internal/engine"
 )
+
+// TestMain routes forked peer children into the peer loop: the
+// fabric/distscale scenario re-executes the current binary — this test
+// binary, when run under go test — with STARDUST_PEER_JOIN set.
+func TestMain(m *testing.M) {
+	distsim.MaybeRunPeer()
+	os.Exit(m.Run())
+}
 
 // The full scenario set the six cmd binaries rely on.
 var wantScenarios = []string{
 	"htsim/permutation", "htsim/fct", "htsim/incast", "htsim/parperm",
 	"fabric/fig9", "fabric/pushpull", "fabric/recovery",
 	"fabric/linkload", "fabric/failures",
-	"fabric/parscale", "fabric/parheal",
+	"fabric/parscale", "fabric/parheal", "fabric/distscale",
 	"system/arista",
 	"pack/fig8a", "pack/fig8b",
 	"scaling/fig2", "scaling/table2", "scaling/fig3",
@@ -226,6 +236,22 @@ func TestParallelSweepSpeedup(t *testing.T) {
 // Every registered scenario must document every parameter it accepts:
 // the -list output and the stardustd scenario API both promise a full
 // table, so an undocumented knob is a regression.
+// TestDistscaleScenario exercises the full distributed path from the
+// scenario layer: fork two real peer processes, serve the run over TCP,
+// and require the byte-identical verdict in the report.
+func TestDistscaleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: forks peer processes")
+	}
+	out := runBytes(t, engine.Options{Seed: 7, Format: "text"}, []engine.Job{{
+		Scenario: "fabric/distscale",
+		Params:   engine.Params{"peers": "2", "dur_ms": "1"},
+	}})
+	if !strings.Contains(string(out), "2 peer processes: byte-identical") {
+		t.Fatalf("distscale report missing verification line:\n%s", out)
+	}
+}
+
 func TestAllParamsDocumented(t *testing.T) {
 	for _, sc := range engine.List() {
 		if strings.HasPrefix(sc.Name, "test/") {

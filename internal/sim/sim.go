@@ -577,6 +577,18 @@ func (s *Simulator) RunUntil(deadline Time) {
 	}
 }
 
+// SkipTo advances the clock to t without executing anything. It exists for
+// distributed replicas: a process that owns only some shards of a parsim
+// engine keeps its unowned shards' clocks in lock-step (so barrier-context
+// code reading Now() behaves identically on every replica) while their
+// pending events are executed by the shard's real owner elsewhere. Events
+// already queued before t stay queued and are simply never run here.
+func (s *Simulator) SkipTo(t Time) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
 // SetGroup sets the group tag stamped on events scheduled from now on —
 // until the next executed event overrides it with its own group (tags
 // propagate causally). Use it at construction time to pin a model entity's
