@@ -6,6 +6,7 @@ package stardust_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"stardust/internal/analytic"
@@ -17,6 +18,7 @@ import (
 	"stardust/internal/parsim"
 	"stardust/internal/queueing"
 	"stardust/internal/sim"
+	"stardust/internal/telemetry"
 	"stardust/internal/topo"
 	"stardust/internal/workload"
 )
@@ -279,6 +281,59 @@ func (j *transportInjector) Act(uint64) {
 	p.SendOn()
 	if j.quota > 0 {
 		j.sm.AfterAction(j.gap, j, 0)
+	}
+}
+
+// BenchmarkTelemetryExport measures the per-scrape cost of the telemetry
+// hot path: one Capture reads every link direction of a loaded K=4
+// fabric into the recorder's reused snapshot, delta-encodes the window
+// into the STREC1 stream, and runs the event emitter. The recorder and
+// writer reuse all scratch buffers, so steady-state export must stay
+// allocation-free — a scrape that allocates would perturb the very
+// simulation it observes; benchguard gates the allocs/op.
+func BenchmarkTelemetryExport(b *testing.B) {
+	s := sim.New()
+	cl, err := fabric.ClosFor(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := fabric.New(s, fabric.DefaultConfig(10e9, sim.Microsecond, 1), cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Put real traffic on the fabric so every window encodes nonzero
+	// per-direction deltas (the worst case for the varint encoder).
+	for i := 0; i < 4096; i++ {
+		i := i
+		s.At(sim.Time(i/8)*2*sim.Microsecond, func() {
+			c := netsim.NewPacket()
+			c.Size = 512
+			n.Inject(c, i%8, (i+3)%8)
+		})
+	}
+	s.Run()
+	w, err := telemetry.NewWriter(io.Discard, telemetry.StreamHeader{
+		Dirs: 2 * n.NumLinks(), K: 4, ScrapePs: sim.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(w, n, nil, sim.Microsecond)
+	// Warm the snapshot and encode buffers: first captures grow them once.
+	for i := 0; i < 3; i++ {
+		rec.Capture(sim.Time(i+1) * sim.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Capture(sim.Time(i+4) * sim.Microsecond)
+	}
+	b.StopTimer()
+	if rec.Err() != nil {
+		b.Fatal(rec.Err())
+	}
+	if st := rec.Stats(); st.Windows != uint64(b.N)+3 {
+		b.Fatalf("captured %d windows, want %d", st.Windows, b.N+3)
 	}
 }
 

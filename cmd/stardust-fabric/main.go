@@ -3,9 +3,12 @@
 // per-link fabric's load-balance (linkload) and failure-recovery
 // (failures) scenarios, the sharded-engine scaling (parscale) and
 // fail/heal (parheal) scenarios, and the distributed-runtime sweep
-// (distscale). Each instance is independent, so -workers=N runs sweeps in
-// parallel; parscale/parheal additionally split one instance across
-// -shards event loops, or across real peer processes with -peers/-join.
+// (distscale), and the telemetry pair: record (write a durable STREC1
+// trace of a sharded run) and replay (re-drive the fabric from a trace as
+// a digital twin and report divergence). Each instance is independent, so
+// -workers=N runs sweeps in parallel; parscale/parheal additionally split
+// one instance across -shards event loops, or across real peer processes
+// with -peers/-join.
 package main
 
 import (
@@ -21,7 +24,7 @@ func main() {
 	// Before anything else: a forked peer child (-exp distscale, devnet)
 	// re-executes this binary and must branch into the peer loop here.
 	distsim.MaybeRunPeer()
-	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal, distscale")
+	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal, distscale, record, replay")
 	timings := flag.Bool("partimings", false, "parscale: report events/sec (total and per core) and speedup vs one shard (nondeterministic output)")
 	hotspot := flag.Float64("hotspot", 1, "parscale: boost factor for the first quarter of the FAs (>1 = skewed matrix)")
 	rebalance := flag.Bool("rebalance", false, "parscale: enable adaptive shard rebalancing (deterministic output is unchanged)")
@@ -33,6 +36,11 @@ func main() {
 	mode := flag.String("mode", "both", "linkload: spray, ecmp or both")
 	failN := flag.Int("fail", 4, "failures: number of random links to kill")
 	failMs := flag.Int("failat", 10, "failures: failure time in ms after warmup")
+	traceOut := flag.String("traceout", "", "record: file to write the STREC1 stream to")
+	traceIn := flag.String("tracein", "", "replay: recorded stream file (empty = record one inline)")
+	expectZero := flag.Bool("expectzero", false, "replay: fail the run unless it reports zero divergence")
+	failLink := flag.String("faillink", "", "replay: topology links to fail during the replay (comma list, the what-if knob)")
+	verifyPeers := flag.String("verifypeers", "", "record: comma list of peer-process counts to fork and verify stream byte-identity against")
 	eng := engine.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -59,6 +67,15 @@ func main() {
 	case "distscale":
 		job = engine.Job{Scenario: "fabric/distscale", Params: engine.Params{
 			"k": fmt.Sprint(*k),
+		}}
+	case "record":
+		job = engine.Job{Scenario: "trace/record", Params: engine.Params{
+			"k": fmt.Sprint(*k), "out": *traceOut, "peers": *verifyPeers,
+		}}
+	case "replay":
+		job = engine.Job{Scenario: "trace/replay", Params: engine.Params{
+			"k": fmt.Sprint(*k), "in": *traceIn,
+			"expect_zero": fmt.Sprint(*expectZero), "fail_link": *failLink,
 		}}
 	default:
 		p := engine.Params{

@@ -21,6 +21,11 @@
 //	curl localhost:8080/api/v1/fabric/telemetry
 //	curl "localhost:8080/api/v1/fabric/events?since=0"
 //	curl localhost:8080/metrics
+//	# durable telemetry stream + analytics (with -fabric-telem-us)
+//	curl -o fabric.strec localhost:8080/api/v1/telemetry/stream
+//	curl "localhost:8080/api/v1/telemetry/findings?follow=1"
+//	# digital-twin replay of a recorded stream with a what-if failure
+//	curl -X POST --data-binary @trace.strec "localhost:8080/api/v1/replay?fail_link=3"
 package main
 
 import (
@@ -46,6 +51,8 @@ func main() {
 	fabricShards := flag.Int("fabric-shards", 1, "event-loop shards for the managed fabric (>1 = parallel sharded simulation)")
 	fabricLoad := flag.Float64("fabric-load", 0.3, "offered load fraction on the managed fabric")
 	transportHostsPer := flag.Int("transport-hosts-per", 0, "run the sharded Stardust transport overlay with N hosts per FA (TCP permutation load, telemetry at /api/v1/transport; 0 = raw cell injectors)")
+	telemUs := flag.Int("fabric-telem-us", 0, "record the managed fabric as a STREC1 telemetry stream, one window per N sim-us (0 = off; serves /api/v1/telemetry/*)")
+	telemCapMB := flag.Int("fabric-telem-cap-mb", 64, "in-memory cap for the recorded telemetry stream, in MiB")
 	chaosMs := flag.Int("chaos-every-ms", 0, "fail one random link every N sim-ms (0 = no chaos)")
 	healMs := flag.Int("heal-after-ms", 5, "chaos-failed links recover after N sim-ms")
 	scrapeUs := flag.Int("scrape-every-us", 1000, "telemetry scrape period in sim-us")
@@ -68,6 +75,8 @@ func main() {
 			Seed:              *seed,
 			Shards:            *fabricShards,
 			TransportHostsPer: *transportHostsPer,
+			Telem:             sim.Time(*telemUs) * sim.Microsecond,
+			TelemCap:          *telemCapMB << 20,
 			Controller: mgmt.Config{
 				ScrapeEvery: sim.Time(*scrapeUs) * sim.Microsecond,
 			},

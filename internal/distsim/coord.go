@@ -12,6 +12,9 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"stardust/internal/sim"
+	"stardust/internal/telemetry"
 )
 
 // CoordConfig configures one distributed run.
@@ -36,6 +39,12 @@ type CoordConfig struct {
 	// Log, when non-nil, receives human-readable progress lines (joins,
 	// deaths, restores). Never written on the hot path.
 	Log io.Writer
+	// Stream, when non-nil and Spec.Telem > 0, receives the canonical
+	// STREC1 telemetry stream assembled from the peers' owned counters —
+	// byte-identical to what Record produces locally for the same Spec.
+	Stream io.Writer
+	// Stats receives window-loop metrics; nil means DefaultStats.
+	Stats *CoordStats
 }
 
 // Listen binds the coordinator's TCP endpoint. Split from Serve so a
@@ -44,21 +53,51 @@ func Listen(addr string) (net.Listener, error) {
 	return net.Listen("tcp", addr)
 }
 
-// peerConn is one live peer connection with framing and deadlines.
+// peerConn is one live peer connection with framing and deadlines. When
+// stats is set (coordinator side), raw and wire byte counts flow into it.
 type peerConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	io   time.Duration
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	io    time.Duration
+	stats *CoordStats
 }
 
-func newPeerConn(conn net.Conn, ioTimeout time.Duration) *peerConn {
-	return &peerConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), io: ioTimeout}
+// countConn counts the bytes that actually cross the wire (compressed
+// bodies plus frame headers), under the bufio layers.
+type countConn struct {
+	conn  net.Conn
+	stats *CoordStats
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.conn.Read(p)
+	c.stats.addWire(n)
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.conn.Write(p)
+	c.stats.addWire(n)
+	return n, err
+}
+
+func newPeerConn(conn net.Conn, ioTimeout time.Duration, stats *CoordStats) *peerConn {
+	var r io.Reader = conn
+	var w io.Writer = conn
+	if stats != nil {
+		cc := countConn{conn: conn, stats: stats}
+		r, w = cc, cc
+	}
+	return &peerConn{conn: conn, r: bufio.NewReader(r), w: bufio.NewWriter(w), io: ioTimeout, stats: stats}
 }
 
 func (pc *peerConn) write(typ byte, body []byte, compress bool) error {
 	if pc.io > 0 {
 		pc.conn.SetWriteDeadline(time.Now().Add(pc.io))
+	}
+	if pc.stats != nil {
+		pc.stats.addRaw(len(body) + 2)
 	}
 	if err := writeFrame(pc.w, typ, body, compress); err != nil {
 		return err
@@ -70,7 +109,11 @@ func (pc *peerConn) read() (byte, []byte, error) {
 	if pc.io > 0 {
 		pc.conn.SetReadDeadline(time.Now().Add(pc.io))
 	}
-	return readFrame(pc.r)
+	typ, body, err := readFrame(pc.r)
+	if err == nil && pc.stats != nil {
+		pc.stats.addRaw(len(body) + 2)
+	}
+	return typ, body, err
 }
 
 // fail sends a best-effort ERROR frame and closes the connection.
@@ -88,6 +131,7 @@ type coord struct {
 	peers  []*peerConn
 	log    *mailLog
 	none   []bool // all-false ownership: the coordinator executes nothing
+	stats  *CoordStats
 }
 
 // Serve runs one distributed simulation on an already-bound listener and
@@ -109,6 +153,9 @@ func Serve(lis net.Listener, cfg CoordConfig) (Outcome, error) {
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = 60 * time.Second
 	}
+	if cfg.Stats == nil {
+		cfg.Stats = DefaultStats
+	}
 	model, err := NewModel(cfg.Spec)
 	if err != nil {
 		lis.Close()
@@ -123,6 +170,7 @@ func Serve(lis net.Listener, cfg CoordConfig) (Outcome, error) {
 		conns:  make(chan net.Conn, 16),
 		peers:  make([]*peerConn, cfg.Peers),
 		none:   make([]bool, cfg.Spec.Shards),
+		stats:  cfg.Stats,
 	}
 	c.log, err = newMailLog(cfg.Peers, cfg.CheckpointDir, cfg.Spec, owners)
 	if err != nil {
@@ -142,7 +190,7 @@ func Serve(lis net.Listener, cfg CoordConfig) (Outcome, error) {
 			select {
 			case c.conns <- conn:
 			default:
-				newPeerConn(conn, cfg.IOTimeout).fail("distsim: join queue full")
+				newPeerConn(conn, cfg.IOTimeout, nil).fail("distsim: join queue full")
 			}
 		}
 	}()
@@ -154,7 +202,7 @@ func Serve(lis net.Listener, cfg CoordConfig) (Outcome, error) {
 		for {
 			select {
 			case conn := <-c.conns:
-				newPeerConn(conn, cfg.IOTimeout).fail("distsim: no free peer slot: all peers already joined")
+				newPeerConn(conn, cfg.IOTimeout, nil).fail("distsim: no free peer slot: all peers already joined")
 			default:
 				return
 			}
@@ -206,7 +254,7 @@ func (c *coord) join(p, resume int, wait time.Duration) (*peerConn, error) {
 	case <-time.After(wait):
 		return nil, fmt.Errorf("distsim: timed out waiting for peer %d to join", p)
 	}
-	pc := newPeerConn(conn, c.cfg.IOTimeout)
+	pc := newPeerConn(conn, c.cfg.IOTimeout, c.stats)
 	typ, body, err := pc.read()
 	if err != nil {
 		pc.conn.Close()
@@ -294,46 +342,48 @@ func (c *coord) replace(p, w int, cause error, resendGo bool) error {
 	return nil
 }
 
-// readDone reads and parses peer p's DONE frame for window w.
-func (c *coord) readDone(p, w int) (pending int, entries []mailEntry, err error) {
+// readDone reads and parses peer p's DONE frame for window w. telem is
+// whatever follows the mail batch — the peer's telemetry section when
+// Spec.Telem > 0, empty otherwise.
+func (c *coord) readDone(p, w int) (pending int, entries []mailEntry, telem []byte, err error) {
 	typ, body, err := c.peers[p].read()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if typ == tError {
-		return 0, nil, fmt.Errorf("distsim: peer %d: %s", p, body)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d: %s", p, body)
 	}
 	if typ != tDone {
-		return 0, nil, fmt.Errorf("distsim: peer %d sent frame %d instead of DONE", p, typ)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d sent frame %d instead of DONE", p, typ)
 	}
 	gotW, k1 := binary.Uvarint(body)
 	if k1 <= 0 {
-		return 0, nil, fmt.Errorf("distsim: peer %d truncated DONE", p)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d truncated DONE", p)
 	}
 	if int(gotW) != w {
-		return 0, nil, fmt.Errorf("distsim: peer %d answered window %d during window %d", p, gotW, w)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d answered window %d during window %d", p, gotW, w)
 	}
 	pend, k2 := binary.Uvarint(body[k1:])
 	if k2 <= 0 {
-		return 0, nil, fmt.Errorf("distsim: peer %d truncated DONE", p)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d truncated DONE", p)
 	}
 	count, rest, err := batchCount(body[k1+k2:])
 	if err != nil {
-		return 0, nil, fmt.Errorf("distsim: peer %d: %w", p, err)
+		return 0, nil, nil, fmt.Errorf("distsim: peer %d: %w", p, err)
 	}
 	entries = make([]mailEntry, 0, count)
 	for i := 0; i < count; i++ {
 		var e mailEntry
 		e, rest, err = readEntry(rest)
 		if err != nil {
-			return 0, nil, fmt.Errorf("distsim: peer %d: %w", p, err)
+			return 0, nil, nil, fmt.Errorf("distsim: peer %d: %w", p, err)
 		}
 		if e.dst < 0 || e.dst >= c.cfg.Spec.Shards {
-			return 0, nil, fmt.Errorf("distsim: peer %d mailed nonexistent shard %d", p, e.dst)
+			return 0, nil, nil, fmt.Errorf("distsim: peer %d mailed nonexistent shard %d", p, e.dst)
 		}
 		entries = append(entries, e)
 	}
-	return int(pend), entries, nil
+	return int(pend), entries, rest, nil
 }
 
 // run drives the lock-step window loop: GO out, replica step, DONE in,
@@ -343,6 +393,32 @@ func (c *coord) run() (Outcome, error) {
 	look := eng.Lookahead()
 	until := (c.model.Horizon + c.model.Drain + look - 1) / look * look
 	npeers := c.cfg.Peers
+
+	// Telemetry assembly: peers ship their owned counters at scrape
+	// boundaries inside DONE frames; the coordinator accumulates them
+	// into absolute snapshots and writes canonical stream windows through
+	// the same Emitter the local recorder uses — byte-identical output.
+	every := c.cfg.Spec.telemEvery(look)
+	var emit *telemetry.Emitter
+	var acc telemetry.Snapshot
+	ndirs := 2 * len(c.model.Clos.Links)
+	numFA := c.model.Clos.NumFA
+	if every > 0 && c.cfg.Stream != nil {
+		hdr, err := streamHeaderFor(c.cfg.Spec, c.model, every)
+		if err != nil {
+			c.abort(err)
+			return Outcome{}, err
+		}
+		tw, err := telemetry.NewWriter(c.cfg.Stream, hdr)
+		if err != nil {
+			c.abort(err)
+			return Outcome{}, err
+		}
+		emit = telemetry.NewEmitter(tw)
+		acc.Dirs = make([]telemetry.DirSample, ndirs)
+		acc.Sinks = make([]telemetry.SinkSample, numFA)
+	}
+	telemSecs := make([][]byte, npeers)
 
 	nextOut := make([][]byte, npeers) // per peer: the next GO's mail batch
 	sumPending, lastMail := -1, 0
@@ -359,10 +435,15 @@ func (c *coord) run() (Outcome, error) {
 		if c.cfg.OnWindow != nil {
 			c.cfg.OnWindow(w)
 		}
+		winStart := time.Now()
+		mailRaw, mailFrames := 0, 0
 		for p := 0; p < npeers; p++ {
 			batch := nextOut[p]
 			if batch == nil {
 				batch = emptyBatch
+			} else {
+				mailRaw += len(batch)
+				mailFrames++
 			}
 			if err := c.log.log(p, w, batch); err != nil {
 				c.abort(err)
@@ -388,21 +469,27 @@ func (c *coord) run() (Outcome, error) {
 			nextOut[p] = nil
 		}
 		counts := make([]int, npeers)
+		totalEntries := 0
 		for p := 0; p < npeers; p++ {
-			pend, entries, err := c.readDone(p, w)
+			pend, entries, telem, err := c.readDone(p, w)
 			if err != nil {
 				if err := c.replace(p, w, err, true); err != nil {
 					c.abort(err)
 					return Outcome{}, err
 				}
-				if pend, entries, err = c.readDone(p, w); err != nil {
+				if pend, entries, telem, err = c.readDone(p, w); err != nil {
 					err = fmt.Errorf("distsim: restored peer %d failed window %d again: %w", p, w, err)
 					c.abort(err)
 					return Outcome{}, err
 				}
 			}
+			telemSecs[p] = telem
+			if len(entries) > 0 {
+				mailFrames++
+			}
 			sumPending += pend
 			lastMail += len(entries)
+			totalEntries += len(entries)
 			for _, e := range entries {
 				dp := c.owners[e.dst]
 				if nextOut[dp] == nil {
@@ -415,8 +502,29 @@ func (c *coord) run() (Outcome, error) {
 		for p := range nextOut {
 			if nextOut[p] != nil {
 				nextOut[p] = append(binary.AppendUvarint(nil, uint64(counts[p])), nextOut[p]...)
+				mailRaw += len(nextOut[p])
 			}
 		}
+		if emit != nil {
+			end := eng.Now()
+			if boundary := ((end-look)/every + 1) * every; boundary <= end {
+				if err := c.mergeTelem(telemSecs, boundary, &acc, ndirs, numFA); err != nil {
+					c.abort(err)
+					return Outcome{}, err
+				}
+				acc.T = boundary
+				for d := 0; d < ndirs; d++ {
+					acc.Dirs[d].Up = c.model.Net.LinkUp(d / 2)
+				}
+				if err := emit.Emit(&acc); err != nil {
+					err = fmt.Errorf("distsim: telemetry stream: %w", err)
+					c.abort(err)
+					return Outcome{}, err
+				}
+				c.stats.telemWindow()
+			}
+		}
+		c.stats.window(time.Since(winStart), mailRaw, mailFrames, totalEntries)
 		w++
 	}
 	if !quiet && sumPending >= 0 {
@@ -428,6 +536,73 @@ func (c *coord) run() (Outcome, error) {
 		return Outcome{}, err
 	}
 	return c.finish(w)
+}
+
+// mergeTelem folds every peer's telemetry section for one scrape
+// boundary into the accumulated absolute snapshot. Each entity is owned
+// by exactly one peer, so the merge is plain assignment; the count check
+// verifies complete coverage.
+func (c *coord) mergeTelem(secs [][]byte, want sim.Time, acc *telemetry.Snapshot, ndirs, numFA int) error {
+	dirsSeen, sinksSeen := 0, 0
+	for p, b := range secs {
+		nb, b, err := telemUv(b)
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", p, err)
+		}
+		if nb != 1 {
+			return fmt.Errorf("distsim: peer %d shipped %d telemetry boundaries, coordinator expected 1", p, nb)
+		}
+		t, b, err := telemUv(b)
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", p, err)
+		}
+		if sim.Time(t) != want {
+			return fmt.Errorf("distsim: peer %d scraped at t=%d, coordinator expected t=%d", p, t, want)
+		}
+		nd, b, err := telemUv(b)
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", p, err)
+		}
+		for i := 0; i < int(nd); i++ {
+			var d, fb, fc, dr, qb uint64
+			for _, v := range []*uint64{&d, &fb, &fc, &dr, &qb} {
+				if *v, b, err = telemUv(b); err != nil {
+					return fmt.Errorf("peer %d: %w", p, err)
+				}
+			}
+			if d >= uint64(ndirs) {
+				return fmt.Errorf("distsim: peer %d reported nonexistent link dir %d", p, d)
+			}
+			s := &acc.Dirs[d]
+			s.FwdBytes, s.FwdCells, s.Drops, s.QueueBytes = fb, fc, dr, qb
+			dirsSeen++
+		}
+		ns, b, err := telemUv(b)
+		if err != nil {
+			return fmt.Errorf("peer %d: %w", p, err)
+		}
+		for i := 0; i < int(ns); i++ {
+			var fa, cells, bytes uint64
+			for _, v := range []*uint64{&fa, &cells, &bytes} {
+				if *v, b, err = telemUv(b); err != nil {
+					return fmt.Errorf("peer %d: %w", p, err)
+				}
+			}
+			if fa >= uint64(numFA) {
+				return fmt.Errorf("distsim: peer %d reported nonexistent sink %d", p, fa)
+			}
+			acc.Sinks[fa] = telemetry.SinkSample{Cells: cells, Bytes: bytes}
+			sinksSeen++
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("distsim: peer %d telemetry section has %d trailing bytes", p, len(b))
+		}
+	}
+	if dirsSeen != ndirs || sinksSeen != numFA {
+		return fmt.Errorf("distsim: telemetry coverage hole: got %d/%d dirs, %d/%d sinks",
+			dirsSeen, ndirs, sinksSeen, numFA)
+	}
+	return nil
 }
 
 // finish collects every peer's owned counters, verifies they cover the
@@ -555,6 +730,7 @@ func (c *coord) finish(windows int) (Outcome, error) {
 	out.Unreachable += c.model.Net.DeadFAs()
 	out.Digest = foldDigest(sinkCells, sinkBytes, dirs)
 	out.ShardEvents = shardEv
+	c.stats.runDone()
 	c.logf("distsim: run complete after %d windows, digest %016x", windows, out.Digest)
 	return out, nil
 }

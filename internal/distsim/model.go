@@ -48,6 +48,25 @@ type Spec struct {
 	FailN     int      `json:"failN"`
 	FailAt    sim.Time `json:"failAt"`
 	HealAt    sim.Time `json:"healAt"`
+	// Telem, when positive, turns on telemetry export: one STREC1 window
+	// per Telem of simulated time (rounded up to whole lookahead windows
+	// so scrape instants land exactly on barriers).
+	Telem sim.Time `json:"telem,omitempty"`
+	// FailLinks names specific topology links to fail at FailAt (and heal
+	// at HealAt when HealAt > FailAt) — the replay what-if knob, as
+	// opposed to FailN's seed-random chaos.
+	FailLinks []int `json:"failLinks,omitempty"`
+}
+
+// telemEvery returns the effective scrape period: Telem rounded up to a
+// whole number of lookahead windows (0 when telemetry is off). Scrape
+// instants must land exactly on barriers so every shard count and
+// process placement captures identical state.
+func (s Spec) telemEvery(look sim.Time) sim.Time {
+	if s.Telem <= 0 {
+		return 0
+	}
+	return (s.Telem + look - 1) / look * look
 }
 
 // CellSink counts delivered cells for one destination FA. Installed with
@@ -127,6 +146,16 @@ func NewModel(spec Spec) (*Model, error) {
 		for i := 0; i < spec.FailN; i++ {
 			lk := rng.Intn(n.NumLinks())
 			eng.At(spec.FailAt, func() { n.FailLink(lk) })
+			eng.At(spec.HealAt, func() { n.RestoreLink(lk) })
+		}
+	}
+	for _, lk := range spec.FailLinks {
+		if lk < 0 || lk >= n.NumLinks() {
+			return nil, fmt.Errorf("distsim: fail-link %d out of range (fabric has %d links)", lk, n.NumLinks())
+		}
+		lk := lk
+		eng.At(spec.FailAt, func() { n.FailLink(lk) })
+		if spec.HealAt > spec.FailAt {
 			eng.At(spec.HealAt, func() { n.RestoreLink(lk) })
 		}
 	}

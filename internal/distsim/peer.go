@@ -71,7 +71,7 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 // connection on reaching that window, simulating a crash mid-run for the
 // checkpoint/restore tests (it cannot SIGKILL a goroutine).
 func runPeerConn(conn net.Conn, dieAtWindow int) error {
-	pc := newPeerConn(conn, peerIOTimeout)
+	pc := newPeerConn(conn, peerIOTimeout, nil)
 	hb, err := json.Marshal(helloMsg{Version: protoVersion})
 	if err != nil {
 		return err
@@ -104,6 +104,24 @@ func runPeerConn(conn net.Conn, dieAtWindow int) error {
 	owned := make([]bool, wm.Spec.Shards)
 	for s, o := range wm.Owners {
 		owned[s] = o == wm.PeerID
+	}
+
+	// Telemetry: at each scrape boundary this peer ships the absolute
+	// counters of the entities it owns (disjoint across peers, complete
+	// in union). The owned sets are static, computed once.
+	telem := wm.Spec.telemEvery(m.Eng.Lookahead())
+	var ownedDirs, ownedFAs []int
+	if telem > 0 {
+		for d := 0; d < 2*len(m.Clos.Links); d++ {
+			if owned[m.Net.OwnerOfLinkDir(d)] {
+				ownedDirs = append(ownedDirs, d)
+			}
+		}
+		for fa := range m.Sinks {
+			if owned[m.Net.ShardOfFA(fa)] {
+				ownedFAs = append(ownedFAs, fa)
+			}
+		}
 	}
 
 	// Restore by replay: the checkpoint is the inbound mail history, and
@@ -169,7 +187,7 @@ func runPeerConn(conn net.Conn, dieAtWindow int) error {
 				return err
 			}
 			outBuf, outCount, encodeErr = outBuf[:0], 0, nil
-			m.Eng.StepOwned(owned, emit)
+			end := m.Eng.StepOwned(owned, emit)
 			if encodeErr != nil {
 				pc.write(tError, []byte(encodeErr.Error()), false)
 				return encodeErr
@@ -178,6 +196,9 @@ func runPeerConn(conn net.Conn, dieAtWindow int) error {
 			done = binary.AppendUvarint(done, uint64(m.Eng.OwnedPending(owned)))
 			done = binary.AppendUvarint(done, uint64(outCount))
 			done = append(done, outBuf...)
+			if telem > 0 {
+				done = appendTelemSection(done, m, ownedDirs, ownedFAs, end, m.Eng.Lookahead(), telem)
+			}
 			if err := pc.write(tDone, done, true); err != nil {
 				return err
 			}

@@ -1,0 +1,120 @@
+// Coordinator observability: until now the distributed runtime ran
+// blind — no way to see window barrier latency, how much mail crosses
+// the wire, or what compression buys. CoordStats is the snapshot API the
+// serving tier renders on /metrics.
+package distsim
+
+import (
+	"sync"
+	"time"
+
+	"stardust/internal/telemetry"
+)
+
+// CoordStats accumulates coordinator window-loop metrics across runs.
+// Safe for concurrent use; Serve updates it while HTTP handlers read
+// snapshots.
+type CoordStats struct {
+	mu           sync.Mutex
+	runs         uint64
+	windows      uint64
+	telemWindows uint64
+	mailFrames   uint64 // GO + DONE frames carrying mail
+	mailEntries  uint64
+	rawBytes     uint64 // frame bodies before compression
+	wireBytes    uint64 // bytes actually on the wire (headers included)
+	barrier      *telemetry.Histogram
+	mailBytes    *telemetry.Histogram
+}
+
+// NewCoordStats builds an empty stats accumulator.
+func NewCoordStats() *CoordStats {
+	return &CoordStats{
+		// Window barrier latency in seconds: 10µs .. ~0.6s.
+		barrier: telemetry.NewHistogram(telemetry.ExpBuckets(10e-6, 4, 9)...),
+		// Mail payload per window in bytes: 64B .. ~1MB.
+		mailBytes: telemetry.NewHistogram(telemetry.ExpBuckets(64, 4, 8)...),
+	}
+}
+
+// DefaultStats is the process-wide accumulator: Serve updates it when
+// CoordConfig.Stats is nil, and stardustd's /metrics renders it.
+var DefaultStats = NewCoordStats()
+
+// CoordStatsSnapshot is a point-in-time copy of the coordinator metrics.
+type CoordStatsSnapshot struct {
+	Runs             uint64                 `json:"runs"`
+	Windows          uint64                 `json:"windows"`
+	TelemetryWindows uint64                 `json:"telemetry_windows"`
+	MailFrames       uint64                 `json:"mail_frames"`
+	MailEntries      uint64                 `json:"mail_entries"`
+	RawBytes         uint64                 `json:"raw_bytes"`
+	WireBytes        uint64                 `json:"wire_bytes"`
+	CompressionRatio float64                `json:"compression_ratio"` // raw/wire, 0 until traffic flows
+	BarrierLatency   telemetry.HistSnapshot `json:"-"`
+	WindowMailBytes  telemetry.HistSnapshot `json:"-"`
+}
+
+// Snapshot copies the current counters.
+func (s *CoordStats) Snapshot() CoordStatsSnapshot {
+	s.mu.Lock()
+	snap := CoordStatsSnapshot{
+		Runs:             s.runs,
+		Windows:          s.windows,
+		TelemetryWindows: s.telemWindows,
+		MailFrames:       s.mailFrames,
+		MailEntries:      s.mailEntries,
+		RawBytes:         s.rawBytes,
+		WireBytes:        s.wireBytes,
+	}
+	s.mu.Unlock()
+	if snap.WireBytes > 0 {
+		snap.CompressionRatio = float64(snap.RawBytes) / float64(snap.WireBytes)
+	}
+	snap.BarrierLatency = s.barrier.Snapshot()
+	snap.WindowMailBytes = s.mailBytes.Snapshot()
+	return snap
+}
+
+// BarrierHist exposes the barrier-latency histogram for /metrics.
+func (s *CoordStats) BarrierHist() telemetry.HistSnapshot { return s.barrier.Snapshot() }
+
+// MailHist exposes the per-window mail-bytes histogram for /metrics.
+func (s *CoordStats) MailHist() telemetry.HistSnapshot { return s.mailBytes.Snapshot() }
+
+func (s *CoordStats) addWire(n int) {
+	s.mu.Lock()
+	s.wireBytes += uint64(n)
+	s.mu.Unlock()
+}
+
+func (s *CoordStats) addRaw(n int) {
+	s.mu.Lock()
+	s.rawBytes += uint64(n)
+	s.mu.Unlock()
+}
+
+// window records one completed lock-step window: wall-clock barrier
+// latency, mail volume (raw batch bytes through the star), frames and
+// entries relayed.
+func (s *CoordStats) window(d time.Duration, mailBytes, frames, entries int) {
+	s.mu.Lock()
+	s.windows++
+	s.mailFrames += uint64(frames)
+	s.mailEntries += uint64(entries)
+	s.mu.Unlock()
+	s.barrier.Observe(d.Seconds())
+	s.mailBytes.Observe(float64(mailBytes))
+}
+
+func (s *CoordStats) telemWindow() {
+	s.mu.Lock()
+	s.telemWindows++
+	s.mu.Unlock()
+}
+
+func (s *CoordStats) runDone() {
+	s.mu.Lock()
+	s.runs++
+	s.mu.Unlock()
+}

@@ -30,7 +30,9 @@ import (
 	"stardust/internal/sim"
 )
 
-const protoVersion = 1
+// protoVersion 2 added the optional telemetry section on DONE frames
+// (present whenever Spec.Telem > 0).
+const protoVersion = 2
 
 // Frame types.
 const (
@@ -230,6 +232,60 @@ func readEntry(b []byte) (mailEntry, []byte, error) {
 
 // emptyBatch is a zero-entry mail batch.
 var emptyBatch = []byte{0}
+
+// Telemetry section (appended to DONE after the mail batch when
+// Spec.Telem > 0): the absolute counter values of every entity the peer
+// owns, captured at each scrape boundary inside the window. A window of
+// one lookahead contains at most one boundary, but the count keeps the
+// format self-describing:
+//
+//	telem    := uvarint nboundaries | nboundaries * boundary
+//	boundary := uvarint t |
+//	            uvarint ndirs  | ndirs  * (uvarint dir | uvarint fwdBytes |
+//	                                       uvarint fwdCells | uvarint drops |
+//	                                       uvarint queueBytes) |
+//	            uvarint nsinks | nsinks * (uvarint fa | uvarint cells | uvarint bytes)
+//
+// Absolute values (not deltas) make re-shipment after a peer
+// death/restore idempotent: the coordinator simply overwrites.
+
+// appendTelemSection captures the peer's owned counters for every scrape
+// boundary in (end-look, end] and appends the section to b.
+func appendTelemSection(b []byte, m *Model, ownedDirs, ownedFAs []int, end, look, every sim.Time) []byte {
+	start := end - look
+	first := (start/every + 1) * every
+	if first > end {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.AppendUvarint(b, uint64(first))
+	b = binary.AppendUvarint(b, uint64(len(ownedDirs)))
+	for _, d := range ownedDirs {
+		fb, fc, dr, qb := m.Net.DirTelemetry(d)
+		b = binary.AppendUvarint(b, uint64(d))
+		b = binary.AppendUvarint(b, fb)
+		b = binary.AppendUvarint(b, fc)
+		b = binary.AppendUvarint(b, dr)
+		b = binary.AppendUvarint(b, uint64(qb))
+	}
+	b = binary.AppendUvarint(b, uint64(len(ownedFAs)))
+	for _, fa := range ownedFAs {
+		s := m.Sinks[fa]
+		b = binary.AppendUvarint(b, uint64(fa))
+		b = binary.AppendUvarint(b, s.Cells)
+		b = binary.AppendUvarint(b, s.Bytes)
+	}
+	return b
+}
+
+// telemUv reads one uvarint off a telemetry section.
+func telemUv(b []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("distsim: truncated telemetry section")
+	}
+	return v, b[k:], nil
+}
 
 // batchCount reads the entry count off the front of a mail batch.
 func batchCount(b []byte) (int, []byte, error) {

@@ -275,3 +275,11 @@ func (n *Net) DirCounters(d int) (fwdBytes, fwdCells, drops uint64) {
 	l := n.links[d]
 	return l.q.FwdBytes, l.q.Forwarded, l.q.Drops
 }
+
+// DirTelemetry snapshots directed link d's telemetry tuple: DirCounters
+// plus instantaneous queue occupancy. This is what a distributed peer
+// ships per owned dir at a scrape boundary. Barrier context only.
+func (n *Net) DirTelemetry(d int) (fwdBytes, fwdCells, drops uint64, queueBytes int) {
+	l := n.links[d]
+	return l.q.FwdBytes, l.q.Forwarded, l.q.Drops, l.q.Bytes()
+}

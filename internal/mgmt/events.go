@@ -1,6 +1,7 @@
 package mgmt
 
 import (
+	"log"
 	"sync"
 
 	"stardust/internal/sim"
@@ -55,6 +56,10 @@ type Bus struct {
 
 	// Dropped counts events lost to full subscriber channels.
 	Dropped uint64
+
+	subDrops map[int]uint64 // per-subscriber losses (live subscribers only)
+	evicted  uint64         // retained-log entries overwritten by ring wrap
+	warned   bool           // one-shot loss warning emitted
 }
 
 // NewBus returns a bus retaining the last capacity events.
@@ -62,7 +67,11 @@ func NewBus(capacity int) *Bus {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Bus{ring: make([]Event, capacity), subs: make(map[int]chan Event)}
+	return &Bus{
+		ring:     make([]Event, capacity),
+		subs:     make(map[int]chan Event),
+		subDrops: make(map[int]uint64),
+	}
 }
 
 // Publish stamps e with the next sequence number, appends it to the ring
@@ -81,15 +90,21 @@ func (b *Bus) Publish(e Event) Event {
 		if b.head == len(b.ring) {
 			b.head = 0
 		}
+		b.evicted++
 	} else {
 		b.n++
 	}
 	b.ring[i] = e
-	for _, ch := range b.subs {
+	for id, ch := range b.subs {
 		select {
 		case ch <- e:
 		default:
 			b.Dropped++
+			b.subDrops[id]++
+			if !b.warned {
+				b.warned = true
+				log.Printf("mgmt: event bus dropping events (subscriber %d not draining); further losses are counted, not logged", id)
+			}
 		}
 	}
 	return e
@@ -112,6 +127,7 @@ func (b *Bus) Subscribe(buf int) (<-chan Event, func()) {
 		b.mu.Lock()
 		if _, ok := b.subs[id]; ok {
 			delete(b.subs, id)
+			delete(b.subDrops, id)
 			close(ch)
 		}
 		b.mu.Unlock()
@@ -145,4 +161,39 @@ func (b *Bus) LastSeq() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.seq
+}
+
+// BusStats is the bus's own loss accounting: events published, retained
+// in the queryable ring, evicted from it by wrap-around, and dropped on
+// the live fan-out — in total and per still-connected subscriber. Before
+// this existed both loss paths were silent.
+type BusStats struct {
+	Published     uint64         `json:"published"`
+	Retained      int            `json:"retained"`
+	Capacity      int            `json:"capacity"`
+	Evicted       uint64         `json:"evicted"`
+	Dropped       uint64         `json:"dropped"`
+	Subscribers   int            `json:"subscribers"`
+	PerSubscriber map[int]uint64 `json:"dropped_per_subscriber,omitempty"`
+}
+
+// Stats snapshots the loss counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BusStats{
+		Published:   b.seq,
+		Retained:    b.n,
+		Capacity:    len(b.ring),
+		Evicted:     b.evicted,
+		Dropped:     b.Dropped,
+		Subscribers: len(b.subs),
+	}
+	if len(b.subDrops) > 0 {
+		st.PerSubscriber = make(map[int]uint64, len(b.subDrops))
+		for id, n := range b.subDrops {
+			st.PerSubscriber[id] = n
+		}
+	}
+	return st
 }

@@ -9,6 +9,8 @@ import (
 	"stardust/internal/netsim"
 	"stardust/internal/parsim"
 	"stardust/internal/sim"
+	"stardust/internal/telemetry"
+	"stardust/internal/topo"
 )
 
 // FabricRunConfig sizes the daemon's live fabric: the topology, a
@@ -39,6 +41,16 @@ type FabricRunConfig struct {
 	// its counters at the window barrier (TransportMonitor). Forces the
 	// sharded engine (Shards floors at 1).
 	TransportHostsPer int
+	// Telem, when > 0, records the run as a durable STREC1 telemetry
+	// stream: one window per Telem of simulated time (rounded up to whole
+	// lookahead windows on the sharded engine), scraped in barrier
+	// context, buffered in memory for download, and fed to the online
+	// analyzer pipeline.
+	Telem sim.Time
+	// TelemCap caps the in-memory stream buffer (0 means 64 MiB). When
+	// the cap is hit the stream stops growing and the recorder latches
+	// ErrStreamFull; the run itself is unaffected.
+	TelemCap int
 	// Controller configures the attached management plane.
 	Controller Config
 }
@@ -75,8 +87,29 @@ type FabricRun struct {
 	Net   *netsim.ShardedStardustNet // non-nil when the transport overlay is on
 	Trans *TransportMonitor          // barrier-scraped transport telemetry
 
+	// Telemetry pipeline (all nil/zero unless Cfg.Telem > 0): the STREC1
+	// recorder, the capped in-memory stream it writes, the live analyzer
+	// findings, and the per-FA delivery heatmap.
+	Rec      *telemetry.Recorder
+	TelemBuf *telemetry.Buffer
+	Findings *telemetry.FindingLog
+	Heat     *telemetry.FAHeatmap
+
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// faSink counts per-FA deliveries for the telemetry stream. Installed
+// with SetEgress it runs pinned to its FA's shard, so no locking.
+type faSink struct {
+	cells, bytes uint64
+}
+
+// Receive implements netsim.Handler.
+func (s *faSink) Receive(c *netsim.Packet) {
+	s.cells++
+	s.bytes += uint64(c.Size)
+	c.Release()
 }
 
 // NewFabricRun builds the fabric, attaches the controller, and schedules
@@ -171,7 +204,70 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 			s.After(cfg.FailEvery, chaos)
 		}
 	}
+	if cfg.Telem > 0 {
+		if err := r.buildTelemetry(cl); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// buildTelemetry wires the STREC1 recorder over the live fabric: a
+// capped in-memory stream buffer (the download endpoint serves it), the
+// scrape attached in barrier context (sharded) or as a periodic event
+// (solo), and the default online analyzer pipeline feeding the findings
+// log the NDJSON tail endpoint reads.
+func (r *FabricRun) buildTelemetry(cl *topo.Clos) error {
+	every := r.Cfg.Telem
+	if r.Eng != nil {
+		// Scrape instants must land exactly on window barriers so the
+		// captured state is quiescent and shard-count independent.
+		look := r.Eng.Lookahead()
+		every = (every + look - 1) / look * look
+	}
+	hdr := telemetry.StreamHeader{
+		Format:   telemetry.Format,
+		Dirs:     2 * len(cl.Links),
+		K:        r.Cfg.K,
+		Seed:     r.Cfg.Seed,
+		ScrapePs: every,
+	}
+	var sinks telemetry.SinkFunc
+	if r.Net == nil {
+		// Raw-cell load: install per-FA delivery sinks so the stream
+		// carries the per-FA delivery series the heatmap renders.
+		fas := make([]*faSink, cl.NumFA)
+		for fa := range fas {
+			fas[fa] = &faSink{}
+			r.Fab.SetEgress(fa, fas[fa])
+		}
+		hdr.FAs = cl.NumFA
+		sinks = func(fa int) (uint64, uint64) { return fas[fa].cells, fas[fa].bytes }
+	} else {
+		// The transport overlay owns the egress endpoints, so the stream
+		// carries link series only. Zero K too: K promises the full
+		// two-tier shape including the FA series (MetaFromHeader checks).
+		hdr.K = 0
+	}
+	r.TelemBuf = telemetry.NewBuffer(r.Cfg.TelemCap)
+	w, err := telemetry.NewWriter(r.TelemBuf, hdr)
+	if err != nil {
+		return err
+	}
+	r.Rec = telemetry.NewRecorder(w, r.Fab, sinks, every)
+	stages := telemetry.DefaultAnalyzers()
+	for _, a := range stages {
+		if h, ok := a.(*telemetry.FAHeatmap); ok {
+			r.Heat = h
+		}
+	}
+	r.Findings = r.Rec.Observe(telemetry.MetaFor(cl), stages...)
+	if r.Eng != nil {
+		r.Rec.AttachEngine(r.Eng)
+	} else {
+		r.Rec.AttachSim(r.Sim)
+	}
+	return nil
 }
 
 // chaosStep fails one random currently-up link and schedules its

@@ -3,12 +3,16 @@ package mgmt
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"time"
 
+	"stardust/internal/distsim"
 	"stardust/internal/engine"
+	"stardust/internal/sim"
+	"stardust/internal/telemetry"
 )
 
 // Server is stardustd's HTTP face: scenario metadata, run submission
@@ -37,6 +41,10 @@ func NewServer(q *RunQueue, fr *FabricRun) *Server {
 	s.mux.HandleFunc("GET /api/v1/fabric/events", s.events)
 	s.mux.HandleFunc("GET /api/v1/fabric/anomalies", s.anomalies)
 	s.mux.HandleFunc("GET /api/v1/transport", s.transport)
+	s.mux.HandleFunc("GET /api/v1/telemetry/stream", s.telemetryStream)
+	s.mux.HandleFunc("GET /api/v1/telemetry/findings", s.telemetryFindings)
+	s.mux.HandleFunc("POST /api/v1/replay", s.replay)
+	s.mux.HandleFunc("GET /api/v1/distsim", s.distsimStats)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	// Live profiling of the daemon (the server uses its own mux, so the
 	// net/http/pprof handlers are wired explicitly rather than relying on
@@ -193,11 +201,15 @@ func (s *Server) fabricInfo(w http.ResponseWriter, r *http.Request) {
 	if !s.needFabric(w) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	info := map[string]any{
 		"config":    s.run.Cfg,
 		"inventory": s.run.Ctl.Inventory(),
 		"stats":     s.run.Ctl.Stats(),
-	})
+	}
+	if s.run.Rec != nil {
+		info["telemetry_stream"] = s.run.Rec.Stats()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) telemetry(w http.ResponseWriter, r *http.Request) {
@@ -229,10 +241,171 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
 	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
-	evs := s.run.Ctl.Bus().Since(since, max)
+	bus := s.run.Ctl.Bus()
+	evs := bus.Since(since, max)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"last_seq": s.run.Ctl.Bus().LastSeq(),
+		"last_seq": bus.LastSeq(),
 		"events":   evs,
+		"bus":      bus.Stats(),
+	})
+}
+
+func (s *Server) needRecorder(w http.ResponseWriter) bool {
+	if s.run == nil || s.run.Rec == nil {
+		writeErr(w, http.StatusNotFound, "no telemetry recorder attached (start stardustd with -fabric-telem)")
+		return false
+	}
+	return true
+}
+
+// telemetryStream downloads the recorded STREC1 stream as captured so
+// far — a consistent prefix of the durable trace, replayable offline.
+func (s *Server) telemetryStream(w http.ResponseWriter, r *http.Request) {
+	if !s.needRecorder(w) {
+		return
+	}
+	data := s.run.TelemBuf.Bytes()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"fabric.strec\"")
+	if s.run.TelemBuf.Truncated() {
+		w.Header().Set("X-Stardust-Stream-Truncated", "true")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// telemetryFindings serves the online analyzers' findings: a JSON page
+// by default, or an NDJSON live tail with ?follow=1 (one finding per
+// line as the analyzers emit them, until the client disconnects).
+func (s *Server) telemetryFindings(w http.ResponseWriter, r *http.Request) {
+	if !s.needRecorder(w) {
+		return
+	}
+	log := s.run.Findings
+	since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	if max <= 0 {
+		max = 256
+	}
+	if r.URL.Query().Get("follow") == "" {
+		fs, next := log.Since(since, max)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"total":    log.Total(),
+			"next":     next,
+			"findings": fs,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := since
+	for {
+		fs, next := log.Since(cursor, max)
+		for i := range fs {
+			enc.Encode(&fs[i])
+		}
+		if len(fs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		cursor = next
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// replayOverrides parses the what-if knobs off a replay request's query
+// string into distsim overrides.
+func replayOverrides(r *http.Request) (distsim.Overrides, error) {
+	var ov distsim.Overrides
+	q := r.URL.Query()
+	var err error
+	geti := func(key string) int {
+		if err != nil || q.Get(key) == "" {
+			return 0
+		}
+		var v int
+		if v, err = strconv.Atoi(q.Get(key)); err != nil {
+			err = fmt.Errorf("bad %s %q", key, q.Get(key))
+		}
+		return v
+	}
+	getf := func(key string) float64 {
+		if err != nil || q.Get(key) == "" {
+			return 0
+		}
+		var v float64
+		if v, err = strconv.ParseFloat(q.Get(key), 64); err != nil {
+			err = fmt.Errorf("bad %s %q", key, q.Get(key))
+		}
+		return v
+	}
+	ov.Shards = geti("shards")
+	ov.K = geti("k")
+	ov.Seed = int64(geti("seed"))
+	ov.Load = getf("load")
+	ov.Hotspot = getf("hotspot")
+	ov.FailAt = sim.Time(geti("fail_at_ps"))
+	ov.HealAt = sim.Time(geti("heal_at_ps"))
+	for _, ls := range q["fail_link"] {
+		lk, cerr := strconv.Atoi(ls)
+		if cerr != nil {
+			return ov, fmt.Errorf("bad fail_link %q", ls)
+		}
+		ov.FailLinks = append(ov.FailLinks, lk)
+	}
+	return ov, err
+}
+
+// replay is the digital-twin endpoint: POST a recorded STREC1 stream
+// (the body), optionally with what-if overrides as query parameters
+// (fail_link, k, seed, shards, load, hotspot, fail_at_ps, heal_at_ps),
+// and the daemon re-drives the fabric from the stream's embedded spec
+// and returns the divergence report. An unchanged replay of a recorded
+// run reports zero divergence; anything else is exactly the effect of
+// the overrides.
+func (s *Server) replay(w http.ResponseWriter, r *http.Request) {
+	stream, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading stream body: %v", err)
+		return
+	}
+	if len(stream) == 0 {
+		writeErr(w, http.StatusBadRequest,
+			"empty body: POST a recorded STREC1 stream (record one with the trace/record scenario)")
+		return
+	}
+	ov, err := replayOverrides(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	div, outc, replayed, err := distsim.Replay(stream, ov)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "replay failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"divergence":     div,
+		"summary":        div.String(),
+		"overrides":      ov,
+		"outcome":        outc,
+		"replayed_bytes": len(replayed),
+	})
+}
+
+// distsimStats serves the distributed coordinator's window-loop metrics
+// as JSON (the same counters /metrics renders in Prometheus form).
+func (s *Server) distsimStats(w http.ResponseWriter, r *http.Request) {
+	snap := distsim.DefaultStats.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"coord":             snap,
+		"barrier_seconds":   snap.BarrierLatency,
+		"window_mail_bytes": snap.WindowMailBytes,
 	})
 }
 
@@ -273,6 +446,19 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("stardustd_runs_queued", "jobs waiting in the bounded queue", float64(qs.Depth))
 	gauge("stardustd_runs_running", "jobs currently executing", float64(qs.Running))
 	gauge("stardustd_run_queue_capacity", "bounded queue capacity", float64(qs.Capacity))
+	// Distributed-coordinator metrics are process-wide (any distsim run
+	// this daemon coordinated), so they render with or without a fabric.
+	ds := distsim.DefaultStats.Snapshot()
+	counter("stardust_distsim_runs_total", "distributed runs coordinated", float64(ds.Runs))
+	counter("stardust_distsim_windows_total", "lock-step windows driven by the coordinator", float64(ds.Windows))
+	counter("stardust_distsim_telemetry_windows_total", "telemetry stream windows emitted by the coordinator", float64(ds.TelemetryWindows))
+	counter("stardust_distsim_mail_frames_total", "GO/DONE frames carrying cross-peer mail", float64(ds.MailFrames))
+	counter("stardust_distsim_mail_entries_total", "cross-peer mail entries relayed", float64(ds.MailEntries))
+	counter("stardust_distsim_raw_bytes_total", "frame body bytes before compression", float64(ds.RawBytes))
+	counter("stardust_distsim_wire_bytes_total", "bytes on the wire, frame headers included", float64(ds.WireBytes))
+	gauge("stardust_distsim_compression_ratio", "raw/wire byte ratio of coordinator traffic", ds.CompressionRatio)
+	telemetry.WriteProm(w, "stardust_distsim_barrier_seconds", "wall-clock latency of one lock-step window barrier", ds.BarrierLatency)
+	telemetry.WriteProm(w, "stardust_distsim_window_mail_bytes", "raw mail batch bytes relayed per window", ds.WindowMailBytes)
 	if s.run == nil {
 		return
 	}
@@ -290,7 +476,17 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("stardust_fabric_link_recoveries_total", "link recovery events", float64(st.LinkRecovers))
 	counter("stardust_mgmt_reach_updates_total", "reachability withdrawals/readvertisements observed at the spine", float64(st.ReachUpdates))
 	counter("stardust_mgmt_events_total", "management events published", float64(s.run.Ctl.Bus().LastSeq()))
+	bs := s.run.Ctl.Bus().Stats()
+	counter("stardust_mgmt_events_dropped_total", "events lost to full subscriber channels", float64(bs.Dropped))
+	counter("stardust_mgmt_events_evicted_total", "retained events overwritten by ring wrap-around", float64(bs.Evicted))
+	gauge("stardust_mgmt_event_subscribers", "live event bus subscribers", float64(bs.Subscribers))
 	gauge("stardust_mgmt_anomalies", "active anomaly findings", float64(len(s.run.Ctl.Anomalies())))
+	if s.run.Rec != nil {
+		rs := s.run.Rec.Stats()
+		counter("stardust_telemetry_windows_total", "STREC1 windows recorded", float64(rs.Windows))
+		gauge("stardust_telemetry_stream_bytes", "recorded stream size in memory", float64(rs.Bytes))
+		counter("stardust_telemetry_findings_total", "online analyzer findings", float64(rs.Findings))
+	}
 	if s.run.Trans == nil {
 		return
 	}

@@ -7,6 +7,7 @@
 //	fabric/fig9  fabric/pushpull  fabric/recovery   (§6.2 Fig 9, Fig 7/12, App E)
 //	fabric/linkload  fabric/failures                (§5.3 balance, §5.9 healing)
 //	fabric/parscale  fabric/parheal                 (sharded parallel engine)
+//	trace/record  trace/replay                     (telemetry stream + digital twin)
 //	system/arista                                   (§6.1.2)
 //	pack/fig8a  pack/fig8b                          (§6.1.1, Fig 8)
 //	scaling/fig2  scaling/table2  scaling/fig3

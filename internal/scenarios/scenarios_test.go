@@ -3,6 +3,7 @@ package scenarios
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -26,6 +27,7 @@ var wantScenarios = []string{
 	"fabric/fig9", "fabric/pushpull", "fabric/recovery",
 	"fabric/linkload", "fabric/failures",
 	"fabric/parscale", "fabric/parheal", "fabric/distscale",
+	"trace/record", "trace/replay",
 	"system/arista",
 	"pack/fig8a", "pack/fig8b",
 	"scaling/fig2", "scaling/table2", "scaling/fig3",
@@ -127,6 +129,91 @@ func TestShardedScenarioDeterminism(t *testing.T) {
 					workers, shards, got, ref)
 			}
 		}
+	}
+}
+
+// The telemetry-pipeline acceptance criteria at the scenario layer: the
+// recorded stream (identified by its digest in the output) must be
+// byte-identical across {workers}×{shards}, and an unchanged replay must
+// report zero divergence — expect_zero=true makes the scenario itself
+// fail otherwise.
+func TestTraceScenarioDeterminism(t *testing.T) {
+	jobs := []engine.Job{
+		{Scenario: "trace/record", Params: engine.Params{
+			"dur_us": "150", "fail": "1", "fail_us": "60", "heal_us": "100"}},
+		{Scenario: "trace/replay", Params: engine.Params{
+			"dur_us": "150", "expect_zero": "true"}},
+	}
+	ref := runBytes(t, engine.Options{Workers: 1, Shards: 1, Seed: 1, Format: "json"}, jobs)
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 2, 4} {
+			if workers == 1 && shards == 1 {
+				continue
+			}
+			got := runBytes(t, engine.Options{Workers: workers, Shards: shards, Seed: 1, Format: "json"}, jobs)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("trace workers=%d shards=%d diverged from the 1x1 reference:\n%s\n----\n%s",
+					workers, shards, got, ref)
+			}
+		}
+	}
+}
+
+// Record to a file, replay it unchanged (zero divergence required), then
+// replay with a what-if link failure and require real divergence.
+func TestTraceReplayWhatIf(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.strec")
+	if _, err := engine.Run(engine.Options{Seed: 3}, []engine.Job{{
+		Scenario: "trace/record",
+		Params:   engine.Params{"dur_us": "200", "out": out},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	metric := func(rs []engine.RunResult, name string) float64 {
+		t.Helper()
+		for _, m := range rs[0].Result.Metrics {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("metric %s missing", name)
+		return 0
+	}
+	rs, err := engine.Run(engine.Options{Seed: 3}, []engine.Job{{
+		Scenario: "trace/replay",
+		Params:   engine.Params{"in": out, "expect_zero": "true"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(rs, "byte_identical") != 1 {
+		t.Fatalf("unchanged replay not byte-identical: %s", rs[0].Result.Text)
+	}
+	rs, err = engine.Run(engine.Options{Seed: 3}, []engine.Job{{
+		Scenario: "trace/replay",
+		Params:   engine.Params{"in": out, "fail_link": "0", "fail_at_us": "50"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(rs, "zero_divergence") != 0 || metric(rs, "divergent_windows") == 0 {
+		t.Fatalf("what-if link failure reported no divergence: %s", rs[0].Result.Text)
+	}
+}
+
+// The 2-peer distributed recording must produce the same stream bytes as
+// the in-process run — asserted inside trace/record via the peers param,
+// which forks real peer processes.
+func TestTraceDistRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: forks peer processes")
+	}
+	got := runBytes(t, engine.Options{Seed: 7, Format: "text"}, []engine.Job{{
+		Scenario: "trace/record",
+		Params:   engine.Params{"shards": "2", "dur_us": "150", "peers": "2"},
+	}})
+	if !strings.Contains(string(got), "2 peer processes: stream byte-identical") {
+		t.Fatalf("trace/record missing 2-peer verification line:\n%s", got)
 	}
 }
 

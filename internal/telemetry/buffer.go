@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrStreamFull is returned by a capped Buffer that ran out of room.
+var ErrStreamFull = errors.New("telemetry: stream buffer full")
+
+// Buffer is a mutex-guarded append-only byte buffer with a hard cap: the
+// stream sink for live runs, written from the simulation goroutine at
+// barriers and downloaded concurrently over HTTP. When the cap is hit
+// the buffer stops accepting bytes (the recorder latches the error) —
+// a capped trace beats an unbounded heap.
+type Buffer struct {
+	mu        sync.Mutex
+	data      []byte
+	max       int
+	truncated bool
+}
+
+// NewBuffer builds a buffer refusing to grow past max bytes (0 means
+// 64 MiB).
+func NewBuffer(max int) *Buffer {
+	if max <= 0 {
+		max = 64 << 20
+	}
+	return &Buffer{max: max}
+}
+
+// Write implements io.Writer.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.data)+len(p) > b.max {
+		b.truncated = true
+		return 0, ErrStreamFull
+	}
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// Bytes returns a copy of the buffered stream.
+func (b *Buffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.data...)
+}
+
+// Len returns the buffered size.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data)
+}
+
+// Truncated reports whether a write was ever refused for space.
+func (b *Buffer) Truncated() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.truncated
+}

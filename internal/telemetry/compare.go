@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"stardust/internal/sim"
+)
+
+// Divergence is the recorded-vs-replayed comparison report. Zero
+// divergence means every window's counter deltas match exactly; byte
+// identity is the stronger (and expected, for an unchanged replay)
+// condition.
+type Divergence struct {
+	ByteIdentical bool `json:"byte_identical"`
+	ShapeMatch    bool `json:"shape_match"` // same dirs/FAs; false for what-if runs that changed K
+	Zero          bool `json:"zero"`        // no counter divergence at all
+
+	RecordedWindows int `json:"recorded_windows"`
+	ReplayedWindows int `json:"replayed_windows"`
+	ComparedWindows int `json:"compared_windows"`
+
+	DivergentWindows     int      `json:"divergent_windows"`
+	FirstDivergentWindow int      `json:"first_divergent_window"` // -1 when none
+	FirstDivergentT      sim.Time `json:"first_divergent_t_ps"`
+	DirsDiverged         int      `json:"dirs_diverged"` // dirs that differed in any window
+	MaxCellDelta         uint64   `json:"max_cell_delta"`
+	MaxDropDelta         uint64   `json:"max_drop_delta"`
+
+	RecordedCells uint64 `json:"recorded_cells"` // total delivered (sink) cells
+	ReplayedCells uint64 `json:"replayed_cells"`
+	RecordedDrops uint64 `json:"recorded_drops"`
+	ReplayedDrops uint64 `json:"replayed_drops"`
+}
+
+// String renders the one-line verdict.
+func (d *Divergence) String() string {
+	switch {
+	case d.ByteIdentical:
+		return fmt.Sprintf("byte-identical (%d windows)", d.RecordedWindows)
+	case d.Zero && d.ShapeMatch:
+		return fmt.Sprintf("zero divergence over %d windows (streams differ only in header)", d.ComparedWindows)
+	case !d.ShapeMatch:
+		return fmt.Sprintf("shape change: cells %d -> %d, drops %d -> %d",
+			d.RecordedCells, d.ReplayedCells, d.RecordedDrops, d.ReplayedDrops)
+	default:
+		return fmt.Sprintf("diverged in %d/%d windows (first at window %d, t=%dps), %d dirs, max cell delta %d",
+			d.DivergentWindows, d.ComparedWindows, d.FirstDivergentWindow, d.FirstDivergentT, d.DirsDiverged, d.MaxCellDelta)
+	}
+}
+
+func absDelta(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+type streamTotals struct {
+	windows []Window // deep-copied per window
+	cells   uint64
+	drops   uint64
+}
+
+func readAll(stream []byte) (*streamTotals, StreamHeader, error) {
+	sr := NewReader(bytes.NewReader(stream))
+	hdr, err := sr.Header()
+	if err != nil {
+		return nil, hdr, err
+	}
+	t := &streamTotals{}
+	for {
+		win, _, err := sr.Next()
+		if err == io.EOF {
+			return t, hdr, nil
+		}
+		if err != nil {
+			return nil, hdr, err
+		}
+		if win == nil {
+			continue
+		}
+		cp := Window{
+			Index:      win.Index,
+			T:          win.T,
+			DFwdBytes:  append([]uint64(nil), win.DFwdBytes...),
+			DFwdCells:  append([]uint64(nil), win.DFwdCells...),
+			DDrops:     append([]uint64(nil), win.DDrops...),
+			DSinkCells: append([]uint64(nil), win.DSinkCells...),
+			DSinkBytes: append([]uint64(nil), win.DSinkBytes...),
+		}
+		t.windows = append(t.windows, cp)
+		for _, c := range win.DSinkCells {
+			t.cells += c
+		}
+		for _, d := range win.DDrops {
+			t.drops += d
+		}
+	}
+}
+
+// Compare diffs a recorded stream against a replayed one, window by
+// window. Streams with different shapes (a what-if replay that changed
+// K) are compared on aggregate totals only.
+func Compare(recorded, replayed []byte) (*Divergence, error) {
+	d := &Divergence{FirstDivergentWindow: -1, ByteIdentical: bytes.Equal(recorded, replayed)}
+
+	rec, rhdr, err := readAll(recorded)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: recorded stream: %w", err)
+	}
+	rep, phdr, err := readAll(replayed)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: replayed stream: %w", err)
+	}
+	d.RecordedWindows = len(rec.windows)
+	d.ReplayedWindows = len(rep.windows)
+	d.RecordedCells, d.RecordedDrops = rec.cells, rec.drops
+	d.ReplayedCells, d.ReplayedDrops = rep.cells, rep.drops
+	d.ShapeMatch = rhdr.Dirs == phdr.Dirs && rhdr.FAs == phdr.FAs
+	if !d.ShapeMatch {
+		d.Zero = false
+		return d, nil
+	}
+
+	n := len(rec.windows)
+	if len(rep.windows) < n {
+		n = len(rep.windows)
+	}
+	d.ComparedWindows = n
+	diverged := make([]bool, rhdr.Dirs)
+	for w := 0; w < n; w++ {
+		a, b := &rec.windows[w], &rep.windows[w]
+		bad := false
+		for dir := 0; dir < rhdr.Dirs; dir++ {
+			dc := absDelta(a.DFwdCells[dir], b.DFwdCells[dir])
+			dd := absDelta(a.DDrops[dir], b.DDrops[dir])
+			if dc == 0 && dd == 0 && a.DFwdBytes[dir] == b.DFwdBytes[dir] {
+				continue
+			}
+			bad = true
+			diverged[dir] = true
+			if dc > d.MaxCellDelta {
+				d.MaxCellDelta = dc
+			}
+			if dd > d.MaxDropDelta {
+				d.MaxDropDelta = dd
+			}
+		}
+		for fa := 0; fa < rhdr.FAs; fa++ {
+			if a.DSinkCells[fa] != b.DSinkCells[fa] || a.DSinkBytes[fa] != b.DSinkBytes[fa] {
+				bad = true
+			}
+		}
+		if bad {
+			d.DivergentWindows++
+			if d.FirstDivergentWindow < 0 {
+				d.FirstDivergentWindow = w
+				d.FirstDivergentT = a.T
+			}
+		}
+	}
+	for _, v := range diverged {
+		if v {
+			d.DirsDiverged++
+		}
+	}
+	d.Zero = d.DivergentWindows == 0 && len(rec.windows) == len(rep.windows)
+	return d, nil
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stardust/internal/sim"
+)
+
+// writeStream encodes windows of per-window deltas into a fresh stream.
+func writeStream(t *testing.T, hdr StreamHeader, deltas [][]uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Dirs: make([]DirSample, hdr.Dirs), Sinks: make([]SinkSample, hdr.FAs)}
+	for d := range snap.Dirs {
+		snap.Dirs[d].Up = true
+	}
+	for i, win := range deltas {
+		snap.T = sim.Time(i+1) * sim.Microsecond
+		for d, v := range win {
+			snap.Dirs[d].FwdCells += v
+			snap.Dirs[d].FwdBytes += v * 512
+		}
+		if hdr.FAs > 0 {
+			snap.Sinks[0].Cells += win[0]
+			snap.Sinks[0].Bytes += win[0] * 512
+		}
+		if err := w.WriteWindow(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestCompareIdentical(t *testing.T) {
+	hdr := StreamHeader{Dirs: 2, FAs: 1, ScrapePs: sim.Microsecond}
+	deltas := [][]uint64{{10, 20}, {30, 40}, {50, 60}}
+	a := writeStream(t, hdr, deltas)
+	b := writeStream(t, hdr, deltas)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ByteIdentical || !d.Zero || !d.ShapeMatch {
+		t.Fatalf("identical streams misreported: %+v", d)
+	}
+	if d.RecordedWindows != 3 || d.ComparedWindows != 3 || d.FirstDivergentWindow != -1 {
+		t.Fatalf("window accounting wrong: %+v", d)
+	}
+	if !strings.Contains(d.String(), "byte-identical") {
+		t.Fatalf("verdict: %s", d)
+	}
+}
+
+func TestCompareZeroDivergenceDifferentHeader(t *testing.T) {
+	deltas := [][]uint64{{10, 20}, {30, 40}}
+	a := writeStream(t, StreamHeader{Dirs: 2, FAs: 1, ScrapePs: sim.Microsecond, Seed: 1}, deltas)
+	b := writeStream(t, StreamHeader{Dirs: 2, FAs: 1, ScrapePs: sim.Microsecond, Seed: 2}, deltas)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ByteIdentical || !d.Zero || !d.ShapeMatch {
+		t.Fatalf("same counters, different header misreported: %+v", d)
+	}
+	if !strings.Contains(d.String(), "zero divergence") {
+		t.Fatalf("verdict: %s", d)
+	}
+}
+
+func TestCompareLocalizesDivergence(t *testing.T) {
+	hdr := StreamHeader{Dirs: 3, FAs: 1, ScrapePs: sim.Microsecond}
+	a := writeStream(t, hdr, [][]uint64{{10, 20, 5}, {30, 40, 5}, {50, 60, 5}})
+	b := writeStream(t, hdr, [][]uint64{{10, 20, 5}, {37, 40, 5}, {50, 25, 5}})
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ByteIdentical || d.Zero {
+		t.Fatalf("divergence missed: %+v", d)
+	}
+	if d.DivergentWindows != 2 || d.FirstDivergentWindow != 1 || d.FirstDivergentT != 2*sim.Microsecond {
+		t.Fatalf("localization wrong: %+v", d)
+	}
+	// Dirs 0 and 1 diverged (in different windows); dir 2 never did.
+	if d.DirsDiverged != 2 {
+		t.Fatalf("DirsDiverged = %d, want 2: %+v", d.DirsDiverged, d)
+	}
+	if d.MaxCellDelta != 35 { // |60-25|
+		t.Fatalf("MaxCellDelta = %d, want 35", d.MaxCellDelta)
+	}
+	if !strings.Contains(d.String(), "diverged in 2/3 windows") {
+		t.Fatalf("verdict: %s", d)
+	}
+}
+
+func TestCompareShapeChange(t *testing.T) {
+	a := writeStream(t, StreamHeader{Dirs: 2, FAs: 1, ScrapePs: sim.Microsecond}, [][]uint64{{10, 20}})
+	b := writeStream(t, StreamHeader{Dirs: 4, FAs: 2, ScrapePs: sim.Microsecond}, [][]uint64{{1, 2, 3, 4}})
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ShapeMatch || d.Zero {
+		t.Fatalf("shape change missed: %+v", d)
+	}
+	if d.RecordedCells != 10 || d.ReplayedCells != 1 {
+		t.Fatalf("aggregate totals wrong: %+v", d)
+	}
+	if !strings.Contains(d.String(), "shape change") {
+		t.Fatalf("verdict: %s", d)
+	}
+}
+
+func TestCompareRejectsCorruptInput(t *testing.T) {
+	good := writeStream(t, StreamHeader{Dirs: 2, FAs: 0, ScrapePs: sim.Microsecond}, [][]uint64{{1, 2}})
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := Compare(good, bad); err == nil {
+		t.Fatal("corrupt replayed stream accepted")
+	}
+	if _, err := Compare(bad, good); err == nil {
+		t.Fatal("corrupt recorded stream accepted")
+	}
+}
+
+// Unequal window counts: the shorter prefix compares clean but Zero must
+// be false (the replay ended early or ran long).
+func TestCompareLengthMismatch(t *testing.T) {
+	hdr := StreamHeader{Dirs: 2, FAs: 0, ScrapePs: sim.Microsecond}
+	a := writeStream(t, hdr, [][]uint64{{1, 2}, {3, 4}, {5, 6}})
+	b := writeStream(t, hdr, [][]uint64{{1, 2}, {3, 4}})
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Zero || d.DivergentWindows != 0 || d.ComparedWindows != 2 {
+		t.Fatalf("length mismatch misreported: %+v", d)
+	}
+}

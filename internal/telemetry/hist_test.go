@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1: {0.5, 1}; le=10: {5}; le=100: {50}; +Inf: {500, 5000}.
+	want := []uint64{2, 1, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 6 || s.Sum != 5556.5 {
+		t.Fatalf("count %d sum %g", s.Count, s.Sum)
+	}
+	// Snapshot is a copy: further observations must not leak into it.
+	h.Observe(1)
+	if s.Counts[0] != 2 {
+		t.Fatal("snapshot aliased live counts")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(2, 4, 4)
+	want := []float64{2, 8, 32, 128}
+	if len(b) != len(want) {
+		t.Fatalf("len %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestWritePromCumulative(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	var sb strings.Builder
+	WriteProm(&sb, "x_seconds", "test family", h.Snapshot())
+	out := sb.String()
+	for _, line := range []string{
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="1"} 1`,
+		`x_seconds_bucket{le="10"} 2`,
+		`x_seconds_bucket{le="+Inf"} 3`,
+		"x_seconds_sum 55.5",
+		"x_seconds_count 3",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestBufferCap(t *testing.T) {
+	b := NewBuffer(10)
+	if n, err := b.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("write: %d, %v", n, err)
+	}
+	if _, err := b.Write([]byte("12345")); err != ErrStreamFull {
+		t.Fatalf("over-cap write: %v", err)
+	}
+	if !b.Truncated() || b.Len() != 8 {
+		t.Fatalf("truncated=%v len=%d", b.Truncated(), b.Len())
+	}
+	// Bytes is a copy.
+	got := b.Bytes()
+	got[0] = 'X'
+	if b.Bytes()[0] != '1' {
+		t.Fatal("Bytes aliased the buffer")
+	}
+	// Default cap is applied.
+	if d := NewBuffer(0); d.Truncated() {
+		t.Fatal("fresh default buffer truncated")
+	}
+}

@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"testing"
+
+	"stardust/internal/sim"
+)
+
+// randStream writes nwin windows of random monotonic counters (plus a few
+// link events) and returns the encoded stream alongside the absolute
+// snapshots that produced it.
+func randStream(t *testing.T, rng *rand.Rand, dirs, fas, nwin int) ([]byte, []Snapshot) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, StreamHeader{
+		Dirs: dirs, FAs: fas, K: 0, Seed: 42, ScrapePs: 10 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Dirs: make([]DirSample, dirs), Sinks: make([]SinkSample, fas)}
+	for d := range snap.Dirs {
+		snap.Dirs[d].Up = true
+	}
+	var truth []Snapshot
+	for i := 0; i < nwin; i++ {
+		snap.T = sim.Time(i+1) * 10 * sim.Microsecond
+		for d := range snap.Dirs {
+			snap.Dirs[d].FwdBytes += uint64(rng.Intn(1 << 16))
+			snap.Dirs[d].FwdCells += uint64(rng.Intn(64))
+			snap.Dirs[d].Drops += uint64(rng.Intn(3))
+			snap.Dirs[d].QueueBytes = uint64(rng.Intn(1 << 20))
+			if rng.Intn(8) == 0 {
+				snap.Dirs[d].Up = !snap.Dirs[d].Up
+			}
+		}
+		for f := range snap.Sinks {
+			snap.Sinks[f].Cells += uint64(rng.Intn(32))
+			snap.Sinks[f].Bytes += uint64(rng.Intn(1 << 14))
+		}
+		if rng.Intn(4) == 0 && dirs > 0 {
+			if err := w.WriteEvent(snap.T, EvLinkDown, rng.Intn(dirs/2+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.WriteWindow(&snap); err != nil {
+			t.Fatal(err)
+		}
+		cp := Snapshot{
+			T:     snap.T,
+			Dirs:  append([]DirSample(nil), snap.Dirs...),
+			Sinks: append([]SinkSample(nil), snap.Sinks...),
+		}
+		truth = append(truth, cp)
+	}
+	return buf.Bytes(), truth
+}
+
+// TestRoundTripProperty drives random counter histories through the codec
+// at assorted shapes and checks the decoded absolutes and deltas against
+// the source snapshots exactly.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		dirs := 1 + rng.Intn(24)
+		fas := rng.Intn(6)
+		nwin := 1 + rng.Intn(12)
+		stream, truth := randStream(t, rng, dirs, fas, nwin)
+
+		sr := NewReader(bytes.NewReader(stream))
+		hdr, err := sr.Header()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if hdr.Dirs != dirs || hdr.FAs != fas || hdr.Format != Format || hdr.Seed != 42 {
+			t.Fatalf("trial %d: header mangled: %+v", trial, hdr)
+		}
+		var prev Snapshot
+		prev.Dirs = make([]DirSample, dirs)
+		prev.Sinks = make([]SinkSample, fas)
+		wi := 0
+		for {
+			win, ev, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("trial %d window %d: %v", trial, wi, err)
+			}
+			if ev != nil {
+				if ev.Kind != EvLinkDown {
+					t.Fatalf("trial %d: unexpected event kind %d", trial, ev.Kind)
+				}
+				continue
+			}
+			want := &truth[wi]
+			if win.Index != uint64(wi) || win.T != want.T {
+				t.Fatalf("trial %d: window stamp (%d, %v) want (%d, %v)",
+					trial, win.Index, win.T, wi, want.T)
+			}
+			for d := 0; d < dirs; d++ {
+				if win.Dirs[d] != want.Dirs[d] {
+					t.Fatalf("trial %d window %d dir %d: %+v want %+v",
+						trial, wi, d, win.Dirs[d], want.Dirs[d])
+				}
+				if win.DFwdCells[d] != want.Dirs[d].FwdCells-prev.Dirs[d].FwdCells {
+					t.Fatalf("trial %d window %d dir %d: delta wrong", trial, wi, d)
+				}
+			}
+			for f := 0; f < fas; f++ {
+				if win.Sinks[f] != want.Sinks[f] {
+					t.Fatalf("trial %d window %d sink %d: %+v want %+v",
+						trial, wi, f, win.Sinks[f], want.Sinks[f])
+				}
+			}
+			prev.Dirs = append(prev.Dirs[:0], want.Dirs...)
+			wi++
+		}
+		if wi != nwin {
+			t.Fatalf("trial %d: decoded %d windows, wrote %d", trial, wi, nwin)
+		}
+	}
+}
+
+// readToEnd consumes a stream, returning windows decoded and the first
+// error (io.EOF for a clean end).
+func readToEnd(stream []byte) (int, error) {
+	sr := NewReader(bytes.NewReader(stream))
+	n := 0
+	for {
+		win, _, err := sr.Next()
+		if err != nil {
+			return n, err
+		}
+		if win != nil {
+			n++
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	for _, stream := range [][]byte{nil, []byte("STREC"), []byte("NOTRIGHT"), []byte("STREC2\x00xxxx")} {
+		if _, err := readToEnd(stream); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("stream %q: got %v, want ErrBadMagic", stream, err)
+		}
+	}
+}
+
+// TestTruncationDetected cuts a valid stream at every byte offset: every
+// prefix must end in ErrTruncated, ErrBadMagic (inside the magic), or a
+// clean io.EOF strictly short of the full record count — never a
+// successful full decode.
+func TestTruncationDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream, _ := randStream(t, rng, 5, 2, 4)
+	fullWins, err := readToEnd(stream)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(stream); cut++ {
+		n, err := readToEnd(stream[:cut])
+		switch {
+		case errors.Is(err, ErrTruncated), errors.Is(err, ErrBadMagic):
+		case err == io.EOF:
+			if n == fullWins {
+				t.Fatalf("cut at %d/%d decoded the full stream", cut, len(stream))
+			}
+		default:
+			t.Fatalf("cut at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+// TestCorruptionDetected flips each byte after the magic in turn: no
+// single-byte corruption may decode cleanly to the full record count.
+func TestCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stream, _ := randStream(t, rng, 4, 1, 3)
+	fullWins, err := readToEnd(stream)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	sawCorrupt := false
+	for i := len(Magic); i < len(stream); i++ {
+		mut := append([]byte(nil), stream...)
+		mut[i] ^= 0x40
+		n, err := readToEnd(mut)
+		if err == io.EOF && n == fullWins {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no corruption ever surfaced as ErrCorrupt")
+	}
+}
+
+// appendFrame replicates the frame encoding for hand-built streams.
+func appendFrame(b []byte, typ byte, body []byte) []byte {
+	b = append(b, typ)
+	b = binary.AppendUvarint(b, uint64(len(body)))
+	b = append(b, body...)
+	crc := crc32.ChecksumIEEE([]byte{typ})
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	return binary.LittleEndian.AppendUint32(b, crc)
+}
+
+// A well-formed frame of an unknown type (a newer writer) is skipped; a
+// duplicate header or an oversized body is an error.
+func TestUnknownTypeSkippedAndHardErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	stream, _ := randStream(t, rng, 3, 0, 2)
+
+	withUnknown := append(append([]byte(nil), stream...), appendFrame(nil, 99, []byte("future"))...)
+	if n, err := readToEnd(withUnknown); err != io.EOF || n != 2 {
+		t.Fatalf("unknown type not skipped: %d windows, %v", n, err)
+	}
+
+	hdrFrame := stream[len(Magic):]
+	dup := append(append([]byte(nil), stream...), hdrFrame[:frameLen(t, hdrFrame)]...)
+	if _, err := readToEnd(dup); err == nil || err == io.EOF {
+		t.Fatal("duplicate header accepted")
+	}
+
+	huge := append([]byte(Magic), 2, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := readToEnd(huge); err == nil || errors.Is(err, io.EOF) {
+		t.Fatal("oversized frame body accepted")
+	}
+}
+
+// frameLen measures the first frame in b (type + uvarint len + body + crc).
+func frameLen(t *testing.T, b []byte) int {
+	t.Helper()
+	n, k := binary.Uvarint(b[1:])
+	if k <= 0 {
+		t.Fatal("bad frame for frameLen")
+	}
+	return 1 + k + int(n) + 4
+}
+
+func TestHeaderValidation(t *testing.T) {
+	// Wrong format version.
+	bad := []byte(Magic)
+	bad = appendFrame(bad, recHeader, []byte(`{"format":9,"dirs":2,"fas":0,"scrape_ps":1}`))
+	if _, err := readToEnd(bad); err == nil {
+		t.Fatal("format 9 accepted by a format-1 reader")
+	}
+	// Implausible dims.
+	bad = []byte(Magic)
+	bad = appendFrame(bad, recHeader, []byte(`{"format":1,"dirs":99999999,"fas":0,"scrape_ps":1}`))
+	if _, err := readToEnd(bad); err == nil {
+		t.Fatal("implausible dims accepted")
+	}
+	// First record is not a header.
+	bad = []byte(Magic)
+	bad = appendFrame(bad, recEvent, []byte{1, EvLinkUp, 0})
+	if _, err := readToEnd(bad); err == nil {
+		t.Fatal("headerless stream accepted")
+	}
+}
+
+func TestWriteWindowShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, StreamHeader{Dirs: 4, FAs: 2, ScrapePs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Dirs: make([]DirSample, 3), Sinks: make([]SinkSample, 2)}
+	if err := w.WriteWindow(&snap); err == nil {
+		t.Fatal("mismatched snapshot accepted")
+	}
+}
+
+// The steady-state encode path must not allocate: this is the hot-path
+// guarantee the scrape loop relies on (also enforced as a guarded
+// benchmark at the repo root).
+func TestWriteWindowDoesNotAllocate(t *testing.T) {
+	w, err := NewWriter(io.Discard, StreamHeader{Dirs: 48, FAs: 8, ScrapePs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{Dirs: make([]DirSample, 48), Sinks: make([]SinkSample, 8)}
+	for d := range snap.Dirs {
+		snap.Dirs[d].Up = true
+	}
+	// Warm the scratch buffers.
+	for i := 0; i < 3; i++ {
+		snap.T += sim.Microsecond
+		if err := w.WriteWindow(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		snap.T += sim.Microsecond
+		for d := range snap.Dirs {
+			snap.Dirs[d].FwdBytes += 512
+			snap.Dirs[d].FwdCells++
+		}
+		if err := w.WriteWindow(&snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("WriteWindow allocates %.1f per op in steady state", allocs)
+	}
+}
