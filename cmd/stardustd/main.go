@@ -35,8 +35,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"stardust/internal/cluster"
 	"stardust/internal/mgmt"
 	_ "stardust/internal/scenarios"
 	"stardust/internal/sim"
@@ -44,6 +46,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
+	clusterSelf := flag.String("cluster-self", "", "this node's advertised base URL (e.g. http://10.0.0.1:8080)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated base URLs of every ring member, self included")
+	clusterVNodes := flag.Int("cluster-vnodes", 0, "virtual ring points per node (0 = default)")
 	queueDepth := flag.Int("queue-depth", 64, "bounded run-queue capacity")
 	queueWorkers := flag.Int("queue-workers", 2, "concurrent scenario runs")
 	runWorkers := flag.Int("run-workers", 0, "parallel instances per run (0 = all CPUs)")
@@ -99,7 +104,28 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: mgmt.NewServer(q, fr)}
+	hs := mgmt.NewServer(q, fr)
+	if *clusterPeers != "" {
+		if *clusterSelf == "" {
+			fmt.Fprintln(os.Stderr, "stardustd: -cluster-peers requires -cluster-self")
+			os.Exit(1)
+		}
+		node, err := cluster.New(cluster.Config{
+			Self:   *clusterSelf,
+			Peers:  strings.Split(*clusterPeers, ","),
+			VNodes: *clusterVNodes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stardustd:", err)
+			os.Exit(1)
+		}
+		hs.SetCluster(node)
+		log.Printf("clustered: self=%s ring=%v", node.Self(), node.Ring().Nodes())
+	}
+	// Every connection timeout set (a bare http.Server has none, so one
+	// stalled client per goroutine could hold connections forever); the
+	// NDJSON streaming endpoints extend their own write deadline per tick.
+	srv := mgmt.NewHTTPServer(*addr, hs, mgmt.HTTPTimeouts{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(t *testing.T, nodes ...string) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Every member must build the identical ring regardless of the order
+// (or duplication) of the peer list it was configured with.
+func TestRingDeterministicAcrossMembers(t *testing.T) {
+	a := ringOf(t, "http://n1:8080", "http://n2:8080", "http://n3:8080")
+	b := ringOf(t, "http://n3:8080", "http://n1:8080", "http://n2:8080", "http://n1:8080")
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("members disagree on owner of %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+		ao, bo := a.Order(key), b.Order(key)
+		if len(ao) != 3 || len(bo) != 3 {
+			t.Fatalf("order length: %v %v", ao, bo)
+		}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("members disagree on order of %q: %v vs %v", key, ao, bo)
+			}
+		}
+	}
+}
+
+// Order starts at the owner, visits every node exactly once, and is
+// stable for a fixed key.
+func TestRingOrder(t *testing.T) {
+	r := ringOf(t, "http://n1:8080", "http://n2:8080", "http://n3:8080", "http://n4:8080")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.Order(key)
+		if order[0] != r.Owner(key) {
+			t.Fatalf("order %v does not start at owner %s", order, r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("order %v repeats %s", order, n)
+			}
+			seen[n] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("order %v misses nodes", order)
+		}
+	}
+}
+
+// Removing a node only moves keys that the dead node owned; survivors'
+// keys stay put (the point of consistent hashing).
+func TestRingStabilityUnderNodeLoss(t *testing.T) {
+	full := ringOf(t, "http://n1:8080", "http://n2:8080", "http://n3:8080")
+	reduced := ringOf(t, "http://n1:8080", "http://n2:8080")
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.Owner(key)
+		now := reduced.Owner(key)
+		if was != "http://n3:8080" {
+			if was != now {
+				t.Fatalf("key %q moved from surviving node %s to %s", key, was, now)
+			}
+			continue
+		}
+		moved++
+		// An orphaned key must land on the dead node's ring successor.
+		order := full.Order(key)
+		if order[1] != now {
+			t.Fatalf("orphaned key %q went to %s, ring successor is %s", key, now, order[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by n3 in the sample — test is vacuous")
+	}
+}
+
+// Virtual nodes keep placement roughly balanced.
+func TestRingShares(t *testing.T) {
+	r := ringOf(t, "http://n1:8080", "http://n2:8080", "http://n3:8080")
+	shares := r.Shares()
+	var sum float64
+	for node, s := range shares {
+		sum += s
+		if s < 0.15 || s > 0.55 {
+			t.Fatalf("node %s share %.3f is badly unbalanced", node, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %.4f", sum)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, DefaultVNodes); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, DefaultVNodes); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := ringOf(t, "http://solo:8080")
+	if r.Owner("anything") != "http://solo:8080" {
+		t.Fatal("single node does not own everything")
+	}
+	if o := r.Order("anything"); len(o) != 1 || o[0] != "http://solo:8080" {
+		t.Fatalf("order %v", o)
+	}
+}

@@ -1,0 +1,304 @@
+// Package loadgen drives very large numbers of concurrent keep-alive
+// HTTP clients against a stardustd serving tier and reports latency
+// percentiles and throughput. Each client is one goroutine holding one
+// persistent TCP connection speaking hand-rolled HTTP/1.1 — a few KB
+// per client instead of net/http's two goroutines and pooled buffers
+// per connection — so 10⁵+ concurrent clients fit in one process.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one load run.
+type Config struct {
+	Targets []string // base URLs (http://host:port), round-robined across clients
+	Path    string   // request path, e.g. /api/v1/cache/<key>
+	Clients int      // concurrent keep-alive clients
+
+	Duration time.Duration // measured run length
+	Warmup   time.Duration // initial slice excluded from the stats
+	Think    time.Duration // per-client pause between requests (0 = closed loop)
+
+	// DialStagger spreads connection establishment over this window so
+	// huge client counts don't SYN-flood the listener backlog
+	// (0 = min(Duration/4, 2s)).
+	DialStagger time.Duration
+}
+
+// Report is the run's outcome. Latency quantiles are measured per
+// request, connection setup excluded.
+type Report struct {
+	Clients    int     `json:"clients"`
+	Requests   uint64  `json:"requests"`
+	Errors     uint64  `json:"errors"`
+	DialErrors uint64  `json:"dial_errors"`
+	Bytes      uint64  `json:"body_bytes"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"requests_per_sec"`
+	P50ms      float64 `json:"p50_ms"`
+	P90ms      float64 `json:"p90_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	P999ms     float64 `json:"p999_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"clients=%d requests=%d errors=%d dial_errors=%d elapsed=%.1fs throughput=%.0f req/s\n"+
+			"latency p50=%.3fms p90=%.3fms p99=%.3fms p99.9=%.3fms max=%.3fms body_bytes=%d",
+		r.Clients, r.Requests, r.Errors, r.DialErrors, r.Seconds, r.Throughput,
+		r.P50ms, r.P90ms, r.P99ms, r.P999ms, r.MaxMs, r.Bytes)
+}
+
+// client is one keep-alive connection's state and sample store.
+type client struct {
+	addr    string // host:port
+	request []byte // prebuilt GET request bytes
+
+	lat        []uint32 // recorded latencies, microseconds
+	requests   uint64
+	errors     uint64
+	dialErrors uint64
+	bytes      uint64
+}
+
+// Run executes the load. It returns an error only for configuration
+// problems; request failures are counted in the report.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Clients <= 0 {
+		return Report{}, fmt.Errorf("loadgen: need at least 1 client")
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: need a positive duration")
+	}
+	if len(cfg.Targets) == 0 {
+		return Report{}, fmt.Errorf("loadgen: need at least one target")
+	}
+	if !strings.HasPrefix(cfg.Path, "/") {
+		return Report{}, fmt.Errorf("loadgen: path must start with /: %q", cfg.Path)
+	}
+	addrs := make([]string, len(cfg.Targets))
+	hosts := make([]string, len(cfg.Targets))
+	for i, t := range cfg.Targets {
+		u, err := url.Parse(t)
+		if err != nil || u.Scheme != "http" || u.Host == "" {
+			return Report{}, fmt.Errorf("loadgen: target %q is not an http://host:port URL", t)
+		}
+		hosts[i] = u.Host
+		addrs[i] = u.Host
+		if u.Port() == "" {
+			addrs[i] = net.JoinHostPort(u.Hostname(), "80")
+		}
+	}
+	stagger := cfg.DialStagger
+	if stagger <= 0 {
+		stagger = min(cfg.Duration/4, 2*time.Second)
+	}
+
+	clients := make([]*client, cfg.Clients)
+	for i := range clients {
+		t := i % len(addrs)
+		clients[i] = &client{
+			addr: addrs[t],
+			request: []byte("GET " + cfg.Path + " HTTP/1.1\r\nHost: " + hosts[t] +
+				"\r\nUser-Agent: stardust-loadgen\r\n\r\n"),
+		}
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	deadline := measureFrom.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			// Spread dials over the stagger window, deterministically by
+			// client index.
+			if d := stagger * time.Duration(i) / time.Duration(len(clients)); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+			c.run(ctx, measureFrom, deadline, cfg.Think)
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureFrom)
+	if elapsed > cfg.Duration {
+		elapsed = cfg.Duration
+	}
+
+	rep := Report{Clients: cfg.Clients, Seconds: elapsed.Seconds()}
+	var all []uint32
+	for _, c := range clients {
+		rep.Requests += c.requests
+		rep.Errors += c.errors
+		rep.DialErrors += c.dialErrors
+		rep.Bytes += c.bytes
+		all = append(all, c.lat...)
+	}
+	if rep.Seconds > 0 {
+		rep.Throughput = float64(rep.Requests) / rep.Seconds
+	}
+	if len(all) > 0 {
+		slices.Sort(all)
+		q := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i]) / 1000
+		}
+		rep.P50ms, rep.P90ms, rep.P99ms, rep.P999ms = q(0.50), q(0.90), q(0.99), q(0.999)
+		rep.MaxMs = float64(all[len(all)-1]) / 1000
+	}
+	return rep, nil
+}
+
+// run is one client's life: dial (with retry), then request/response
+// until the deadline. Requests before measureFrom warm the path but are
+// not recorded.
+func (c *client) run(ctx context.Context, measureFrom, deadline time.Time, think time.Duration) {
+	var conn net.Conn
+	var rd *bufio.Reader
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	dial := func() bool {
+		backoff := 10 * time.Millisecond
+		for try := 0; try < 6; try++ {
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				return false
+			}
+			var err error
+			conn, err = net.DialTimeout("tcp", c.addr, 5*time.Second)
+			if err == nil {
+				// A small read buffer keeps per-client memory at 10⁵ scale
+				// around 6KB including the goroutine stack.
+				rd = bufio.NewReaderSize(conn, 2048)
+				return true
+			}
+			c.dialErrors++
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		return false
+	}
+	if !dial() {
+		return
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		if t0.After(deadline) {
+			return
+		}
+		conn.SetDeadline(deadline.Add(10 * time.Second))
+		_, werr := conn.Write(c.request)
+		var rerr error
+		var n int64
+		if werr == nil {
+			n, rerr = readResponse(rd)
+		}
+		t1 := time.Now()
+		if werr != nil || rerr != nil {
+			if t1.After(measureFrom) {
+				c.errors++
+			}
+			// Keep-alive connection went bad: reconnect and carry on.
+			conn.Close()
+			if !dial() {
+				return
+			}
+			continue
+		}
+		if t1.After(measureFrom) {
+			c.requests++
+			c.bytes += uint64(n)
+			us := t1.Sub(t0).Microseconds()
+			if us > int64(^uint32(0)) {
+				us = int64(^uint32(0))
+			}
+			c.lat = append(c.lat, uint32(us))
+		}
+		if think > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(think):
+			}
+		}
+	}
+}
+
+// readResponse parses one HTTP/1.1 response with a Content-Length body
+// (the cache-hit path always sets one) and returns the body length. A
+// non-200 status or a missing/invalid Content-Length is an error.
+func readResponse(rd *bufio.Reader) (int64, error) {
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(line, "HTTP/1.1 200") && !strings.HasPrefix(line, "HTTP/1.0 200") {
+		// Drain headers (and a known-length body) so the connection could
+		// survive, but report the status as an error.
+		cl, derr := drainHeaders(rd)
+		if derr == nil && cl >= 0 {
+			io.CopyN(io.Discard, rd, cl)
+		}
+		return 0, fmt.Errorf("status %q", strings.TrimSpace(line))
+	}
+	cl, err := drainHeaders(rd)
+	if err != nil {
+		return 0, err
+	}
+	if cl < 0 {
+		return 0, fmt.Errorf("response without Content-Length")
+	}
+	if _, err := io.CopyN(io.Discard, rd, cl); err != nil {
+		return 0, err
+	}
+	return cl, nil
+}
+
+// drainHeaders consumes header lines up to the blank separator and
+// returns the Content-Length (-1 when absent).
+func drainHeaders(rd *bufio.Reader) (int64, error) {
+	cl := int64(-1)
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return cl, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			return cl, nil
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return -1, fmt.Errorf("bad Content-Length %q", v)
+			}
+			cl = n
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// cacheLike mimics the stardustd cache-hit path: fixed bytes with an
+// explicit Content-Length.
+func cacheLike(body []byte) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.Write(body)
+	})
+}
+
+func TestRunSmoke(t *testing.T) {
+	body := []byte(`{"result":"cached bytes for the load generator"}`)
+	servers := make([]*httptest.Server, 3)
+	targets := make([]string, 3)
+	for i := range servers {
+		servers[i] = httptest.NewServer(cacheLike(body))
+		targets[i] = servers[i].URL
+		defer servers[i].Close()
+	}
+	rep, err := Run(context.Background(), Config{
+		Targets:  targets,
+		Path:     "/api/v1/cache/smoke",
+		Clients:  60,
+		Duration: 500 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors != 0 || rep.DialErrors != 0 {
+		t.Fatalf("errors in smoke run: %+v", rep)
+	}
+	if rep.Bytes != rep.Requests*uint64(len(body)) {
+		t.Fatalf("byte accounting: %d bytes for %d requests of %d", rep.Bytes, rep.Requests, len(body))
+	}
+	if rep.P50ms <= 0 || rep.P999ms < rep.P50ms || rep.MaxMs < rep.P999ms {
+		t.Fatalf("quantiles out of order: %+v", rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v", rep.Throughput)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report text")
+	}
+}
+
+// Non-200 answers are counted as errors, not silently dropped.
+func TestRunCountsBadStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such key", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{ts.URL},
+		Path:     "/api/v1/cache/missing",
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors == 0 {
+		t.Fatalf("404 answers not counted as errors: %+v", rep)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	cases := []Config{
+		{Targets: []string{"http://h:1"}, Path: "/x", Clients: 0, Duration: time.Second},
+		{Targets: []string{"http://h:1"}, Path: "/x", Clients: 1},
+		{Targets: nil, Path: "/x", Clients: 1, Duration: time.Second},
+		{Targets: []string{"https://h:1"}, Path: "/x", Clients: 1, Duration: time.Second},
+		{Targets: []string{"http://h:1"}, Path: "x", Clients: 1, Duration: time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package mgmt
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts bounds how long one connection can hold server
+// resources. The zero value of any field falls back to the default.
+type HTTPTimeouts struct {
+	ReadHeader time.Duration // slowloris guard: full header must arrive within this
+	Read       time.Duration // whole request (headers + body)
+	Write      time.Duration // response write budget; streaming handlers extend it per tick
+	Idle       time.Duration // keep-alive connections with no request in flight
+}
+
+// DefaultHTTPTimeouts is the daemon's production posture: tight on
+// headers (a stalled client cannot park a connection), generous on
+// bodies (replay uploads) and responses (result downloads). Streaming
+// endpoints outlive the write budget by extending their own deadline
+// every poll tick via http.ResponseController.
+var DefaultHTTPTimeouts = HTTPTimeouts{
+	ReadHeader: 10 * time.Second,
+	Read:       2 * time.Minute,
+	Write:      2 * time.Minute,
+	Idle:       2 * time.Minute,
+}
+
+// NewHTTPServer builds stardustd's http.Server with every connection
+// timeout set — a bare &http.Server{} has none, so one slow or stalled
+// client per goroutine could hold connections forever.
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	def := func(d, fallback time.Duration) time.Duration {
+		if d <= 0 {
+			return fallback
+		}
+		return d
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: def(t.ReadHeader, DefaultHTTPTimeouts.ReadHeader),
+		ReadTimeout:       def(t.Read, DefaultHTTPTimeouts.Read),
+		WriteTimeout:      def(t.Write, DefaultHTTPTimeouts.Write),
+		IdleTimeout:       def(t.Idle, DefaultHTTPTimeouts.Idle),
+	}
+}

@@ -81,19 +81,37 @@ type Job struct {
 	Progress  []ProgressEvent `json:"progress,omitempty"`
 
 	output []byte // rendered engine JSON; served byte-identical
+	client string // admission-accounting identity of the submitter
 	done   chan struct{}
 }
 
-// QueueStats is the run queue's counter snapshot.
+// QueueStats is the run queue's counter snapshot. Depth and Running are
+// computed at snapshot time, never cached, so /metrics always reports
+// the live queue state.
 type QueueStats struct {
-	Depth     int    `json:"depth"`
-	Capacity  int    `json:"capacity"`
-	Running   int    `json:"running"`
-	Submitted uint64 `json:"submitted_total"`
-	CacheHits uint64 `json:"cache_hits_total"`
-	Completed uint64 `json:"completed_total"`
-	Failed    uint64 `json:"failed_total"`
-	Rejected  uint64 `json:"rejected_total"`
+	Depth         int    `json:"depth"`
+	Capacity      int    `json:"capacity"`
+	Running       int    `json:"running"`
+	ActiveClients int    `json:"active_clients"`
+	Submitted     uint64 `json:"submitted_total"`
+	CacheHits     uint64 `json:"cache_hits_total"`
+	RemoteHits    uint64 `json:"remote_hits_total"`
+	Completed     uint64 `json:"completed_total"`
+	Failed        uint64 `json:"failed_total"`
+	Rejected      uint64 `json:"rejected_total"`
+	RejectedFair  uint64 `json:"rejected_fair_total"`
+	RemoteResults int    `json:"remote_results"`
+	RemoteBytes   int    `json:"remote_bytes"`
+}
+
+// clientAcct is one API client's admission state: how many of its jobs
+// are pending (queued or running) plus lifetime counters. Clients are
+// identified by the X-Stardust-Client header or the remote host.
+type clientAcct struct {
+	pending   int
+	submitted uint64
+	rejected  uint64
+	lastSeen  time.Time
 }
 
 // RunQueue executes scenario runs on a bounded queue over the engine
@@ -103,16 +121,24 @@ type QueueStats struct {
 // repeated requests — concurrent or later — serve the identical bytes.
 type RunQueue struct {
 	engineWorkers int
+	workers       int
 	maxRetained   int // finished jobs kept (results + progress); older ones evicted
+	maxRemote     int // byte cap for peer-fetched results
 
-	mu      sync.Mutex
-	queue   chan *Job
-	jobs    map[string]*Job
-	order   []string        // submission order, for listing
-	byKey   map[string]*Job // content-addressed cache (queued, running or done)
-	nextID  int
-	running int
-	stats   QueueStats
+	mu          sync.Mutex
+	queue       chan *Job
+	jobs        map[string]*Job
+	order       []string        // submission order, for listing
+	byKey       map[string]*Job // content-addressed cache (queued, running or done)
+	clients     map[string]*clientAcct
+	remote      map[string][]byte // peer-fetched results by cache key
+	remoteOrder []string          // FIFO eviction order for remote results
+	remoteBytes int
+	nextID      int
+	pending     int // queued + running jobs (admission-controlled total)
+	running     int
+	ewmaRunSec  float64 // smoothed job duration, for Retry-After estimates
+	stats       QueueStats
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -132,10 +158,15 @@ func NewRunQueue(depth, workers, engineWorkers int) *RunQueue {
 	// CPUs" (GOMAXPROCS), the daemon's documented -run-workers default.
 	q := &RunQueue{
 		engineWorkers: engineWorkers,
+		workers:       workers,
 		maxRetained:   256,
+		maxRemote:     256 << 20,
 		queue:         make(chan *Job, depth),
 		jobs:          make(map[string]*Job),
 		byKey:         make(map[string]*Job),
+		clients:       make(map[string]*clientAcct),
+		remote:        make(map[string][]byte),
+		ewmaRunSec:    1,
 		stop:          make(chan struct{}),
 	}
 	q.stats.Capacity = depth
@@ -152,15 +183,94 @@ func (q *RunQueue) Shutdown() {
 	q.wg.Wait()
 }
 
-// ErrQueueFull is returned by Submit when the bounded queue is at
-// capacity.
+// ErrQueueFull is the admission-control sentinel: errors.Is(err,
+// ErrQueueFull) holds for a globally full queue (every slot taken,
+// regardless of owner).
 var ErrQueueFull = fmt.Errorf("mgmt: run queue full")
 
-// Submit validates and enqueues a run request. When the request's cache
-// key matches a queued, running or completed job, that job is returned
-// with cached=true and nothing is enqueued — the caller observes the
-// identical result bytes. A full queue returns ErrQueueFull.
-func (q *RunQueue) Submit(req RunRequest) (Job, bool, error) {
+// OverloadError is Submit's backpressure signal. Global rejections mean
+// the whole queue is at capacity; fairness rejections mean this client
+// is over its fair share while other clients still have room. Either
+// way RetryAfter estimates when a slot should free up, sized from the
+// smoothed job duration and the backlog ahead of the client.
+type OverloadError struct {
+	Global     bool
+	Client     string
+	Share      int // the fair-share ceiling that was hit (fairness rejections)
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Global {
+		return fmt.Sprintf("mgmt: run queue full (retry after %s)", e.RetryAfter)
+	}
+	return fmt.Sprintf("mgmt: client %q over fair share of %d pending runs (retry after %s)", e.Client, e.Share, e.RetryAfter)
+}
+
+// Is reports global rejections as ErrQueueFull for errors.Is callers.
+func (e *OverloadError) Is(target error) bool { return target == ErrQueueFull && e.Global }
+
+// acctLocked returns (creating if needed) the accounting slot for a
+// client, sweeping long-idle zero-pending entries when the table grows
+// past a bound so an open-world client population cannot leak memory.
+func (q *RunQueue) acctLocked(client string) *clientAcct {
+	a, ok := q.clients[client]
+	if !ok {
+		if len(q.clients) >= 4096 {
+			for id, old := range q.clients {
+				if old.pending == 0 && time.Since(old.lastSeen) > time.Minute {
+					delete(q.clients, id)
+				}
+			}
+		}
+		a = &clientAcct{}
+		q.clients[client] = a
+	}
+	a.lastSeen = time.Now()
+	return a
+}
+
+// activeClientsLocked counts clients with work in flight.
+func (q *RunQueue) activeClientsLocked() int {
+	n := 0
+	for _, a := range q.clients {
+		if a.pending > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// retryAfterLocked estimates how long until a queue slot frees: the
+// backlog ahead, divided across workers, times the smoothed per-job
+// duration, clamped to [1s, 30s].
+func (q *RunQueue) retryAfterLocked() time.Duration {
+	batches := (q.pending + q.workers - 1) / q.workers
+	if batches < 1 {
+		batches = 1
+	}
+	d := time.Duration(float64(batches) * q.ewmaRunSec * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Submit validates and enqueues a run request on behalf of a client.
+// When the request's cache key matches a queued, running or completed
+// job — or a peer-fetched result — that job is returned with
+// cached=true and nothing is enqueued: the caller observes the
+// identical result bytes. Admission is fair-share per client: the queue
+// holds at most Capacity pending (queued+running) jobs in total, and
+// with k clients active no single client may hold more than
+// ceil(Capacity/k) of them, so a greedy client saturating the queue
+// cannot starve others — as slots drain, its resubmissions bounce off
+// the share ceiling while newcomers are admitted. Rejections return
+// *OverloadError carrying a Retry-After estimate.
+func (q *RunQueue) Submit(req RunRequest, client string) (Job, bool, error) {
 	req = req.normalized()
 	if _, err := engine.Lookup(req.Scenario); err != nil {
 		return Job{}, false, err
@@ -169,12 +279,57 @@ func (q *RunQueue) Submit(req RunRequest) (Job, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.stats.Submitted++
+	acct := q.acctLocked(client)
+	acct.submitted++
 	if j, ok := q.byKey[key]; ok && j.State != JobFailed {
 		q.stats.CacheHits++
 		snap := q.snapshotLocked(j)
 		snap.Cached = true
 		return snap, true, nil
 	}
+	if out, ok := q.remote[key]; ok {
+		// A peer already computed this key: serve its bytes as a local
+		// completed job so follow-up status/result reads work as usual.
+		q.stats.CacheHits++
+		q.stats.RemoteHits++
+		j := q.installLocked(req, key)
+		j.State = JobDone
+		j.Cached = true
+		j.Finished = j.Submitted
+		j.output = out
+		close(j.done)
+		snap := q.snapshotLocked(j)
+		return snap, true, nil
+	}
+	if q.pending >= cap(q.queue) {
+		q.stats.Rejected++
+		acct.rejected++
+		return Job{}, false, &OverloadError{Global: true, Client: client, RetryAfter: q.retryAfterLocked()}
+	}
+	active := q.activeClientsLocked()
+	if acct.pending == 0 {
+		active++
+	}
+	share := (cap(q.queue) + active - 1) / active
+	if share < 1 {
+		share = 1
+	}
+	if acct.pending >= share {
+		q.stats.Rejected++
+		q.stats.RejectedFair++
+		acct.rejected++
+		return Job{}, false, &OverloadError{Client: client, Share: share, RetryAfter: q.retryAfterLocked()}
+	}
+	j := q.installLocked(req, key)
+	j.client = client
+	acct.pending++
+	q.pending++
+	q.queue <- j // never blocks: pending < cap(queue) implies a free slot
+	return q.snapshotLocked(j), false, nil
+}
+
+// installLocked registers a fresh job under the next run id.
+func (q *RunQueue) installLocked(req RunRequest, key string) *Job {
 	q.nextID++
 	j := &Job{
 		ID:        fmt.Sprintf("run-%06d", q.nextID),
@@ -184,19 +339,11 @@ func (q *RunQueue) Submit(req RunRequest) (Job, bool, error) {
 		Submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case q.queue <- j:
-	default:
-		q.stats.Rejected++
-		q.nextID--
-		return Job{}, false, ErrQueueFull
-	}
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
 	q.byKey[key] = j
 	q.evictLocked()
-	q.stats.Depth = len(q.queue)
-	return q.snapshotLocked(j), false, nil
+	return j
 }
 
 // evictLocked bounds total retention: when more than maxRetained jobs
@@ -242,7 +389,6 @@ func (q *RunQueue) run(j *Job) {
 	j.State = JobRunning
 	j.Started = time.Now()
 	q.running++
-	q.stats.Depth = len(q.queue)
 	q.addProgressLocked(j, fmt.Sprintf("running %s (%s) seed=%d", j.Req.Scenario, j.Req.Params, j.Req.Seed), 0)
 	q.mu.Unlock()
 
@@ -266,6 +412,12 @@ func (q *RunQueue) run(j *Job) {
 	q.mu.Lock()
 	j.Finished = time.Now()
 	q.running--
+	q.pending--
+	if a, ok := q.clients[j.client]; ok && a.pending > 0 {
+		a.pending--
+	}
+	// Smooth the observed job duration for Retry-After estimates.
+	q.ewmaRunSec = 0.8*q.ewmaRunSec + 0.2*j.Finished.Sub(j.Started).Seconds()
 	if err != nil {
 		j.State = JobFailed
 		j.Error = err.Error()
@@ -354,12 +506,70 @@ func (q *RunQueue) List(max int) []Job {
 	return out
 }
 
-// Stats returns the queue counters.
+// Stats returns the queue counters. Depth, Running, ActiveClients and
+// the remote-store gauges are computed here, at snapshot time, so the
+// metrics endpoint never reports a stale value.
 func (q *RunQueue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	s := q.stats
-	s.Depth = len(q.queue)
+	s.Depth = q.pending - q.running
 	s.Running = q.running
+	s.ActiveClients = q.activeClientsLocked()
+	s.RemoteResults = len(q.remote)
+	s.RemoteBytes = q.remoteBytes
 	return s
+}
+
+// Cached returns the live or completed job for a cache key, if any.
+// Failed jobs do not count: a retry must re-run.
+func (q *RunQueue) Cached(key string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.byKey[key]
+	if !ok || j.State == JobFailed {
+		return Job{}, false
+	}
+	snap := q.snapshotLocked(j)
+	snap.Cached = true
+	return snap, true
+}
+
+// ResultByKey returns the result bytes stored under a cache key — a
+// locally completed run, or a result fetched from a peer. This is the
+// cluster's pure byte-serving cache-hit path: no JSON re-encoding.
+func (q *RunQueue) ResultByKey(key string) ([]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.byKey[key]; ok && j.State == JobDone {
+		return j.output, true
+	}
+	if out, ok := q.remote[key]; ok {
+		return out, true
+	}
+	return nil, false
+}
+
+// PutRemote stores a peer-fetched result under its cache key so later
+// reads (and submissions) of that key are served locally. The store is
+// byte-capped with FIFO eviction; locally computed results take
+// precedence on read.
+func (q *RunQueue) PutRemote(key string, out []byte) {
+	if len(out) == 0 || len(out) > q.maxRemote {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.remote[key]; ok {
+		return
+	}
+	q.remote[key] = out
+	q.remoteOrder = append(q.remoteOrder, key)
+	q.remoteBytes += len(out)
+	for q.remoteBytes > q.maxRemote && len(q.remoteOrder) > 0 {
+		old := q.remoteOrder[0]
+		q.remoteOrder = q.remoteOrder[1:]
+		q.remoteBytes -= len(q.remote[old])
+		delete(q.remote, old)
+	}
 }

@@ -1,11 +1,15 @@
 package mgmt
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"regexp"
 	"strconv"
 	"time"
 
@@ -15,6 +19,45 @@ import (
 	"stardust/internal/telemetry"
 )
 
+// maxBodyBytes caps every body-decoding endpoint (run submission, twin
+// replay). Oversized bodies get 413 with a JSON error instead of an
+// unbounded read.
+const maxBodyBytes = 64 << 20
+
+// Cluster is the peer-ring view the server consults when stardustd runs
+// as part of a multi-node serving tier (implemented by
+// internal/cluster; nil for a solo daemon).
+type Cluster interface {
+	// Owner maps a cache key to its ring owner and reports whether that
+	// owner is this node.
+	Owner(key string) (addr string, local bool)
+	// ForwardSubmit relays a submission toward the key's owner, walking
+	// ring successors with bounded retry/backoff on failure. It returns
+	// the answering peer's response. ErrPlaceLocal means placement fell
+	// through to this node (owner and every earlier successor
+	// unreachable, or this node is next in ring order): the caller must
+	// submit locally.
+	ForwardSubmit(ctx context.Context, req RunRequest, client string) (*ForwardResult, error)
+	// FetchResult retrieves the result bytes for a cache key from the
+	// first peer (in ring order) that has them.
+	FetchResult(ctx context.Context, key string) (out []byte, from string, err error)
+	// Info describes ring membership and forwarding counters.
+	Info() any
+}
+
+// ErrPlaceLocal is returned by Cluster.ForwardSubmit when ring
+// placement lands on the local node.
+var ErrPlaceLocal = errors.New("cluster: placement is local")
+
+// ForwardResult is the answering peer's response to a forwarded
+// submission, proxied back to the client verbatim.
+type ForwardResult struct {
+	Status     int
+	Body       []byte
+	Served     string // address of the peer that answered
+	RetryAfter string // peer's Retry-After header on 429 backpressure
+}
+
 // Server is stardustd's HTTP face: scenario metadata, run submission
 // over the bounded queue, run progress streaming, live fabric telemetry
 // and events, and a Prometheus-style /metrics endpoint. The fabric run
@@ -23,6 +66,7 @@ type Server struct {
 	mux     *http.ServeMux
 	q       *RunQueue
 	run     *FabricRun
+	cluster Cluster
 	started time.Time
 }
 
@@ -36,6 +80,8 @@ func NewServer(q *RunQueue, fr *FabricRun) *Server {
 	s.mux.HandleFunc("GET /api/v1/runs/{id}", s.getRun)
 	s.mux.HandleFunc("GET /api/v1/runs/{id}/result", s.getResult)
 	s.mux.HandleFunc("GET /api/v1/runs/{id}/stream", s.streamRun)
+	s.mux.HandleFunc("GET /api/v1/cache/{key}", s.cacheGet)
+	s.mux.HandleFunc("GET /api/v1/cluster", s.clusterInfo)
 	s.mux.HandleFunc("GET /api/v1/fabric", s.fabricInfo)
 	s.mux.HandleFunc("GET /api/v1/fabric/telemetry", s.telemetry)
 	s.mux.HandleFunc("GET /api/v1/fabric/events", s.events)
@@ -98,15 +144,77 @@ func (s *Server) scenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// SetCluster attaches the peer-ring view. Call before serving.
+func (s *Server) SetCluster(c Cluster) { s.cluster = c }
+
+// headerClient identifies the submitting client for fair-share
+// accounting: the X-Stardust-Client header when present (preserved
+// across peer forwarding), otherwise the remote host.
+func headerClient(r *http.Request) string {
+	if c := r.Header.Get("X-Stardust-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// decodeBody JSON-decodes a capped request body, distinguishing an
+// oversized body (413) from malformed JSON (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	err := json.NewDecoder(r.Body).Decode(v)
+	var tooBig *http.MaxBytesError
+	switch {
+	case err == nil:
+		return true
+	case errors.As(err, &tooBig):
+		writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+	default:
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	}
+	return false
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	job, cached, err := s.q.Submit(req)
+	client := headerClient(r)
+	// Clustered placement: a submission for a key owned by a peer is
+	// forwarded there (unless already cached here, or it arrived via a
+	// peer — forwarded submissions always execute locally, so placement
+	// cannot loop). Owner failure walks ring successors; if every
+	// candidate peer is unreachable this node is the fallback.
+	if s.cluster != nil && r.Header.Get("X-Stardust-Forwarded") == "" {
+		key := req.CacheKey()
+		if _, cached := s.q.Cached(key); !cached {
+			if _, local := s.cluster.Owner(key); !local {
+				fwd, err := s.cluster.ForwardSubmit(r.Context(), req, client)
+				if err == nil {
+					w.Header().Set("Content-Type", "application/json")
+					w.Header().Set("X-Stardust-Served-By", fwd.Served)
+					if fwd.RetryAfter != "" {
+						w.Header().Set("Retry-After", fwd.RetryAfter)
+					}
+					w.WriteHeader(fwd.Status)
+					w.Write(fwd.Body)
+					return
+				}
+				if !errors.Is(err, ErrPlaceLocal) {
+					writeErr(w, http.StatusServiceUnavailable, "forwarding to ring owner failed: %v", err)
+					return
+				}
+			}
+		}
+	}
+	job, cached, err := s.q.Submit(req, client)
+	var ov *OverloadError
 	switch {
-	case err == ErrQueueFull:
+	case errors.As(err, &ov):
+		w.Header().Set("Retry-After", strconv.Itoa(int(ov.RetryAfter.Round(time.Second)/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case err != nil:
@@ -118,6 +226,53 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, job)
+}
+
+// cacheKeyPat is the shape of a content address: 64 hex chars.
+var cacheKeyPat = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// cacheGet serves result bytes by content address. A local hit — a run
+// completed here or a result already fetched from a peer — is pure
+// byte-serving. On a miss, a clustered node fetches the bytes from the
+// ring (owner first) and installs them in its local store, so the next
+// read of the same key is a local hit; ?local=1 disables the peer fetch
+// (that is what peers themselves ask for, so fetches cannot loop).
+func (s *Server) cacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyPat.MatchString(key) {
+		writeErr(w, http.StatusBadRequest, "bad cache key %q (want 64 hex chars)", key)
+		return
+	}
+	if out, ok := s.q.ResultByKey(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+		w.Header().Set("X-Stardust-Cache", "hit")
+		w.Write(out)
+		return
+	}
+	if s.cluster == nil || r.URL.Query().Get("local") == "1" {
+		writeErr(w, http.StatusNotFound, "no cached result for %s", key)
+		return
+	}
+	out, from, err := s.cluster.FetchResult(r.Context(), key)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "no node holds a result for %s: %v", key, err)
+		return
+	}
+	s.q.PutRemote(key, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	w.Header().Set("X-Stardust-Cache", "peer "+from)
+	w.Write(out)
+}
+
+// clusterInfo describes ring membership and forwarding counters.
+func (s *Server) clusterInfo(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeErr(w, http.StatusNotFound, "not clustered (start stardustd with -cluster-peers)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Info())
 }
 
 func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
@@ -162,7 +317,10 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sent := 0
+	tick := newPollTimer()
+	defer tick.Stop()
 	for {
+		extendWriteDeadline(w)
 		job, ok := s.q.Get(id)
 		if !ok {
 			return
@@ -184,9 +342,42 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-time.After(50 * time.Millisecond):
+		case <-tick.wait(50 * time.Millisecond):
 		}
 	}
+}
+
+// pollTimer is a reused timer for the NDJSON polling loops — one
+// allocation for the whole stream instead of a fresh time.After timer
+// every tick.
+type pollTimer struct{ t *time.Timer }
+
+func newPollTimer() pollTimer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return pollTimer{t}
+}
+
+// wait re-arms the timer; the caller must consume the returned channel
+// (or return, after which Stop cleans up).
+func (p pollTimer) wait(d time.Duration) <-chan time.Time {
+	p.t.Reset(d)
+	return p.t.C
+}
+
+func (p pollTimer) Stop() { p.t.Stop() }
+
+// extendWriteDeadline pushes the connection's write deadline out for
+// one more polling interval, so long-lived streaming responses (run
+// progress, finding tails) keep flowing under a server-wide
+// WriteTimeout while a genuinely stalled client still times out.
+func extendWriteDeadline(w http.ResponseWriter) {
+	// Errors ignored: httptest recorders and exotic wrappers don't
+	// support deadlines, and a failure here only means the server-wide
+	// timeout stays in force.
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(30 * time.Second))
 }
 
 func (s *Server) needFabric(w http.ResponseWriter) bool {
@@ -301,7 +492,10 @@ func (s *Server) telemetryFindings(w http.ResponseWriter, r *http.Request) {
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	cursor := since
+	tick := newPollTimer()
+	defer tick.Stop()
 	for {
+		extendWriteDeadline(w)
 		fs, next := log.Since(cursor, max)
 		for i := range fs {
 			enc.Encode(&fs[i])
@@ -313,7 +507,7 @@ func (s *Server) telemetryFindings(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-time.After(100 * time.Millisecond):
+		case <-tick.wait(100 * time.Millisecond):
 		}
 	}
 }
@@ -369,8 +563,13 @@ func replayOverrides(r *http.Request) (distsim.Overrides, error) {
 // run reports zero divergence; anything else is exactly the effect of
 // the overrides.
 func (s *Server) replay(w http.ResponseWriter, r *http.Request) {
-	stream, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	stream, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "stream body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "reading stream body: %v", err)
 		return
 	}
@@ -442,10 +641,15 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("stardustd_runs_cache_hits_total", "submissions served from the content-addressed result cache", float64(qs.CacheHits))
 	counter("stardustd_runs_completed_total", "scenario runs completed", float64(qs.Completed))
 	counter("stardustd_runs_failed_total", "scenario runs failed", float64(qs.Failed))
-	counter("stardustd_runs_rejected_total", "submissions rejected by the bounded queue", float64(qs.Rejected))
+	counter("stardustd_runs_rejected_total", "submissions rejected by admission control", float64(qs.Rejected))
+	counter("stardustd_runs_rejected_fair_total", "submissions rejected by the per-client fair-share policy", float64(qs.RejectedFair))
+	counter("stardustd_runs_remote_hits_total", "submissions served from peer-fetched results", float64(qs.RemoteHits))
 	gauge("stardustd_runs_queued", "jobs waiting in the bounded queue", float64(qs.Depth))
 	gauge("stardustd_runs_running", "jobs currently executing", float64(qs.Running))
-	gauge("stardustd_run_queue_capacity", "bounded queue capacity", float64(qs.Capacity))
+	gauge("stardustd_run_queue_capacity", "bounded queue capacity (total pending jobs)", float64(qs.Capacity))
+	gauge("stardustd_run_queue_active_clients", "clients with pending runs", float64(qs.ActiveClients))
+	gauge("stardustd_remote_results", "peer-fetched results held in the local store", float64(qs.RemoteResults))
+	gauge("stardustd_remote_result_bytes", "bytes held in the peer-fetched result store", float64(qs.RemoteBytes))
 	// Distributed-coordinator metrics are process-wide (any distsim run
 	// this daemon coordinated), so they render with or without a fabric.
 	ds := distsim.DefaultStats.Snapshot()

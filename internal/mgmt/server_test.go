@@ -3,6 +3,7 @@ package mgmt
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -190,8 +191,8 @@ func TestSubmitValidationAndBoundedQueue(t *testing.T) {
 	// Occupy the single worker and the single queue slot with distinct
 	// requests (different seeds -> different cache keys).
 	for i := 0; ; i++ {
-		_, _, err := q2.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 100)})
-		if err == ErrQueueFull {
+		_, _, err := q2.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 100)}, "test")
+		if errors.Is(err, ErrQueueFull) {
 			break
 		}
 		if err != nil {
@@ -208,7 +209,7 @@ func TestSubmitValidationAndBoundedQueue(t *testing.T) {
 
 func TestFailedJobDoesNotPoisonCache(t *testing.T) {
 	_, q, _ := newTestDaemon(t, false)
-	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"})
+	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"}, "test")
 	if err != nil || cached {
 		t.Fatalf("submit: %v cached=%v", err, cached)
 	}
@@ -217,7 +218,7 @@ func TestFailedJobDoesNotPoisonCache(t *testing.T) {
 		t.Fatalf("want failed state with error, got %+v", done)
 	}
 	// Resubmitting after failure re-runs instead of serving the failure.
-	j2, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"})
+	j2, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/fail"}, "test")
 	if err != nil || cached || j2.ID == j.ID {
 		t.Fatalf("failed job pinned the cache: %v cached=%v id=%s", err, cached, j2.ID)
 	}
@@ -398,7 +399,7 @@ func TestFinishedJobEviction(t *testing.T) {
 	q.maxRetained = 3
 	var ids []string
 	for i := 0; i < 6; i++ {
-		j, _, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 1)})
+		j, _, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: int64(i + 1)}, "test")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -417,7 +418,7 @@ func TestFinishedJobEviction(t *testing.T) {
 		t.Fatalf("retained %d jobs, cap 3", got)
 	}
 	// An evicted key re-runs instead of serving a dangling cache entry.
-	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: 1})
+	j, cached, err := q.Submit(RunRequest{Scenario: "mgmttest/echo", Seed: 1}, "test")
 	if err != nil || cached {
 		t.Fatalf("evicted key still cached: %v %v", err, cached)
 	}
