@@ -167,6 +167,49 @@ func BenchmarkFabricCellPathSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricCellPathSShuffle measures the per-cell cost of the
+// graph fabric's hot path on a Space Shuffle topology: greedy ring-space
+// next-hop selection, per-cell spraying over the candidate set, and
+// possible edge-device relay hops — the pluggable-topology counterpart
+// of BenchmarkFabricCellPath. The steady-state path must stay
+// allocation-free like the Clos one; benchguard gates both numbers.
+func BenchmarkFabricCellPathSShuffle(b *testing.B) {
+	s := sim.New()
+	g, err := topo.ByName("sshuffle", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := fabric.NewFabric(s, fabric.DefaultConfig(100e9, sim.Microsecond, 1), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Rotate destinations at a conservative pace — one cell-serialization
+	// time per cell per edge device keeps every relay queue shallow.
+	numFA := g.NumEdge()
+	gap := sim.Time(float64(512*8)/100e9*float64(sim.Second)) * 4
+	for fa := 0; fa < numFA; fa++ {
+		quota := b.N / numFA
+		if fa < b.N%numFA {
+			quota++
+		}
+		n.NewInjector(fa, gap, 512, 0, quota).Start(sim.Time(fa) * gap / sim.Time(numFA))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run()
+	b.StopTimer()
+	if n.Injected() != uint64(b.N) {
+		b.Fatalf("injected %d of %d", n.Injected(), b.N)
+	}
+	if n.Delivered()+n.Drops() != n.Injected() {
+		b.Fatalf("cell leak: %d delivered + %d dropped != %d injected",
+			n.Delivered(), n.Drops(), n.Injected())
+	}
+	if n.Drops() != 0 {
+		b.Fatalf("lightly loaded graph fabric dropped %d cells", n.Drops())
+	}
+}
+
 // BenchmarkTransportPathSharded measures the per-packet cost of the full
 // sharded transport pipeline at two shards: NIC queue, VOQ capture,
 // cross-shard request/grant on the pair lanes, cell fragmentation, the

@@ -24,7 +24,7 @@ func main() {
 	// Before anything else: a forked peer child (-exp distscale, devnet)
 	// re-executes this binary and must branch into the peer loop here.
 	distsim.MaybeRunPeer()
-	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal, distscale, record, replay")
+	exp := flag.String("exp", "fig9", "experiment: fig9, linkload, failures, parscale, parheal, distscale, graphload, collective, openloop, record, replay")
 	timings := flag.Bool("partimings", false, "parscale: report events/sec (total and per core) and speedup vs one shard (nondeterministic output)")
 	hotspot := flag.Float64("hotspot", 1, "parscale: boost factor for the first quarter of the FAs (>1 = skewed matrix)")
 	rebalance := flag.Bool("rebalance", false, "parscale: enable adaptive shard rebalancing (deterministic output is unchanged)")
@@ -66,6 +66,16 @@ func main() {
 		}}
 	case "distscale":
 		job = engine.Job{Scenario: "fabric/distscale", Params: engine.Params{
+			"k": fmt.Sprint(*k),
+		}}
+	case "graphload":
+		m := *mode
+		if m == "both" {
+			m = "spray,ecmp"
+		}
+		job = engine.Job{Scenario: "fabric/graphload", Params: engine.Params{"mode": m}}
+	case "collective", "openloop":
+		job = engine.Job{Scenario: "fabric/" + *exp, Params: engine.Params{
 			"k": fmt.Sprint(*k),
 		}}
 	case "record":

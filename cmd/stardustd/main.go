@@ -52,7 +52,8 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "bounded run-queue capacity")
 	queueWorkers := flag.Int("queue-workers", 2, "concurrent scenario runs")
 	runWorkers := flag.Int("run-workers", 0, "parallel instances per run (0 = all CPUs)")
-	fabricK := flag.Int("fabric-k", 4, "managed fabric size (ClosFor K, 0 = no live fabric)")
+	fabricK := flag.Int("fabric-k", 4, "managed fabric size (handed to topo.ByName, 0 = no live fabric)")
+	fabricTopo := flag.String("fabric-topo", "", "managed fabric topology: clos (default), sshuffle, star, or a full topo spec string")
 	fabricShards := flag.Int("fabric-shards", 1, "event-loop shards for the managed fabric (>1 = parallel sharded simulation)")
 	fabricLoad := flag.Float64("fabric-load", 0.3, "offered load fraction on the managed fabric")
 	transportHostsPer := flag.Int("transport-hosts-per", 0, "run the sharded Stardust transport overlay with N hosts per FA (TCP permutation load, telemetry at /api/v1/transport; 0 = raw cell injectors)")
@@ -74,6 +75,7 @@ func main() {
 		var err error
 		fr, err = mgmt.NewFabricRun(mgmt.FabricRunConfig{
 			K:                 *fabricK,
+			Topo:              *fabricTopo,
 			Load:              *fabricLoad,
 			FailEvery:         sim.Time(*chaosMs) * sim.Millisecond,
 			HealAfter:         sim.Time(*healMs) * sim.Millisecond,

@@ -10,6 +10,14 @@
 // traffic (credit requests, credits, reachability messages) is modelled as
 // delay-only messages: the paper budgets these at well under 0.1% of link
 // bandwidth (Appendix E), so they do not contend for capacity in the model.
+//
+// Package core is deliberately Clos-only: the FA/FE device split, the
+// control-crossbar hop budget and the reachability advertisement schedule
+// are the paper's chassis architecture, defined over the Clos wiring.
+// Topology-pluggable simulation (Space Shuffle, star-replaced graphs, …)
+// lives in internal/fabric, whose fabric.Fabric interface runs over any
+// topo.Graph; core keeps the device-faithful model it reproduces from
+// §3–§4 and never labels non-Clos roles.
 package core
 
 import (

@@ -13,6 +13,7 @@ import (
 	"net"
 	"time"
 
+	"stardust/internal/fabric"
 	"stardust/internal/sim"
 	"stardust/internal/telemetry"
 )
@@ -401,8 +402,8 @@ func (c *coord) run() (Outcome, error) {
 	every := c.cfg.Spec.telemEvery(look)
 	var emit *telemetry.Emitter
 	var acc telemetry.Snapshot
-	ndirs := 2 * len(c.model.Clos.Links)
-	numFA := c.model.Clos.NumFA
+	ndirs := 2 * c.model.Net.NumLinks()
+	numFA := c.model.Net.NumFA()
 	if every > 0 && c.cfg.Stream != nil {
 		hdr, err := streamHeaderFor(c.cfg.Spec, c.model, every)
 		if err != nil {
@@ -620,9 +621,12 @@ func (c *coord) finish(windows int) (Outcome, error) {
 			}
 		}
 	}
-	numFA := c.model.Clos.NumFA
-	ndirs := 2 * len(c.model.Clos.Links)
-	nspines := c.model.Clos.NumFE2
+	numFA := c.model.Net.NumFA()
+	ndirs := 2 * c.model.Net.NumLinks()
+	nspines := 0 // only the Clos fabric has owner-reported spine tables
+	if cn, ok := c.model.Net.(*fabric.Net); ok {
+		nspines = cn.Topo.NumFE2
+	}
 	nshards := c.cfg.Spec.Shards
 	sinkCells := make([]uint64, numFA)
 	sinkBytes := make([]uint64, numFA)
@@ -724,10 +728,17 @@ func (c *coord) finish(windows int) (Outcome, error) {
 			return Outcome{}, fmt.Errorf("distsim: no peer reported spine %d", i)
 		}
 	}
-	// FA liveness is control-replicated administrative state, so the
-	// coordinator's own replica supplies the second half of the paper's
-	// unreachable-pairs invariant.
-	out.Unreachable += c.model.Net.DeadFAs()
+	// FA liveness on a Clos is control-replicated administrative state, so
+	// the coordinator's own replica supplies the second half of the
+	// paper's unreachable-pairs invariant. On a graph fabric the whole
+	// reachability state is control-replicated (tables reinstall via
+	// barrier controls every replica runs), so the coordinator reports all
+	// of it.
+	if cn, ok := c.model.Net.(*fabric.Net); ok {
+		out.Unreachable += cn.DeadFAs()
+	} else {
+		out.Unreachable += c.model.Net.UnreachablePairs()
+	}
 	out.Digest = foldDigest(sinkCells, sinkBytes, dirs)
 	out.ShardEvents = shardEv
 	c.stats.runDone()

@@ -31,6 +31,7 @@ import (
 	"stardust/internal/parsim"
 	"stardust/internal/sim"
 	"stardust/internal/topo"
+	"stardust/internal/workload"
 )
 
 // Spec is the complete, JSON-serializable recipe for one fabric
@@ -38,11 +39,21 @@ import (
 // holds an identical replica. It mirrors the parameters of the
 // fabric/parscale and fabric/parheal scenarios.
 type Spec struct {
-	K         int      `json:"k"`
-	Seed      int64    `json:"seed"`
-	Shards    int      `json:"shards"`
-	Dur       sim.Time `json:"dur"`
-	Load      float64  `json:"load"`
+	K int `json:"k"`
+	// Topo selects the topology family sized by K ("clos", "sshuffle",
+	// "star" — see topo.ByName). Empty means clos, keeping older specs
+	// (and recorded streams) valid.
+	Topo   string   `json:"topo,omitempty"`
+	Seed   int64    `json:"seed"`
+	Shards int      `json:"shards"`
+	Dur    sim.Time `json:"dur"`
+	Load   float64  `json:"load"`
+	// Pattern selects the traffic matrix: "" or "rotate" (each edge
+	// cycles through every other edge — all-to-all over time),
+	// "permutation" (a seed-chosen fixed one-to-one matrix), "incast"
+	// (every edge sends to edge 0). Like every Spec field it is part of
+	// the replica recipe and the model hash.
+	Pattern   string   `json:"pattern,omitempty"`
 	CellBytes int      `json:"cell"`
 	Hotspot   float64  `json:"hotspot"`
 	FailN     int      `json:"failN"`
@@ -85,12 +96,12 @@ func (s *CellSink) Receive(c *netsim.Packet) {
 }
 
 // Model is one process's replica of the simulation: the sharded fabric,
-// its engine, the per-FA delivery sinks, and the run horizon.
+// its engine, the per-edge delivery sinks, and the run horizon.
 type Model struct {
 	Spec    Spec
-	Clos    *topo.Clos
+	Graph   topo.Graph
 	Eng     *parsim.Engine
-	Net     *fabric.Net
+	Net     fabric.Fabric
 	Sinks   []*CellSink
 	Horizon sim.Time
 	Drain   sim.Time
@@ -102,7 +113,7 @@ type Model struct {
 // determinism contract — change it and remote digests diverge from local
 // ones.
 func NewModel(spec Spec) (*Model, error) {
-	cl, err := fabric.ClosFor(spec.K)
+	graph, err := topo.ByName(spec.Topo, spec.K)
 	if err != nil {
 		return nil, err
 	}
@@ -113,25 +124,45 @@ func NewModel(spec Spec) (*Model, error) {
 	look := sim.Microsecond
 	eng := parsim.New(parsim.Config{Shards: shards, Lookahead: look})
 	cfg := fabric.DefaultConfig(10e9, look, spec.Seed)
-	n, err := fabric.NewSharded(eng, cfg, cl, nil)
+	n, err := fabric.NewShardedFabric(eng, cfg, graph)
 	if err != nil {
 		return nil, err
 	}
-	sinks := make([]*CellSink, cl.NumFA)
+	numFA := graph.NumEdge()
+	sinks := make([]*CellSink, numFA)
 	for fa := range sinks {
 		sinks[fa] = &CellSink{}
 		n.SetEgress(fa, sinks[fa])
 	}
-	perFA := spec.Load * float64(cl.FAUplinks) * float64(cfg.LinkRate)
-	gap := sim.Time(float64(spec.CellBytes*8) / perFA * float64(sim.Second))
-	if gap < sim.Nanosecond {
-		gap = sim.Nanosecond
+	// Offered load scales with each edge device's own uplink count (every
+	// FA has FAUplinks on a Clos; ring-space and server-centric graphs
+	// vary per device), so Load=1.0 saturates every edge everywhere.
+	uplinks := topo.EdgeUplinkDirs(graph)
+	gapOf := func(fa int) sim.Time {
+		perFA := spec.Load * float64(len(uplinks[fa])) * float64(cfg.LinkRate)
+		g := sim.Time(float64(spec.CellBytes*8) / perFA * float64(sim.Second))
+		if g < sim.Nanosecond {
+			g = sim.Nanosecond
+		}
+		return g
 	}
 	hotFAs := 0
 	if spec.Hotspot > 1 {
-		hotFAs = (cl.NumFA + 3) / 4
+		hotFAs = (numFA + 3) / 4
 	}
-	for fa := 0; fa < cl.NumFA; fa++ {
+	var perm []int
+	switch spec.Pattern {
+	case "", "rotate", "alltoall":
+		// The default rotation: every edge cycles through every other edge.
+	case "permutation":
+		perm = workload.Permutation(rand.New(rand.NewSource(spec.Seed^0x9e3779b9)), numFA)
+	case "incast":
+		// Everyone converges on edge 0; edge 0 itself stays silent.
+	default:
+		return nil, fmt.Errorf("distsim: unknown traffic pattern %q (want rotate, permutation, incast or alltoall)", spec.Pattern)
+	}
+	for fa := 0; fa < numFA; fa++ {
+		gap := gapOf(fa)
 		g := gap
 		if fa < hotFAs {
 			g = sim.Time(float64(gap) / spec.Hotspot)
@@ -139,7 +170,20 @@ func NewModel(spec Spec) (*Model, error) {
 				g = sim.Nanosecond
 			}
 		}
-		n.NewInjector(fa, g, spec.CellBytes, spec.Dur, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+		j := n.NewInjector(fa, g, spec.CellBytes, spec.Dur, -1)
+		switch {
+		case perm != nil:
+			if perm[fa] == fa {
+				continue
+			}
+			j.FixDst(perm[fa])
+		case spec.Pattern == "incast":
+			if fa == 0 {
+				continue
+			}
+			j.FixDst(0)
+		}
+		j.Start(sim.Time(fa) * gap / sim.Time(numFA))
 	}
 	if spec.FailN > 0 {
 		rng := rand.New(rand.NewSource(spec.Seed ^ 0xfa11))
@@ -169,15 +213,19 @@ func NewModel(spec Spec) (*Model, error) {
 		horizon = spec.HealAt
 	}
 	drain := 4 * cfg.ReachDelay
-	if spec.Hotspot > 1 {
-		// A hotspot overloads its FAs' uplink queues, so cells keep
-		// draining well past the injection stop: allow every queue on a
-		// four-hop path to empty completely at line rate.
+	_, isClos := graph.(*topo.Clos)
+	if !isClos || spec.Hotspot > 1 || spec.Pattern == "permutation" || spec.Pattern == "incast" {
+		// A hotspot overloads its FAs' uplink queues, the fixed matrices
+		// concentrate load the same way (incast on the victim's downlink,
+		// permutation on relay links), and the irregular graphs carry
+		// transit traffic over shared relay links under any matrix — so
+		// cells keep draining well past the injection stop: allow every
+		// queue on a four-hop path to empty completely at line rate.
 		drain += 8 * sim.Time(float64(cfg.LinkBytes*8)/float64(cfg.LinkRate)*float64(sim.Second))
 	}
 	return &Model{
 		Spec:    spec,
-		Clos:    cl,
+		Graph:   graph,
 		Eng:     eng,
 		Net:     n,
 		Sinks:   sinks,
@@ -232,14 +280,14 @@ func foldDigest(sinkCells, sinkBytes []uint64, dirs [][3]uint64) uint64 {
 // barrier context only; in a distributed run each index is only valid on
 // its owner.
 func (m *Model) gather() (sinkCells, sinkBytes []uint64, dirs [][3]uint64) {
-	numFA := m.Clos.NumFA
+	numFA := m.Graph.NumEdge()
 	sinkCells = make([]uint64, numFA)
 	sinkBytes = make([]uint64, numFA)
 	for fa, s := range m.Sinks {
 		sinkCells[fa] = s.Cells
 		sinkBytes[fa] = s.Bytes
 	}
-	dirs = make([][3]uint64, 2*len(m.Clos.Links))
+	dirs = make([][3]uint64, 2*m.Net.NumLinks())
 	for d := range dirs {
 		b, c, dr := m.Net.DirCounters(d)
 		dirs[d] = [3]uint64{b, c, dr}
@@ -281,10 +329,12 @@ func OwnersFor(shards, npeers int) []int {
 
 // modelHash fingerprints everything the peers must agree on before the
 // first window: the spec, the partition map, and the replica's derived
-// dimensions. A mismatch is detected at the READY handshake, not as a
-// digest divergence half an hour into a run.
+// topology — the canonical topology spec string plus the graph and lane
+// dimensions, so two peers that sized different graphs from the same
+// flags fail the READY handshake instead of diverging digests half an
+// hour into a run.
 func modelHash(spec Spec, owners []int, m *Model) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v/%v/%d/%d/%d/%d", spec, owners, m.Clos.NumFA, m.Clos.NumFE1, m.Clos.NumFE2, m.Net.Lanes())
+	fmt.Fprintf(h, "%+v/%v/%s/%d/%d/%d", spec, owners, m.Graph.Spec(), m.Graph.NumNodes(), m.Graph.NumEdge(), m.Net.Lanes())
 	return h.Sum64()
 }

@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"stardust/internal/fabric"
 	"stardust/internal/parsim"
 )
 
@@ -112,7 +113,7 @@ func runPeerConn(conn net.Conn, dieAtWindow int) error {
 	telem := wm.Spec.telemEvery(m.Eng.Lookahead())
 	var ownedDirs, ownedFAs []int
 	if telem > 0 {
-		for d := 0; d < 2*len(m.Clos.Links); d++ {
+		for d := 0; d < 2*m.Net.NumLinks(); d++ {
 			if owned[m.Net.OwnerOfLinkDir(d)] {
 				ownedDirs = append(ownedDirs, d)
 			}
@@ -265,15 +266,21 @@ func buildReport(m *Model, owned []bool) peerReport {
 			rep.Sinks = append(rep.Sinks, sinkReport{FA: fa, Cells: sink.Cells, Bytes: sink.Bytes})
 		}
 	}
-	for d := 0; d < 2*len(m.Clos.Links); d++ {
+	for d := 0; d < 2*m.Net.NumLinks(); d++ {
 		if owned[m.Net.OwnerOfLinkDir(d)] {
 			b, cl, dr := m.Net.DirCounters(d)
 			rep.Dirs = append(rep.Dirs, dirReport{Dir: d, FwdBytes: b, FwdCells: cl, Drops: dr})
 		}
 	}
-	for i := 0; i < m.Clos.NumFE2; i++ {
-		if owned[m.Net.ShardOfFE2(i)] {
-			rep.Spines = append(rep.Spines, spineReport{Spine: i, Unreachable: m.Net.SpineUnreachable(i)})
+	// Spine reachability tables are the one report that lives on specific
+	// shards: only the Clos fabric has them. Graph fabrics reconverge via
+	// barrier controls, so their reachability is control-replicated and
+	// the coordinator's own replica reports it (see coord.finish).
+	if cn, ok := m.Net.(*fabric.Net); ok {
+		for i := 0; i < cn.Topo.NumFE2; i++ {
+			if owned[cn.ShardOfFE2(i)] {
+				rep.Spines = append(rep.Spines, spineReport{Spine: i, Unreachable: cn.SpineUnreachable(i)})
+			}
 		}
 	}
 	return rep

@@ -28,8 +28,9 @@ func streamHeaderFor(spec Spec, m *Model, every sim.Time) (telemetry.StreamHeade
 	}
 	return telemetry.StreamHeader{
 		Format:   telemetry.Format,
-		Dirs:     2 * len(m.Clos.Links),
-		FAs:      m.Clos.NumFA,
+		Dirs:     2 * m.Net.NumLinks(),
+		FAs:      m.Net.NumFA(),
+		Topo:     m.Graph.Spec(),
 		K:        spec.K,
 		Seed:     spec.Seed,
 		ScrapePs: every,

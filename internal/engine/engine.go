@@ -164,6 +164,11 @@ type Context struct {
 	// simulation across this many cores. Most scenarios are single-loop
 	// and ignore it. Always >= 1.
 	Shards int
+	// Topo is the fabric topology requested with the -topo flag ("clos",
+	// "sshuffle", "star", or a full spec string; empty = clos).
+	// Topology-aware scenarios resolve their own "topo" parameter first
+	// and fall back to this.
+	Topo string
 	// DistPeers/DistListen mirror Options: when DistPeers > 0, a
 	// dist-capable scenario serves its simulation as a distributed
 	// coordinator on DistListen instead of running shards in-process.

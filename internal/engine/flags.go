@@ -16,6 +16,7 @@ import (
 type Flags struct {
 	Workers    int
 	Shards     int
+	Topo       string
 	Format     string
 	Seed       int64
 	List       bool
@@ -37,6 +38,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.IntVar(&f.Workers, "workers", 0, "parallel scenario instances (0 = all CPUs)")
 	fs.IntVar(&f.Shards, "shards", 1, "event-loop shards per instance for sharded scenarios (same seed => byte-identical output at any count)")
+	fs.StringVar(&f.Topo, "topo", "", "fabric topology for topology-aware scenarios: clos (default), sshuffle, star, or a full topo spec string")
 	fs.StringVar(&f.Format, "format", "text", "output format: text, json, csv")
 	fs.Int64Var(&f.Seed, "seed", 1, "base RNG seed (same seed => byte-identical output)")
 	fs.BoolVar(&f.List, "list", false, "list registered scenarios and exit")
@@ -55,6 +57,7 @@ func (f *Flags) Options() Options {
 	o := Options{
 		Workers:    f.Workers,
 		Shards:     f.Shards,
+		Topo:       f.Topo,
 		Seed:       f.Seed,
 		Format:     f.Format,
 		Out:        os.Stdout,

@@ -25,6 +25,9 @@ type Options struct {
 	// scenarios through Context.Shards; <= 0 means 1. It composes with
 	// Workers: the pool parallelizes across instances, shards within one.
 	Shards int
+	// Topo is the fabric topology handed to topology-aware scenarios
+	// through Context.Topo (the -topo flag); empty means the Clos.
+	Topo string
 	// Seed is the base seed for jobs that don't carry their own.
 	Seed int64
 	// Format selects the emission format: "text", "json" or "csv".
@@ -197,6 +200,7 @@ func runInstance(in instance, shards int, opts Options) (res Result, err error) 
 		Params:     in.params,
 		Seed:       in.seed,
 		Shards:     shards,
+		Topo:       opts.Topo,
 		DistPeers:  opts.DistPeers,
 		DistListen: opts.DistListen,
 	})

@@ -164,10 +164,10 @@ func FabricFailures(cfg HtsimConfig, nFail int, failAt, bin sim.Time) (*FailureR
 		}
 		return float64(sum)
 	}
-	if nFail > len(tb.fab.Topo.Links) {
-		nFail = len(tb.fab.Topo.Links)
+	if nFail > tb.fab.NumLinks() {
+		nFail = tb.fab.NumLinks()
 	}
-	victims := tb.rng.Perm(len(tb.fab.Topo.Links))[:nFail]
+	victims := tb.rng.Perm(tb.fab.NumLinks())[:nFail]
 
 	tb.s.RunUntil(cfg.Warmup)
 	res := &FailureResult{FailedLinks: nFail, BinMs: bin.Seconds() * 1e3, FailBin: -1}

@@ -60,26 +60,7 @@ func (n *Net) EncodeMail(m parsim.Mail) (kind byte, payload []byte, err error) {
 		if int(m.Lane) >= 2*len(n.Topo.Links) {
 			return 0, nil, fmt.Errorf("fabric: packet on non-link lane %d is not distributable", m.Lane)
 		}
-		var flags byte
-		if a.Ack {
-			flags |= cellAck
-		}
-		if a.CE {
-			flags |= cellCE
-		}
-		if a.Echo {
-			flags |= cellEcho
-		}
-		if a.Down {
-			flags |= cellDown
-		}
-		buf := make([]byte, 0, 16)
-		buf = append(buf, flags)
-		buf = binary.AppendUvarint(buf, uint64(a.Size))
-		buf = binary.AppendUvarint(buf, uint64(a.Dst))
-		buf = binary.AppendVarint(buf, a.Seq)
-		a.Release()
-		return MailCell, buf, nil
+		return MailCell, encodeCell(a), nil
 	case applyReach:
 		buf := make([]byte, 0, 8+20*len(a.msgs))
 		buf = binary.AppendUvarint(buf, uint64(a.sp.id.Index))
@@ -103,6 +84,62 @@ func (n *Net) EncodeMail(m parsim.Mail) (kind byte, payload []byte, err error) {
 	}
 }
 
+// encodeCell serializes one in-flight cell for the wire and releases it
+// back to the packet pool — shared by the Clos and graph fabric codecs.
+func encodeCell(a *netsim.Packet) []byte {
+	var flags byte
+	if a.Ack {
+		flags |= cellAck
+	}
+	if a.CE {
+		flags |= cellCE
+	}
+	if a.Echo {
+		flags |= cellEcho
+	}
+	if a.Down {
+		flags |= cellDown
+	}
+	buf := make([]byte, 0, 16)
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(a.Size))
+	buf = binary.AppendUvarint(buf, uint64(a.Dst))
+	buf = binary.AppendVarint(buf, a.Seq)
+	a.Release()
+	return buf
+}
+
+// decodeCell rebuilds a pooled cell from its wire form; the caller
+// rebinds it to the receiving replica's link route.
+func decodeCell(payload []byte) (*netsim.Packet, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("fabric: truncated cell payload")
+	}
+	flags := payload[0]
+	rest := payload[1:]
+	size, k1 := binary.Uvarint(rest)
+	if k1 <= 0 {
+		return nil, fmt.Errorf("fabric: truncated cell size")
+	}
+	dst, k2 := binary.Uvarint(rest[k1:])
+	if k2 <= 0 {
+		return nil, fmt.Errorf("fabric: truncated cell dst")
+	}
+	seq, k3 := binary.Varint(rest[k1+k2:])
+	if k3 <= 0 {
+		return nil, fmt.Errorf("fabric: truncated cell seq")
+	}
+	p := netsim.NewPacket()
+	p.Size = int(size)
+	p.Dst = int32(dst)
+	p.Seq = seq
+	p.Ack = flags&cellAck != 0
+	p.CE = flags&cellCE != 0
+	p.Echo = flags&cellEcho != 0
+	p.Down = flags&cellDown != 0
+	return p, nil
+}
+
 // DecodeMail rebinds one wire payload to this replica of the model,
 // returning the action and argument to inject on the destination shard at
 // the original (time, lane) key.
@@ -112,31 +149,10 @@ func (n *Net) DecodeMail(kind byte, lane int32, payload []byte) (sim.Action, uin
 		if int(lane) >= 2*len(n.Topo.Links) || lane < 0 {
 			return nil, 0, fmt.Errorf("fabric: cell on bad link lane %d", lane)
 		}
-		if len(payload) < 1 {
-			return nil, 0, fmt.Errorf("fabric: truncated cell payload")
+		p, err := decodeCell(payload)
+		if err != nil {
+			return nil, 0, err
 		}
-		flags := payload[0]
-		rest := payload[1:]
-		size, k1 := binary.Uvarint(rest)
-		if k1 <= 0 {
-			return nil, 0, fmt.Errorf("fabric: truncated cell size")
-		}
-		dst, k2 := binary.Uvarint(rest[k1:])
-		if k2 <= 0 {
-			return nil, 0, fmt.Errorf("fabric: truncated cell dst")
-		}
-		seq, k3 := binary.Varint(rest[k1+k2:])
-		if k3 <= 0 {
-			return nil, 0, fmt.Errorf("fabric: truncated cell seq")
-		}
-		p := netsim.NewPacket()
-		p.Size = int(size)
-		p.Dst = int32(dst)
-		p.Seq = seq
-		p.Ack = flags&cellAck != 0
-		p.CE = flags&cellCE != 0
-		p.Echo = flags&cellEcho != 0
-		p.Down = flags&cellDown != 0
 		// A cell crossing a shard cut was scheduled by the link's LanePipe
 		// with the queue and pipe hops already behind it: rebind it to the
 		// tail of this replica's route so the next hop is the link itself.

@@ -68,18 +68,12 @@ func DefaultConfig(rate netsim.Bps, delay sim.Time, seed int64) Config {
 	}
 }
 
-// ClosFor returns a two-tier Clos sized to front a k-ary fat-tree's edge:
-// one FA per edge switch (k²/2 of them) with k/2 uplinks each, k
-// first-tier FEs and k spines, with the FE1 uplink count rounded up to a
-// multiple of the spine count so every FE1 reaches every FE2 at full
-// bisection bandwidth.
-func ClosFor(k int) (*topo.Clos, error) {
-	if k < 4 || k%2 != 0 {
-		return nil, fmt.Errorf("fabric: k must be even and >= 4, got %d", k)
-	}
-	fe1Up := (k + 3) / 4 * k // >= k²/4 down links, and a multiple of k spines
-	return topo.NewClos2(k*k/2, k/2, k, k*k/4, fe1Up, k)
-}
+// ClosFor returns a two-tier Clos sized to front a k-ary fat-tree's
+// edge. The sizing lives in topo.ClosForK — the single source of the
+// K -> dimensions derivation shared by cmd binaries, distsim specs and
+// telemetry headers, so two peers can never hash different models from
+// the same flags.
+func ClosFor(k int) (*topo.Clos, error) { return topo.ClosForK(k) }
 
 // shardState is the per-shard slice of a Net: the shard's event heap plus
 // the counters its devices increment. A solo fabric has exactly one; a

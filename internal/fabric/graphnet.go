@@ -1,0 +1,817 @@
+// GraphNet is the cell fabric over an arbitrary topo.Graph: the same
+// per-link serialization queues, propagation pipes, pooled cells and
+// spreader-sprayed multipath as the Clos Net, but with forwarding state
+// installed from Graph.Routes instead of the Clos reach protocol. It is
+// how Space Shuffle, star-replaced server-centric graphs — any Graph —
+// run the existing scenario family.
+//
+// Forwarding generalizes the §3.1 up/down rule: a node sprays each cell
+// over the descend candidates for its destination (the distance-
+// decreasing port set, loop-free under any spray by the Routes
+// contract); a node with no descend candidate climbs, but only while
+// the cell has never descended — the no-valley rule, verbatim. Graphs
+// with no hierarchy (Space Shuffle, star-replaced) simply publish empty
+// climb sets and route by descent alone. A per-flow ECMP mode replaces
+// the spray with a deterministic hash pick over the same candidate
+// sets, so spray-vs-ECMP comparisons run on identical topologies,
+// routes and traffic.
+//
+// The control plane is centralized-but-delayed rather than protocol-
+// simulated: FailLink/RestoreLink flip the administrative mask and prune
+// dead ports at the adjacent devices immediately (local keepalive
+// detection, §5.9), then reinstall Graph.Routes over the live mask after
+// Cfg.ReachDelay — the same convergence lag the Clos fabric pays for
+// reach propagation, without modeling a graph-specific protocol. During
+// the window, cells steered onto pruned state are discarded exactly like
+// the Clos convergence window. Recomputation runs in barrier context on
+// a sharded fabric, so the instant is quantized to a window boundary —
+// a function of the lookahead alone, hence byte-identical at every
+// shard count.
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/reach"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// RouteMode selects how a device picks among its candidate ports.
+type RouteMode int
+
+const (
+	// ModeSpray sprays per cell with the §5.3 round-robin permutation
+	// arbiter — Stardust's load balancing.
+	ModeSpray RouteMode = iota
+	// ModeECMP picks one candidate per flow by deterministic hash — the
+	// classic per-flow ECMP baseline the paper argues against.
+	ModeECMP
+)
+
+// glink is one direction of a physical link in a GraphNet, mirroring
+// the Clos fabric's link type: queue on the sender's shard, arrival
+// gate dropping cells when the link is down.
+type glink struct {
+	net *GraphNet
+	sh  *shardState // receiving device's shard
+	q   *netsim.Queue
+	to  *gnode
+	rt  []netsim.Handler
+	up  bool
+}
+
+// Receive implements netsim.Handler.
+func (l *glink) Receive(c *netsim.Packet) {
+	if !l.up {
+		l.sh.deadDrops++
+		l.net.dropCell(c)
+		return
+	}
+	l.to.Receive(c)
+}
+
+func (l *glink) send(c *netsim.Packet) {
+	c.SetRoute(l.rt)
+	c.SendOn()
+}
+
+// gEgress terminates cells at their destination edge device.
+type gEgress struct {
+	net *GraphNet
+	sh  *shardState
+	to  netsim.Handler // optional per-edge endpoint (SetEgress)
+}
+
+func (e *gEgress) deliver(c *netsim.Packet) {
+	e.sh.delivered++
+	if e.to != nil {
+		e.to.Receive(c)
+		return
+	}
+	if fn := e.net.onDeliver; fn != nil {
+		fn(c)
+		return
+	}
+	c.Release()
+}
+
+// gnode is one device of the graph: candidate tables per destination
+// edge, a climb set, and the spreaders that spray over them.
+type gnode struct {
+	net  *GraphNet
+	sh   *shardState
+	id   int
+	edge int32 // edge index, -1 for pure transit nodes
+
+	out []*glink // per port; nil when the port is unwired
+
+	// Installed forwarding state (rebuilt on recompute): bitmaps feed
+	// the spreaders, port lists feed the ECMP hash.
+	descend  []reach.Bitmap // per dst edge: candidate ports
+	descendP [][]int
+	climb    reach.Bitmap
+	climbP   []int
+	sprD     *reach.Spreader
+	sprUp    *reach.Spreader
+}
+
+// Receive implements netsim.Handler: deliver or forward one cell.
+func (d *gnode) Receive(c *netsim.Packet) {
+	if d.edge == c.Dst {
+		d.net.egress[d.edge].deliver(c)
+		return
+	}
+	d.forward(c)
+}
+
+// forward applies the generalized up/down rule. The hot path allocates
+// nothing: candidate sets are prebuilt bitmaps/slices, spreader
+// reshuffles are in place, and the hash is arithmetic.
+func (d *gnode) forward(c *netsim.Packet) {
+	dst := int(c.Dst)
+	if d.net.mode == ModeECMP {
+		if ports := d.descendP[dst]; len(ports) > 0 {
+			c.Down = true
+			d.out[ports[ecmpHash(d.id, c.Seq)%uint64(len(ports))]].send(c)
+			return
+		}
+		if !c.Down && len(d.climbP) > 0 {
+			d.out[d.climbP[ecmpHash(d.id, c.Seq)%uint64(len(d.climbP))]].send(c)
+			return
+		}
+	} else {
+		if l := d.sprD.Next(d.descend[dst]); l >= 0 {
+			c.Down = true
+			d.out[l].send(c)
+			return
+		}
+		if !c.Down {
+			if l := d.sprUp.Next(d.climb); l >= 0 {
+				d.out[l].send(c)
+				return
+			}
+		}
+	}
+	d.sh.noRouteDrops++
+	d.net.dropCell(c)
+}
+
+// ecmpHash mixes (device, flow id) into a uniform 64-bit value — a
+// splitmix64 finalizer, deterministic everywhere.
+func ecmpHash(node int, seq int64) uint64 {
+	x := uint64(node)<<32 ^ uint64(seq)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// GraphNet owns every device and directed link of one topo.Graph
+// instance. It implements Fabric.
+type GraphNet struct {
+	Cfg Config
+	Sim *sim.Simulator // solo event heap; shard 0's heap when sharded
+	G   topo.Graph
+
+	mode RouteMode
+
+	eng       *parsim.Engine // nil in solo mode
+	shards    []*shardState  // len 1 in solo mode
+	nodeShard []int          // device -> owning shard (sharded mode)
+
+	nodes  []*gnode
+	egress []gEgress
+	wiring []topo.GraphLink
+	// links holds both directions of every topology link: 2i is A->B,
+	// 2i+1 is B->A.
+	links    []*glink
+	linkDown []bool
+	adminUp  []bool // complement of linkDown, in Routes' input shape
+	pipe     *netsim.Pipe
+	hairpin  [][]netsim.Handler // per edge: local switching path
+
+	laneGroups   []int32
+	migrateHooks []func(fa, from, to int) // registered, never fired: nothing migrates
+
+	onDeliver     func(*netsim.Packet)
+	onCellDrop    func(*netsim.Packet)
+	onLinkState   func(link int, up bool)
+	onReachUpdate func(dev, reachable int)
+
+	reachCnt []int // per node: dst edges currently routable, for update hooks
+}
+
+// NewGraphNet builds all devices and links of g on the single event
+// loop s.
+func NewGraphNet(s *sim.Simulator, cfg Config, g topo.Graph) (*GraphNet, error) {
+	solo := &shardState{id: 0, sm: s}
+	return buildGraph(cfg, g, []*shardState{solo}, nil, nil)
+}
+
+// NewGraphSharded builds the fabric across the shards of eng. assign
+// maps each device to a shard; nil assigns contiguous node blocks. The
+// lookahead constraints of NewSharded apply.
+func NewGraphSharded(eng *parsim.Engine, cfg Config, g topo.Graph, assign []int) (*GraphNet, error) {
+	if eng.Lookahead() > cfg.LinkDelay {
+		return nil, fmt.Errorf("fabric: engine lookahead %d exceeds link delay %d", eng.Lookahead(), cfg.LinkDelay)
+	}
+	if cfg.ReachDelay < 2*eng.Lookahead() {
+		return nil, fmt.Errorf("fabric: reach delay %d below two lookaheads (%d)", cfg.ReachDelay, 2*eng.Lookahead())
+	}
+	if assign == nil {
+		assign = make([]int, g.NumNodes())
+		for i := range assign {
+			assign[i] = i * eng.Shards() / len(assign)
+		}
+	}
+	if len(assign) != g.NumNodes() {
+		return nil, fmt.Errorf("fabric: sharding shape %d does not match %d nodes", len(assign), g.NumNodes())
+	}
+	for _, s := range assign {
+		if s < 0 || s >= eng.Shards() {
+			return nil, fmt.Errorf("fabric: shard %d out of range [0,%d)", s, eng.Shards())
+		}
+	}
+	shards := make([]*shardState, eng.Shards())
+	for i := range shards {
+		shards[i] = &shardState{id: i, sm: eng.Shard(i).Sim()}
+	}
+	return buildGraph(cfg, g, shards, assign, eng)
+}
+
+func buildGraph(cfg Config, g topo.Graph, shards []*shardState, assign []int, eng *parsim.Engine) (*GraphNet, error) {
+	if cfg.LinkRate <= 0 || cfg.LinkBytes <= 0 {
+		return nil, fmt.Errorf("fabric: need positive link rate and capacity")
+	}
+	if cfg.ReshuffleRounds < 1 {
+		cfg.ReshuffleRounds = 64
+	}
+	if err := topo.ValidateGraph(g); err != nil {
+		return nil, err
+	}
+	n := &GraphNet{
+		Cfg:       cfg,
+		Sim:       shards[0].sm,
+		G:         g,
+		eng:       eng,
+		shards:    shards,
+		nodeShard: assign,
+		wiring:    g.GraphLinks(),
+	}
+	n.linkDown = make([]bool, len(n.wiring))
+	n.adminUp = make([]bool, len(n.wiring))
+	for i := range n.adminUp {
+		n.adminUp[i] = true
+	}
+	if eng == nil {
+		n.pipe = netsim.NewPipe(n.Sim, cfg.LinkDelay)
+	}
+	shardOf := func(node int) *shardState {
+		if eng == nil {
+			return shards[0]
+		}
+		return shards[assign[node]]
+	}
+	seeds := rand.New(rand.NewSource(cfg.Seed))
+	edgeOf := topo.EdgeOfNode(g)
+	nn := g.NumNodes()
+	numEdge := g.NumEdge()
+	n.nodes = make([]*gnode, nn)
+	n.reachCnt = make([]int, nn)
+	for i := range n.nodes {
+		info := g.Node(i)
+		d := &gnode{
+			net:  n,
+			sh:   shardOf(i),
+			id:   i,
+			edge: int32(edgeOf[i]),
+			out:  make([]*glink, info.Ports),
+			sprD: reach.NewSpreader(info.Ports, cfg.ReshuffleRounds, seeds.Int63()),
+		}
+		d.descend = make([]reach.Bitmap, numEdge)
+		for e := range d.descend {
+			d.descend[e] = reach.NewBitmap(info.Ports)
+		}
+		d.descendP = make([][]int, numEdge)
+		d.climb = reach.NewBitmap(info.Ports)
+		d.sprUp = reach.NewSpreader(info.Ports, cfg.ReshuffleRounds, seeds.Int63())
+		n.nodes[i] = d
+	}
+	n.egress = make([]gEgress, numEdge)
+	n.hairpin = make([][]netsim.Handler, numEdge)
+	for e := range n.egress {
+		sh := shardOf(g.EdgeNode(e))
+		n.egress[e] = gEgress{net: n, sh: sh}
+		if eng == nil {
+			n.hairpin[e] = []netsim.Handler{n.pipe, &edgeSink{net: n, edge: e}}
+		} else {
+			lp := &netsim.LanePipe{Sched: sh.sm, Delay: cfg.LinkDelay, Lane: n.hairpinLaneG(e)}
+			n.hairpin[e] = []netsim.Handler{lp, &edgeSink{net: n, edge: e}}
+		}
+	}
+	// One directed glink per direction, lane = directed index — the same
+	// lane discipline as the Clos fabric, so same-instant deliveries at
+	// any device order identically at every shard count.
+	mkLink := func(fromNode, fromPort int, to *gnode) *glink {
+		fromSh := shardOf(fromNode)
+		l := &glink{
+			net: n,
+			sh:  to.sh,
+			q:   netsim.NewQueue(fromSh.sm, fmt.Sprintf("%s:%d", g.Node(fromNode).Name, fromPort), cfg.LinkRate, cfg.LinkBytes, 0),
+			to:  to,
+			up:  true,
+		}
+		if eng == nil {
+			l.rt = []netsim.Handler{l.q, n.pipe, l}
+		} else {
+			lane := int32(len(n.links))
+			lp := &netsim.LanePipe{
+				Sched: eng.Shard(fromSh.id).To(to.sh.id),
+				Delay: cfg.LinkDelay,
+				Lane:  lane,
+			}
+			l.rt = []netsim.Handler{l.q, lp, l}
+		}
+		n.links = append(n.links, l)
+		return l
+	}
+	for _, lk := range n.wiring {
+		a, b := n.nodes[lk.A], n.nodes[lk.B]
+		ab := mkLink(lk.A, lk.APort, b)
+		a.out[lk.APort] = ab
+		ba := mkLink(lk.B, lk.BPort, a)
+		b.out[lk.BPort] = ba
+	}
+	if eng != nil {
+		// Nothing migrates in a GraphNet, so every lane belongs to the
+		// immovable group 0 — but the table must exist so a transport
+		// layered on top can extend it with its own lanes.
+		n.laneGroups = make([]int32, n.Lanes())
+		for _, sh := range shards {
+			sh.sm.SetLaneGroups(n.laneGroups)
+			sh.sm.EnsureGroups(1)
+		}
+	}
+	n.installRoutes(true)
+	return n, nil
+}
+
+// edgeSink terminates the hairpin path (src edge == dst edge).
+type edgeSink struct {
+	net  *GraphNet
+	edge int
+}
+
+// Receive implements netsim.Handler.
+func (s *edgeSink) Receive(c *netsim.Packet) { s.net.egress[s.edge].deliver(c) }
+
+// installRoutes recomputes Graph.Routes over the administrative mask and
+// installs the candidate sets on every device. Construction-time and
+// control-plane only (never on the per-cell path). With notify set,
+// fires OnReachUpdate in node order for every device whose routable
+// destination count changed; the initial install seeds the counts
+// silently.
+func (n *GraphNet) installRoutes(initial bool) {
+	descend, climb := n.G.Routes(n.adminUp)
+	for i, d := range n.nodes {
+		cnt := 0
+		for e := range d.descend {
+			d.descend[e].Reset()
+			for _, p := range descend[i][e] {
+				d.descend[e].Set(p)
+			}
+			d.descendP[e] = descend[i][e]
+			if len(descend[i][e]) > 0 {
+				cnt++
+			}
+		}
+		d.climb.Reset()
+		for _, p := range climb[i] {
+			d.climb.Set(p)
+		}
+		d.climbP = climb[i]
+		if initial {
+			n.reachCnt[i] = cnt
+			continue
+		}
+		if cnt != n.reachCnt[i] {
+			n.reachCnt[i] = cnt
+			if n.onReachUpdate != nil {
+				n.onReachUpdate(i, cnt)
+			}
+		}
+	}
+}
+
+// hairpinLaneG is the event lane of edge e's local switching path.
+func (n *GraphNet) hairpinLaneG(e int) int32 { return int32(2*len(n.wiring) + e) }
+
+// Lanes implements Fabric: directed link lanes then hairpin lanes.
+func (n *GraphNet) Lanes() int32 { return int32(2*len(n.wiring) + n.G.NumEdge()) }
+
+// Graph implements Fabric.
+func (n *GraphNet) Graph() topo.Graph { return n.G }
+
+// Simulator implements Fabric.
+func (n *GraphNet) Simulator() *sim.Simulator { return n.Sim }
+
+// Engine implements Fabric.
+func (n *GraphNet) Engine() *parsim.Engine { return n.eng }
+
+// Sharded implements Fabric.
+func (n *GraphNet) Sharded() bool { return n.eng != nil }
+
+// NumFA implements Fabric: the edge device count (the injection and
+// delivery points — FAs on a Clos, switches or servers elsewhere).
+func (n *GraphNet) NumFA() int { return n.G.NumEdge() }
+
+// NumLinks implements Fabric.
+func (n *GraphNet) NumLinks() int { return len(n.wiring) }
+
+// SetMode selects spray or per-flow ECMP forwarding. Call before the
+// run starts.
+func (n *GraphNet) SetMode(m RouteMode) { n.mode = m }
+
+// Mode returns the forwarding mode.
+func (n *GraphNet) Mode() RouteMode { return n.mode }
+
+// EdgeSim implements Fabric.
+func (n *GraphNet) EdgeSim(fa int) *sim.Simulator {
+	if n.eng == nil {
+		return n.Sim
+	}
+	return n.shards[n.nodeShard[n.G.EdgeNode(fa)]].sm
+}
+
+// ShardOfFA implements Fabric.
+func (n *GraphNet) ShardOfFA(fa int) int {
+	if n.eng == nil {
+		return 0
+	}
+	return n.nodeShard[n.G.EdgeNode(fa)]
+}
+
+// SetEgress implements Fabric.
+func (n *GraphNet) SetEgress(fa int, h netsim.Handler) { n.egress[fa].to = h }
+
+// Inject implements Fabric: send one cell from edge device srcFA toward
+// edge device dstFA. In ECMP mode the cell is stamped with its flow id
+// (in Seq) so every hop hashes the same flow to the same path; ECMP
+// fabrics therefore cannot carry a transport overlay that uses Seq.
+func (n *GraphNet) Inject(c *netsim.Packet, srcFA, dstFA int) {
+	d := n.nodes[n.G.EdgeNode(srcFA)]
+	d.sh.injected++
+	c.Dst = int32(dstFA)
+	c.Down = false
+	if srcFA == dstFA {
+		c.SetRoute(n.hairpin[srcFA])
+		c.SendOn()
+		return
+	}
+	if n.mode == ModeECMP {
+		c.Seq = int64(srcFA)*int64(n.G.NumEdge()) + int64(dstFA) + 1
+	}
+	d.forward(c)
+}
+
+// dropCell releases a cell lost inside the fabric, after showing it to
+// the accounting hook.
+func (n *GraphNet) dropCell(c *netsim.Packet) {
+	if n.onCellDrop != nil {
+		n.onCellDrop(c)
+	}
+	c.Release()
+}
+
+// Injected implements Fabric (quiescent/barrier context).
+func (n *GraphNet) Injected() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.injected
+	}
+	return v
+}
+
+// Delivered implements Fabric (quiescent/barrier context).
+func (n *GraphNet) Delivered() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.delivered
+	}
+	return v
+}
+
+// DeadDrops counts cells lost on a failed link.
+func (n *GraphNet) DeadDrops() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.deadDrops
+	}
+	return v
+}
+
+// NoRouteDrops counts cells discarded with no live candidate — the
+// convergence window.
+func (n *GraphNet) NoRouteDrops() uint64 {
+	var v uint64
+	for _, sh := range n.shards {
+		v += sh.noRouteDrops
+	}
+	return v
+}
+
+// Drops implements Fabric.
+func (n *GraphNet) Drops() uint64 {
+	d := n.DeadDrops() + n.NoRouteDrops()
+	for _, l := range n.links {
+		d += l.q.Drops
+	}
+	return d
+}
+
+// QueueDrops implements Fabric.
+func (n *GraphNet) QueueDrops() uint64 {
+	var d uint64
+	for _, l := range n.links {
+		d += l.q.Drops
+	}
+	return d
+}
+
+// VisitQueues implements Fabric (barrier context when sharded).
+func (n *GraphNet) VisitQueues(fn func(q *netsim.Queue)) {
+	for _, l := range n.links {
+		fn(l.q)
+	}
+}
+
+// LinkUp implements Fabric.
+func (n *GraphNet) LinkUp(i int) bool { return !n.linkDown[i] }
+
+// FailLink implements Fabric: both directions of topology link i go
+// down. The endpoints prune the dead port from every candidate set at
+// once (local keepalive); the full tables reconverge on the live mask
+// after Cfg.ReachDelay. Barrier context only when sharded.
+func (n *GraphNet) FailLink(i int) {
+	n.checkBarrierG()
+	if n.linkDown[i] {
+		return
+	}
+	n.linkDown[i] = true
+	n.adminUp[i] = false
+	n.links[2*i].up = false
+	n.links[2*i+1].up = false
+	lk := n.wiring[i]
+	n.pruneLocal(lk.A, lk.APort)
+	n.pruneLocal(lk.B, lk.BPort)
+	n.scheduleRecompute()
+	if n.onLinkState != nil {
+		n.onLinkState(i, false)
+	}
+}
+
+// RestoreLink implements Fabric: the link carries traffic again at
+// once, and routes that want it back arrive with the reconvergence.
+func (n *GraphNet) RestoreLink(i int) {
+	n.checkBarrierG()
+	if !n.linkDown[i] {
+		return
+	}
+	n.linkDown[i] = false
+	n.adminUp[i] = true
+	n.links[2*i].up = true
+	n.links[2*i+1].up = true
+	n.scheduleRecompute()
+	if n.onLinkState != nil {
+		n.onLinkState(i, true)
+	}
+}
+
+// pruneLocal clears one dead port from a device's installed candidate
+// sets — the immediate local reaction to a failed keepalive. The port
+// lists (ECMP) are filtered in place over the prebuilt backing arrays.
+func (n *GraphNet) pruneLocal(node, port int) {
+	d := n.nodes[node]
+	for e := range d.descend {
+		d.descend[e].Clear(port)
+		d.descendP[e] = withoutPort(d.descendP[e], port)
+	}
+	d.climb.Clear(port)
+	d.climbP = withoutPort(d.climbP, port)
+}
+
+// withoutPort removes port from a candidate list in place.
+func withoutPort(ports []int, port int) []int {
+	for i, p := range ports {
+		if p == port {
+			return append(ports[:i], ports[i+1:]...)
+		}
+	}
+	return ports
+}
+
+// scheduleRecompute arranges the delayed global reconvergence. Each
+// administrative change schedules its own; the recompute reads the
+// administrative mask at execution time, so overlapping changes
+// coalesce into the latest truth (idempotent reinstalls are harmless).
+func (n *GraphNet) scheduleRecompute() {
+	if n.eng != nil {
+		// Barrier-context mutation of every shard's devices; the engine
+		// quantizes the instant to a window boundary, a pure function of
+		// the lookahead — identical at every shard count.
+		n.eng.At(n.eng.Now()+n.Cfg.ReachDelay, func() { n.installRoutes(false) })
+		return
+	}
+	n.Sim.After(n.Cfg.ReachDelay, func() { n.installRoutes(false) })
+}
+
+// checkBarrierG panics when multi-shard state is mutated outside
+// barrier context.
+func (n *GraphNet) checkBarrierG() {
+	if n.eng != nil && !n.eng.InBarrier() {
+		panic("fabric: sharded link state must be changed in barrier context (parsim Engine.At/OnBarrier)")
+	}
+}
+
+// UnreachablePairs implements Fabric: ordered (src, dst) edge pairs the
+// installed tables cannot begin to route — the src device has neither a
+// descend candidate for dst nor any climb port. After reconvergence
+// this is exact: Routes' BFS-backed tables have a candidate iff a live
+// path exists. Barrier context only when sharded.
+func (n *GraphNet) UnreachablePairs() int {
+	bad := 0
+	for e := 0; e < n.G.NumEdge(); e++ {
+		d := n.nodes[n.G.EdgeNode(e)]
+		for t := 0; t < n.G.NumEdge(); t++ {
+			if t == e || int32(t) == d.edge {
+				continue
+			}
+			if d.descend[t].Count() == 0 && len(d.climbP) == 0 {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// ReadLinkCounters implements Fabric.
+func (n *GraphNet) ReadLinkCounters(i int, out *[2]LinkCounters) {
+	for d := 0; d < 2; d++ {
+		l := n.links[2*i+d]
+		out[d] = LinkCounters{
+			Link:       i,
+			Dir:        d,
+			Up:         l.up,
+			FwdBytes:   l.q.FwdBytes,
+			FwdCells:   l.q.Forwarded,
+			Drops:      l.q.Drops,
+			QueueBytes: l.q.Bytes(),
+			PeakBytes:  l.q.PeakBytes,
+		}
+	}
+}
+
+// DirCounters implements Fabric.
+func (n *GraphNet) DirCounters(d int) (fwdBytes, fwdCells, drops uint64) {
+	l := n.links[d]
+	return l.q.FwdBytes, l.q.Forwarded, l.q.Drops
+}
+
+// DirTelemetry implements Fabric.
+func (n *GraphNet) DirTelemetry(d int) (fwdBytes, fwdCells, drops uint64, queueBytes int) {
+	l := n.links[d]
+	return l.q.FwdBytes, l.q.Forwarded, l.q.Drops, l.q.Bytes()
+}
+
+// FAUplinkBytes implements Fabric: forwarded bytes of every edge
+// device's outbound link, edge-major in ascending directed-link order —
+// the per-link spread evidence of the linkload comparisons.
+func (n *GraphNet) FAUplinkBytes() []uint64 {
+	groups := topo.EdgeUplinkDirs(n.G)
+	var out []uint64
+	for _, dirs := range groups {
+		for _, d := range dirs {
+			out = append(out, n.links[d].q.FwdBytes)
+		}
+	}
+	return out
+}
+
+// ShardEvents implements Fabric (barrier context).
+func (n *GraphNet) ShardEvents() []uint64 {
+	out := make([]uint64, len(n.shards))
+	for i, sh := range n.shards {
+		out[i] = sh.sm.Processed
+	}
+	return out
+}
+
+// TrafficOfShard implements Fabric (barrier context).
+func (n *GraphNet) TrafficOfShard(s int) ShardTraffic {
+	sh := n.shards[s]
+	return ShardTraffic{
+		Injected:     sh.injected,
+		Delivered:    sh.delivered,
+		DeadDrops:    sh.deadDrops,
+		NoRouteDrops: sh.noRouteDrops,
+	}
+}
+
+// OwnerOfLinkDir implements Fabric: the sending device's shard.
+func (n *GraphNet) OwnerOfLinkDir(d int) int {
+	if n.eng == nil {
+		return 0
+	}
+	lk := n.wiring[d/2]
+	if d%2 == 0 {
+		return n.nodeShard[lk.A]
+	}
+	return n.nodeShard[lk.B]
+}
+
+// GroupOfFA implements Fabric: GraphNet devices never migrate, so every
+// event belongs to the immovable group 0.
+func (n *GraphNet) GroupOfFA(fa int) int32 { return 0 }
+
+// LaneGroups implements Fabric.
+func (n *GraphNet) LaneGroups() []int32 { return n.laneGroups }
+
+// OnMigrateFA implements Fabric. Hooks are retained for interface
+// parity but never fire: nothing migrates.
+func (n *GraphNet) OnMigrateFA(fn func(fa, from, to int)) {
+	n.migrateHooks = append(n.migrateHooks, fn)
+}
+
+// EnableRebalancing implements Fabric: adaptive rebalancing is a
+// Clos-fabric feature (per-FA device groups); a GraphNet declines.
+func (n *GraphNet) EnableRebalancing(cfg RebalanceConfig) error {
+	return fmt.Errorf("fabric: adaptive rebalancing requires the Clos fabric (topology %s has no migratable device groups)", n.G.Spec())
+}
+
+// Migrations implements Fabric.
+func (n *GraphNet) Migrations() uint64 { return 0 }
+
+// EncodeMail implements Fabric. Only cells cross shard cuts in a
+// GraphNet — reconvergence is a barrier control every replica runs
+// locally — so the codec is the cell half of the Clos fabric's.
+func (n *GraphNet) EncodeMail(m parsim.Mail) (kind byte, payload []byte, err error) {
+	a, ok := m.Act.(*netsim.Packet)
+	if !ok {
+		return 0, nil, fmt.Errorf("fabric: cross-shard action %T on lane %d is not distributable", m.Act, m.Lane)
+	}
+	if a.Flow != nil {
+		return 0, nil, fmt.Errorf("fabric: cell on lane %d carries transport flow state; the transport overlay is not distributable", m.Lane)
+	}
+	if int(m.Lane) >= 2*len(n.wiring) {
+		return 0, nil, fmt.Errorf("fabric: packet on non-link lane %d is not distributable", m.Lane)
+	}
+	return MailCell, encodeCell(a), nil
+}
+
+// DecodeMail implements Fabric.
+func (n *GraphNet) DecodeMail(kind byte, lane int32, payload []byte) (sim.Action, uint64, error) {
+	if kind != MailCell {
+		return nil, 0, fmt.Errorf("fabric: unknown mail kind %d for graph fabric", kind)
+	}
+	if int(lane) >= 2*len(n.wiring) || lane < 0 {
+		return nil, 0, fmt.Errorf("fabric: cell on bad link lane %d", lane)
+	}
+	p, err := decodeCell(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.SetRoute(n.links[lane].rt[2:])
+	return p, 0, nil
+}
+
+// SetOnDeliver implements Fabric.
+func (n *GraphNet) SetOnDeliver(fn func(*netsim.Packet)) { n.onDeliver = fn }
+
+// SetOnCellDrop implements Fabric.
+func (n *GraphNet) SetOnCellDrop(fn func(*netsim.Packet)) { n.onCellDrop = fn }
+
+// SetOnLinkState implements Fabric.
+func (n *GraphNet) SetOnLinkState(fn func(link int, up bool)) { n.onLinkState = fn }
+
+// SetOnReachUpdate implements Fabric.
+func (n *GraphNet) SetOnReachUpdate(fn func(dev, reachable int)) { n.onReachUpdate = fn }
+
+// HookOnLinkState implements Fabric.
+func (n *GraphNet) HookOnLinkState() func(link int, up bool) { return n.onLinkState }
+
+// HookOnReachUpdate implements Fabric.
+func (n *GraphNet) HookOnReachUpdate() func(dev, reachable int) { return n.onReachUpdate }
+
+// NewInjector implements Fabric.
+func (n *GraphNet) NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, quota int) *Injector {
+	return &Injector{
+		net: n, fa: fa, numFA: n.G.NumEdge(),
+		gap: gap, cell: cellBytes, stop: stop, quota: quota, dst: -1,
+	}
+}

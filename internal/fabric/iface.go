@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"stardust/internal/netsim"
+	"stardust/internal/parsim"
+	"stardust/internal/sim"
+	"stardust/internal/topo"
+)
+
+// Fabric is the topology-independent surface of a cell fabric: everything
+// the transport substrate, the management plane, the telemetry recorder
+// and the distributed runtime consume. *Net (the Clos fabric with the
+// full reach protocol) and *GraphNet (the generic fabric over any
+// topo.Graph) both implement it; NewFabric/NewShardedFabric pick the
+// right one for a graph. It is a superset of netsim.ShardedCellFabric,
+// so either fabric carries the sharded Stardust transport unchanged.
+//
+// The quiescence rules of the concrete types carry over verbatim:
+// aggregate counters only between runs (solo) or in barrier context
+// (sharded); link administration in barrier context on a sharded fabric.
+type Fabric interface {
+	// Identity and structure.
+	Graph() topo.Graph
+	Simulator() *sim.Simulator // solo event heap; shard 0's when sharded
+	Engine() *parsim.Engine    // nil in solo mode
+	Sharded() bool
+	NumFA() int
+	NumLinks() int
+	Lanes() int32
+
+	// Traffic.
+	Inject(c *netsim.Packet, srcFA, dstFA int)
+	SetEgress(fa int, h netsim.Handler)
+	NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, quota int) *Injector
+	EdgeSim(fa int) *sim.Simulator // the event heap edge device fa's events run on
+
+	// Counters.
+	Injected() uint64
+	Delivered() uint64
+	Drops() uint64
+	QueueDrops() uint64
+	DirCounters(d int) (fwdBytes, fwdCells, drops uint64)
+	DirTelemetry(d int) (fwdBytes, fwdCells, drops uint64, queueBytes int)
+	ReadLinkCounters(i int, out *[2]LinkCounters)
+	VisitQueues(fn func(q *netsim.Queue))
+	FAUplinkBytes() []uint64
+	ShardEvents() []uint64
+	TrafficOfShard(s int) ShardTraffic
+
+	// Link administration and reachability.
+	LinkUp(i int) bool
+	FailLink(i int)
+	RestoreLink(i int)
+	UnreachablePairs() int
+
+	// Sharding, migration and the distributed wire.
+	ShardOfFA(fa int) int
+	OwnerOfLinkDir(d int) int
+	GroupOfFA(fa int) int32
+	LaneGroups() []int32
+	OnMigrateFA(fn func(fa, from, to int))
+	EnableRebalancing(cfg RebalanceConfig) error
+	Migrations() uint64
+	EncodeMail(m parsim.Mail) (kind byte, payload []byte, err error)
+	DecodeMail(kind byte, lane int32, payload []byte) (sim.Action, uint64, error)
+
+	// Hooks. The Set forms replace; the Hook forms return the current
+	// value so a layer can chain (save the previous hook, call it from
+	// its own).
+	SetOnDeliver(fn func(*netsim.Packet))
+	SetOnCellDrop(fn func(*netsim.Packet))
+	SetOnLinkState(fn func(link int, up bool))
+	SetOnReachUpdate(fn func(dev, reachable int))
+	HookOnLinkState() func(link int, up bool)
+	HookOnReachUpdate() func(dev, reachable int)
+}
+
+// Compile-time checks: both fabrics present the full surface, and the
+// surface still satisfies the transport's contract.
+var (
+	_ Fabric                   = (*Net)(nil)
+	_ Fabric                   = (*GraphNet)(nil)
+	_ netsim.ShardedCellFabric = (Fabric)(nil)
+)
+
+// NewFabric builds the right solo fabric for g on the single event loop
+// s: the Clos fabric (with its reach-protocol control plane) when g is a
+// *topo.Clos, the generic graph fabric otherwise.
+func NewFabric(s *sim.Simulator, cfg Config, g topo.Graph) (Fabric, error) {
+	if cl, ok := g.(*topo.Clos); ok {
+		return New(s, cfg, cl)
+	}
+	return NewGraphNet(s, cfg, g)
+}
+
+// NewShardedFabric is NewFabric for a parsim engine: devices partition
+// across the engine's shards and the run is byte-identical at any shard
+// count.
+func NewShardedFabric(eng *parsim.Engine, cfg Config, g topo.Graph) (Fabric, error) {
+	if cl, ok := g.(*topo.Clos); ok {
+		return NewSharded(eng, cfg, cl, nil)
+	}
+	return NewGraphSharded(eng, cfg, g, nil)
+}
+
+// Graph implements Fabric.
+func (n *Net) Graph() topo.Graph { return n.Topo }
+
+// Simulator implements Fabric.
+func (n *Net) Simulator() *sim.Simulator { return n.Sim }
+
+// EdgeSim implements Fabric: FA fa's owning event heap, re-resolved per
+// call because rebalancing migrations may move the FA.
+func (n *Net) EdgeSim(fa int) *sim.Simulator {
+	if n.eng == nil {
+		return n.Sim
+	}
+	return n.shards[n.assign.FA[fa]].sm
+}
+
+// SetOnDeliver implements Fabric.
+func (n *Net) SetOnDeliver(fn func(*netsim.Packet)) { n.OnDeliver = fn }
+
+// SetOnCellDrop implements Fabric.
+func (n *Net) SetOnCellDrop(fn func(*netsim.Packet)) { n.OnCellDrop = fn }
+
+// SetOnLinkState implements Fabric.
+func (n *Net) SetOnLinkState(fn func(link int, up bool)) { n.OnLinkState = fn }
+
+// SetOnReachUpdate implements Fabric.
+func (n *Net) SetOnReachUpdate(fn func(dev, reachable int)) { n.OnReachUpdate = fn }
+
+// HookOnLinkState implements Fabric.
+func (n *Net) HookOnLinkState() func(link int, up bool) { return n.OnLinkState }
+
+// HookOnReachUpdate implements Fabric.
+func (n *Net) HookOnReachUpdate() func(dev, reachable int) { return n.OnReachUpdate }

@@ -5,22 +5,24 @@ import (
 	"stardust/internal/sim"
 )
 
-// Injector paces synthetic cells out of one Fabric Adapter toward
-// rotating destinations — the shared traffic source of the parscale/
-// parheal scenarios, the managed FabricRun, and the sharded cell-path
-// benchmark. Everything it does is a function of (FA, instant) alone: it
-// lives on its FA's shard and keeps its own rotation counter, so the
-// offered traffic is identical at every shard count. The shard is
-// resolved per event rather than cached, so the injector follows its FA
-// through adaptive rebalancing migrations.
+// Injector paces synthetic cells out of one edge device toward rotating
+// destinations — the shared traffic source of the parscale/parheal
+// scenarios, the managed FabricRun, and the sharded cell-path benchmark.
+// It works over any Fabric. Everything it does is a function of
+// (edge, instant) alone: it lives on its device's shard and keeps its
+// own rotation counter, so the offered traffic is identical at every
+// shard count. The shard is resolved per event rather than cached, so
+// the injector follows its FA through adaptive rebalancing migrations
+// on a Clos fabric.
 type Injector struct {
-	net   *Net
+	net   Fabric
 	fa    int
 	numFA int
 	gap   sim.Time
 	cell  int
 	stop  sim.Time // 0 = no time limit
 	quota int      // < 0 = no cell limit
+	dst   int      // fixed destination; -1 = rotate
 	n     int
 	sent  uint64
 	boost sim.Time // hotspot mode: gap override while Now < boostEnd
@@ -34,7 +36,7 @@ type Injector struct {
 func (n *Net) NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, quota int) *Injector {
 	return &Injector{
 		net: n, fa: fa, numFA: n.Topo.NumFA,
-		gap: gap, cell: cellBytes, stop: stop, quota: quota,
+		gap: gap, cell: cellBytes, stop: stop, quota: quota, dst: -1,
 	}
 }
 
@@ -42,22 +44,18 @@ func (n *Net) NewInjector(fa int, gap sim.Time, cellBytes int, stop sim.Time, qu
 // hotspot knob of the parscale imbalance experiments. Call before Start.
 func (j *Injector) Boost(gap, until sim.Time) { j.boost, j.until = gap, until }
 
-// sim resolves the event heap of the injector's FA — re-resolved on every
-// call because rebalancing may have migrated the FA since the last event.
-func (j *Injector) sim() *sim.Simulator {
-	if j.net.eng == nil {
-		return j.net.Sim
-	}
-	return j.net.shards[j.net.assign.FA[j.fa]].sm
-}
+// FixDst pins every cell to one destination edge instead of rotating —
+// the building block of collective and incast patterns. Call before
+// Start.
+func (j *Injector) FixDst(dst int) { j.dst = dst }
 
 // Start schedules the first injection at absolute time at — stagger
 // starts across FAs so they do not inject in lockstep. In sharded mode
 // the event is tagged with the FA's migration group, so the pacing chain
 // follows the FA when rebalancing moves it.
 func (j *Injector) Start(at sim.Time) {
-	sm := j.sim()
-	if j.net.eng != nil {
+	sm := j.net.EdgeSim(j.fa)
+	if j.net.Sharded() {
 		prev := sm.Group()
 		sm.SetGroup(j.net.GroupOfFA(j.fa))
 		sm.AtAction(at, j, 0)
@@ -72,7 +70,7 @@ func (j *Injector) Sent() uint64 { return j.sent }
 
 // Act implements sim.Action: inject one cell and reschedule.
 func (j *Injector) Act(uint64) {
-	sm := j.sim()
+	sm := j.net.EdgeSim(j.fa)
 	if j.stop != 0 && sm.Now() >= j.stop {
 		return
 	}
@@ -85,7 +83,10 @@ func (j *Injector) Act(uint64) {
 	c := netsim.NewPacket()
 	c.Size = j.cell
 	j.n++
-	dst := (j.fa + 1 + j.n%(j.numFA-1)) % j.numFA
+	dst := j.dst
+	if dst < 0 {
+		dst = (j.fa + 1 + j.n%(j.numFA-1)) % j.numFA
+	}
 	j.net.Inject(c, j.fa, dst)
 	j.sent++
 	gap := j.gap

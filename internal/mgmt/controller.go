@@ -92,17 +92,21 @@ type LinkTelemetry struct {
 	DropRate float64 `json:"drops_per_s"` // over the last scrape interval
 }
 
-// Controller is the chassis supervisor of one fabric.Net: inventory,
-// telemetry scraping, event publication and anomaly detection. Attach it
-// before running the simulation.
+// Controller is the chassis supervisor of one fabric (Clos or any other
+// topo.Graph): inventory, telemetry scraping, event publication and
+// anomaly detection. Attach it before running the simulation.
 type Controller struct {
 	cfg Config
-	fab *fabric.Net
+	fab fabric.Fabric
 	sim *sim.Simulator
 	inv *Inventory
 	bus *Bus
 
-	faUplinks [][]int // per FA: directed link index of each uplink (FA->FE1)
+	numFA     int
+	faIDs     []string             // per edge device: its inventory ID
+	reachID   func(dev int) string // device label for reach-update events
+	pairKind  string               // what UnreachablePairs counts, for anomaly text
+	faUplinks [][]int              // per edge device: directed link index of each uplink
 
 	mu         sync.RWMutex
 	series     []*Series // per directed link, indexed 2*link+dir
@@ -121,7 +125,7 @@ type Controller struct {
 // ordinary simulator event on one shard and would read every other
 // shard's live queue counters mid-window — a data race the race detector
 // duly reports. The panic makes the misuse impossible rather than latent.
-func Attach(fab *fabric.Net, cfg Config) *Controller {
+func Attach(fab fabric.Fabric, cfg Config) *Controller {
 	if fab.Sharded() {
 		panic("mgmt: sharded fabric telemetry must go through the shard barrier; use AttachSharded")
 	}
@@ -136,10 +140,10 @@ func Attach(fab *fabric.Net, cfg Config) *Controller {
 // and fabric counters cannot race the simulation, and the scrape times
 // (window boundaries) are identical for every shard count, keeping the
 // management plane's view consistent across shards.
-func AttachSharded(fab *fabric.Net, cfg Config) *Controller {
+func AttachSharded(fab fabric.Fabric, cfg Config) *Controller {
 	eng := fab.Engine()
 	if eng == nil {
-		panic("mgmt: AttachSharded needs a fabric built with fabric.NewSharded")
+		panic("mgmt: AttachSharded needs a fabric built on a parsim engine")
 	}
 	c := newController(fab, cfg)
 	c.nextScrape = c.cfg.ScrapeEvery
@@ -152,42 +156,64 @@ func AttachSharded(fab *fabric.Net, cfg Config) *Controller {
 	return c
 }
 
-func newController(fab *fabric.Net, cfg Config) *Controller {
+func newController(fab fabric.Fabric, cfg Config) *Controller {
 	cfg = cfg.withDefaults()
+	g := fab.Graph()
 	c := &Controller{
 		cfg:       cfg,
 		fab:       fab,
-		sim:       fab.Sim,
-		inv:       NewInventory(fab.Topo),
+		sim:       fab.Simulator(),
+		inv:       NewInventory(g),
 		bus:       NewBus(cfg.EventLog),
 		anomalies: make(map[string]Anomaly),
+		numFA:     g.NumEdge(),
 	}
 	c.series = make([]*Series, 2*fab.NumLinks())
 	for i := range c.series {
 		c.series[i] = newSeries(cfg.HistoryLen)
 	}
 	c.stats.Links = fab.NumLinks()
-	c.faUplinks = make([][]int, fab.Topo.NumFA)
-	for i, lk := range fab.Topo.Links {
-		if lk.A.Kind == topo.KindFA {
-			c.faUplinks[lk.A.Index] = append(c.faUplinks[lk.A.Index], 2*i)
+	c.faUplinks = topo.EdgeUplinkDirs(g)
+	c.faIDs = make([]string, c.numFA)
+	if _, isClos := g.(*topo.Clos); isClos {
+		// The Clos fabric's reach hook reports FE1 indices; keep the legacy
+		// inventory IDs on both labels.
+		c.pairKind = "(spine, FA) pairs"
+		for fa := range c.faIDs {
+			c.faIDs[fa] = deviceID(topo.NodeID{Kind: topo.KindFA, Index: fa})
+		}
+		c.reachID = func(dev int) string {
+			return deviceID(topo.NodeID{Kind: topo.KindFE1, Index: dev})
+		}
+	} else {
+		c.pairKind = "(edge, edge) pairs"
+		// Graph fabrics report reach updates by node index; label through
+		// the inventory, which is in node order.
+		for fa := range c.faIDs {
+			c.faIDs[fa] = g.Node(g.EdgeNode(fa)).Name
+		}
+		c.reachID = func(dev int) string {
+			if dev >= 0 && dev < len(c.inv.Devices) {
+				return c.inv.Devices[dev].ID
+			}
+			return fmt.Sprintf("dev%d", dev)
 		}
 	}
 
-	prevLink := fab.OnLinkState
-	fab.OnLinkState = func(link int, up bool) {
+	prevLink := fab.HookOnLinkState()
+	fab.SetOnLinkState(func(link int, up bool) {
 		if prevLink != nil {
 			prevLink(link, up)
 		}
 		c.onLinkState(link, up)
-	}
-	prevReach := fab.OnReachUpdate
-	fab.OnReachUpdate = func(fe1, reachable int) {
+	})
+	prevReach := fab.HookOnReachUpdate()
+	fab.SetOnReachUpdate(func(dev, reachable int) {
 		if prevReach != nil {
-			prevReach(fe1, reachable)
+			prevReach(dev, reachable)
 		}
-		c.onReachUpdate(fe1, reachable)
-	}
+		c.onReachUpdate(dev, reachable)
+	})
 	return c
 }
 
@@ -228,15 +254,17 @@ func (c *Controller) onLinkState(link int, up bool) {
 	})
 }
 
-// onReachUpdate runs in the simulation goroutine (fabric hook).
-func (c *Controller) onReachUpdate(fe1, reachable int) {
+// onReachUpdate runs in the simulation goroutine (fabric hook). dev is an
+// FE1 index on the Clos fabric and a node index on graph fabrics; reachID
+// resolves the right label for either.
+func (c *Controller) onReachUpdate(dev, reachable int) {
 	c.mu.Lock()
 	c.stats.ReachUpdates++
 	c.mu.Unlock()
 	c.bus.Publish(Event{
 		Time: c.sim.Now(), Kind: EventReachUpdate, Link: -1,
-		Device: deviceID(topo.NodeID{Kind: topo.KindFE1, Index: fe1}),
-		Detail: fmt.Sprintf("advertises %d/%d FAs", reachable, c.fab.Topo.NumFA),
+		Device: c.reachID(dev),
+		Detail: fmt.Sprintf("advertises %d/%d FAs", reachable, c.numFA),
 	})
 }
 
@@ -286,7 +314,7 @@ func (c *Controller) detect(now sim.Time) {
 	if unreachable > 0 {
 		a := Anomaly{
 			Kind:   AnomalyReachHole,
-			Detail: fmt.Sprintf("%d unreachable (spine, FA) pairs", unreachable),
+			Detail: fmt.Sprintf("%d unreachable %s", unreachable, c.pairKind),
 			Since:  now,
 		}
 		found[a.Kind+"/"+a.Device] = a
@@ -325,7 +353,7 @@ func (c *Controller) detect(now sim.Time) {
 			continue
 		}
 		if spread := (maxD - minD) / mean; spread > c.cfg.SprayThreshold {
-			dev := deviceID(topo.NodeID{Kind: topo.KindFA, Index: fa})
+			dev := c.faIDs[fa]
 			a := Anomaly{
 				Kind:   AnomalySprayImbalance,
 				Device: dev,

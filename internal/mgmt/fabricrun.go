@@ -17,7 +17,12 @@ import (
 // synthetic background load, and an optional failure/recovery chaos
 // schedule that keeps the event bus and the self-healing path exercised.
 type FabricRunConfig struct {
-	// K sizes the Clos via fabric.ClosFor (K-ary fat-tree edge).
+	// Topo selects the topology family ("clos", "sshuffle", "star", or a
+	// full spec string accepted by topo.ParseSpec). Empty means "clos", so
+	// older configurations keep their meaning.
+	Topo string
+	// K sizes the topology via topo.ByName (for "clos" this is the K-ary
+	// fat-tree edge of fabric.ClosFor).
 	K int // default 4
 	// Load is the offered load per FA as a fraction of its uplink
 	// capacity.
@@ -81,7 +86,7 @@ func (c FabricRunConfig) withDefaults() FabricRunConfig {
 type FabricRun struct {
 	Cfg   FabricRunConfig
 	Sim   *sim.Simulator
-	Fab   *fabric.Net
+	Fab   fabric.Fabric
 	Ctl   *Controller
 	Eng   *parsim.Engine             // non-nil when the run is sharded
 	Net   *netsim.ShardedStardustNet // non-nil when the transport overlay is on
@@ -116,9 +121,12 @@ func (s *faSink) Receive(c *netsim.Packet) {
 // traffic and chaos. Nothing runs until Advance is called.
 func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 	cfg = cfg.withDefaults()
-	cl, err := fabric.ClosFor(cfg.K)
+	g, err := topo.ByName(cfg.Topo, cfg.K)
 	if err != nil {
 		return nil, err
+	}
+	if _, isClos := g.(*topo.Clos); !isClos && cfg.TransportHostsPer > 0 {
+		return nil, fmt.Errorf("mgmt: the transport overlay runs on the clos fabric only (topology %s)", g.Spec())
 	}
 	fcfg := fabric.DefaultConfig(netsim.Bps(10e9), sim.Microsecond, cfg.Seed)
 	if cfg.TransportHostsPer > 0 {
@@ -131,7 +139,7 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 
 	var (
 		s   *sim.Simulator
-		fab *fabric.Net
+		fab fabric.Fabric
 		eng *parsim.Engine
 	)
 	if cfg.Shards > 1 || cfg.TransportHostsPer > 0 {
@@ -142,13 +150,13 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 			shards = 1
 		}
 		eng = parsim.New(parsim.Config{Shards: shards, Lookahead: fcfg.LinkDelay})
-		if fab, err = fabric.NewSharded(eng, fcfg, cl, nil); err != nil {
+		if fab, err = fabric.NewShardedFabric(eng, fcfg, g); err != nil {
 			return nil, err
 		}
-		s = fab.Sim
+		s = fab.Simulator()
 	} else {
 		s = sim.New()
-		if fab, err = fabric.New(s, fcfg, cl); err != nil {
+		if fab, err = fabric.NewFabric(s, fcfg, g); err != nil {
 			return nil, err
 		}
 	}
@@ -171,17 +179,21 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 			return nil, err
 		}
 	} else {
-		// Per-FA pacing: each FA offers Load×(uplink capacity), spread over
-		// rotating destinations, as a self-rescheduling injection.
-		perFA := cfg.Load * float64(cl.FAUplinks) * float64(fcfg.LinkRate)
-		gap := sim.Time(float64(cfg.CellBytes*8) / perFA * float64(sim.Second))
-		if gap < sim.Nanosecond {
-			gap = sim.Nanosecond
-		}
-		for fa := 0; fa < cl.NumFA; fa++ {
+		// Per-FA pacing: each edge device offers Load×(its uplink
+		// capacity), spread over rotating destinations, as a
+		// self-rescheduling injection. Uplink counts are per device (uniform
+		// on a Clos, not necessarily elsewhere).
+		uplinks := topo.EdgeUplinkDirs(g)
+		numFA := g.NumEdge()
+		for fa := 0; fa < numFA; fa++ {
+			perFA := cfg.Load * float64(len(uplinks[fa])) * float64(fcfg.LinkRate)
+			gap := sim.Time(float64(cfg.CellBytes*8) / perFA * float64(sim.Second))
+			if gap < sim.Nanosecond {
+				gap = sim.Nanosecond
+			}
 			// Stagger starts so FAs do not inject in lockstep. The injector
 			// lives on its FA's shard (sharded mode) or the solo loop.
-			fab.NewInjector(fa, gap, cfg.CellBytes, 0, -1).Start(sim.Time(fa) * gap / sim.Time(cl.NumFA))
+			fab.NewInjector(fa, gap, cfg.CellBytes, 0, -1).Start(sim.Time(fa) * gap / sim.Time(numFA))
 		}
 	}
 	if cfg.FailEvery > 0 {
@@ -205,7 +217,7 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 		}
 	}
 	if cfg.Telem > 0 {
-		if err := r.buildTelemetry(cl); err != nil {
+		if err := r.buildTelemetry(g); err != nil {
 			return nil, err
 		}
 	}
@@ -217,7 +229,7 @@ func NewFabricRun(cfg FabricRunConfig) (*FabricRun, error) {
 // scrape attached in barrier context (sharded) or as a periodic event
 // (solo), and the default online analyzer pipeline feeding the findings
 // log the NDJSON tail endpoint reads.
-func (r *FabricRun) buildTelemetry(cl *topo.Clos) error {
+func (r *FabricRun) buildTelemetry(g topo.Graph) error {
 	every := r.Cfg.Telem
 	if r.Eng != nil {
 		// Scrape instants must land exactly on window barriers so the
@@ -225,29 +237,34 @@ func (r *FabricRun) buildTelemetry(cl *topo.Clos) error {
 		look := r.Eng.Lookahead()
 		every = (every + look - 1) / look * look
 	}
+	cl, isClos := g.(*topo.Clos)
 	hdr := telemetry.StreamHeader{
 		Format:   telemetry.Format,
-		Dirs:     2 * len(cl.Links),
-		K:        r.Cfg.K,
+		Dirs:     2 * r.Fab.NumLinks(),
+		Topo:     g.Spec(),
 		Seed:     r.Cfg.Seed,
 		ScrapePs: every,
+	}
+	if isClos {
+		hdr.K = r.Cfg.K // legacy shorthand, kept for older stream readers
 	}
 	var sinks telemetry.SinkFunc
 	if r.Net == nil {
 		// Raw-cell load: install per-FA delivery sinks so the stream
 		// carries the per-FA delivery series the heatmap renders.
-		fas := make([]*faSink, cl.NumFA)
+		fas := make([]*faSink, g.NumEdge())
 		for fa := range fas {
 			fas[fa] = &faSink{}
 			r.Fab.SetEgress(fa, fas[fa])
 		}
-		hdr.FAs = cl.NumFA
+		hdr.FAs = g.NumEdge()
 		sinks = func(fa int) (uint64, uint64) { return fas[fa].cells, fas[fa].bytes }
 	} else {
 		// The transport overlay owns the egress endpoints, so the stream
-		// carries link series only. Zero K too: K promises the full
-		// two-tier shape including the FA series (MetaFromHeader checks).
-		hdr.K = 0
+		// carries link series only. Zero the topology identifiers too: they
+		// promise the full shape including the FA series (MetaFromHeader
+		// checks the dimensions).
+		hdr.K, hdr.Topo = 0, ""
 	}
 	r.TelemBuf = telemetry.NewBuffer(r.Cfg.TelemCap)
 	w, err := telemetry.NewWriter(r.TelemBuf, hdr)
@@ -261,7 +278,11 @@ func (r *FabricRun) buildTelemetry(cl *topo.Clos) error {
 			r.Heat = h
 		}
 	}
-	r.Findings = r.Rec.Observe(telemetry.MetaFor(cl), stages...)
+	meta := telemetry.MetaForGraph(g)
+	if isClos {
+		meta = telemetry.MetaFor(cl) // legacy "FA3->FE11" direction labels
+	}
+	r.Findings = r.Rec.Observe(meta, stages...)
 	if r.Eng != nil {
 		r.Rec.AttachEngine(r.Eng)
 	} else {
@@ -313,7 +334,11 @@ func (r *FabricRun) Advance(d sim.Time) {
 
 // String describes the run for logs.
 func (r *FabricRun) String() string {
-	t := r.Fab.Topo
-	return fmt.Sprintf("fabric K=%d: %d FAs, %d FE1s, %d FE2s, %d links, %.0f%% load",
-		r.Cfg.K, t.NumFA, t.NumFE1, t.NumFE2, len(t.Links), 100*r.Cfg.Load)
+	g := r.Fab.Graph()
+	if t, ok := g.(*topo.Clos); ok {
+		return fmt.Sprintf("fabric K=%d: %d FAs, %d FE1s, %d FE2s, %d links, %.0f%% load",
+			r.Cfg.K, t.NumFA, t.NumFE1, t.NumFE2, len(t.Links), 100*r.Cfg.Load)
+	}
+	return fmt.Sprintf("fabric %s: %d devices (%d edge), %d links, %.0f%% load",
+		g.Spec(), g.NumNodes(), g.NumEdge(), r.Fab.NumLinks(), 100*r.Cfg.Load)
 }

@@ -2,9 +2,9 @@
 // the control layer that makes thousands of Fabric Elements behave like
 // one managed device, the paper's headline operational claim (§1, §7).
 //
-// It attaches to a running fabric.Net and provides what a chassis
+// It attaches to a running fabric.Fabric and provides what a chassis
 // supervisor provides for a monolithic switch: a device/link inventory
-// derived from the wiring (topo.Clos), periodic telemetry scraping of
+// derived from the wiring (any topo.Graph), periodic telemetry scraping of
 // per-link counters into ring-buffered time series, an event bus carrying
 // link failure/withdrawal/recovery notifications (hooked into the
 // fabric's reachability-withdrawal path), and an anomaly detector that
@@ -17,7 +17,7 @@
 // scheduled scrape) runs in a single goroutine; HTTP handlers run in
 // others. All state shared across that boundary lives behind the
 // Controller's lock — handlers read consistent snapshots and never touch
-// fabric.Net directly.
+// the fabric directly.
 package mgmt
 
 import (
@@ -62,8 +62,33 @@ func deviceID(n topo.NodeID) string {
 	return fmt.Sprintf("%s-%d", n.Kind, n.Index)
 }
 
-// NewInventory derives the chassis inventory from a Clos instance.
-func NewInventory(c *topo.Clos) *Inventory {
+// NewInventory derives the chassis inventory from the wiring of any
+// topology. A Clos keeps the legacy device IDs ("FA3", "FE1-2"); other
+// graphs use their nodes' canonical names.
+func NewInventory(g topo.Graph) *Inventory {
+	if cl, ok := g.(*topo.Clos); ok {
+		return newClosInventory(cl)
+	}
+	inv := &Inventory{Tiers: g.NumTiers()}
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(i)
+		inv.Devices = append(inv.Devices, Device{
+			ID: n.Name, Kind: n.Role, Index: i, Ports: n.Ports,
+		})
+	}
+	for i, lk := range g.GraphLinks() {
+		inv.Links = append(inv.Links, Link{
+			ID: i,
+			A:  g.Node(lk.A).Name, APort: lk.APort,
+			B: g.Node(lk.B).Name, BPort: lk.BPort,
+		})
+	}
+	return inv
+}
+
+// newClosInventory is the legacy Clos derivation, kept so device IDs in
+// the HTTP API do not change shape ("FE1-2", not "FE1_2").
+func newClosInventory(c *topo.Clos) *Inventory {
 	inv := &Inventory{Tiers: c.Tiers}
 	for i := 0; i < c.NumFA; i++ {
 		n := topo.NodeID{Kind: topo.KindFA, Index: i}

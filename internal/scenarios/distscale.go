@@ -58,11 +58,12 @@ func init() {
 		Name: "fabric/distscale",
 		Desc: "distributed runtime sweep: forks real peer processes and requires byte-identical outcomes vs in-process shards",
 		Defaults: engine.Params{
-			"k": "4", "shards": "4", "dur_ms": "1", "load": "0.5", "cell": "512", "peers": "2,4",
+			"k": "4", "shards": "4", "topo": "", "dur_ms": "1", "load": "0.5", "cell": "512", "peers": "2,4",
 		},
 		Docs: map[string]string{
 			"k":      "fat-tree K sizing the Clos",
 			"shards": "event-loop shards to partition over the peers (must be >= every peer count)",
+			"topo":   "topology family sized by k: clos, sshuffle, star, or a full spec string; empty = the -topo flag",
 			"dur_ms": "injection duration in ms",
 			"load":   "offered load per FA as a fraction of its uplink capacity",
 			"cell":   "cell size in bytes",
@@ -71,9 +72,10 @@ func init() {
 		Run: func(c engine.Context) (engine.Result, error) {
 			k := c.Params.Int("k", 4)
 			shards := c.Params.Int("shards", 4)
-			spec := parSpec(c.Seed, k, shards,
+			spec := parSpec(c.Seed, effectiveTopo(c), k, shards,
 				msTime(c.Params.Int("dur_ms", 1)),
 				c.Params.Float("load", 0.5),
+				"",
 				c.Params.Int("cell", 512),
 				1, 0, 0, 0)
 			m, err := distsim.NewModel(spec)

@@ -48,10 +48,10 @@ type parRun struct {
 // parSpec assembles the distsim Spec shared by the parscale family: the
 // model construction itself lives in distsim.NewModel so the in-process,
 // coordinator, and remote-peer replicas are one code path.
-func parSpec(seed int64, k, shards int, dur sim.Time, load float64, cellBytes int, hotspot float64, failN int, failAt, healAt sim.Time) distsim.Spec {
+func parSpec(seed int64, topo string, k, shards int, dur sim.Time, load float64, pattern string, cellBytes int, hotspot float64, failN int, failAt, healAt sim.Time) distsim.Spec {
 	return distsim.Spec{
-		K: k, Seed: seed, Shards: shards, Dur: dur, Load: load,
-		CellBytes: cellBytes, Hotspot: hotspot,
+		K: k, Topo: topo, Seed: seed, Shards: shards, Dur: dur, Load: load,
+		Pattern: pattern, CellBytes: cellBytes, Hotspot: hotspot,
 		FailN: failN, FailAt: failAt, HealAt: healAt,
 	}
 }
@@ -162,13 +162,20 @@ func addParMetrics(res *engine.Result, k, shardsParam int, r parRun) {
 	res.Add("digest_hi", float64(r.digest>>32), "")
 }
 
-// parVariants expands comma-separated k and shards lists into one
-// instance per combination.
+// parVariants expands comma-separated k, shards and topo lists into one
+// instance per combination. An empty topo list means "the -topo flag",
+// one unexpanded instance.
 func parVariants(p engine.Params) []engine.Params {
+	topos := splitList(p.Str("topo", ""))
+	if len(topos) == 0 {
+		topos = []string{""}
+	}
 	var out []engine.Params
-	for _, k := range splitList(p.Str("k", "4")) {
-		for _, s := range splitList(p.Str("shards", "0")) {
-			out = append(out, p.With("k", k).With("shards", s))
+	for _, t := range topos {
+		for _, k := range splitList(p.Str("k", "4")) {
+			for _, s := range splitList(p.Str("shards", "0")) {
+				out = append(out, p.With("topo", t).With("k", k).With("shards", s))
+			}
 		}
 	}
 	return out
@@ -197,17 +204,39 @@ func effectiveShards(c engine.Context) int {
 	return s
 }
 
+// effectiveTopo resolves the topo parameter: empty means "use the -topo
+// flag" (which itself defaults to the Clos).
+func effectiveTopo(c engine.Context) string {
+	if t := c.Params.Str("topo", ""); t != "" {
+		return t
+	}
+	return c.Topo
+}
+
+// topoLabel renders the requested topology for the text report — empty
+// when it comes from the -topo flag, following the same rule as
+// shardLabel: runs differing only in a swept flag stay byte-identical,
+// and the CI determinism matrix sweeps -topo alongside -shards.
+func topoLabel(c engine.Context) string {
+	if t := c.Params.Str("topo", ""); t != "" {
+		return fmt.Sprintf(" topo=%s", t)
+	}
+	return ""
+}
+
 func init() {
 	engine.Register(engine.Scenario{
 		Name: "fabric/parscale",
 		Desc: "sharded-engine scaling sweep: shards×K, deterministic traffic digest (+ events/sec and speedup with timings=true)",
 		Defaults: engine.Params{
-			"k": "4", "shards": "0", "dur_ms": "5", "load": "0.5", "cell": "512",
+			"k": "4", "shards": "0", "topo": "", "pattern": "", "dur_ms": "5", "load": "0.5", "cell": "512",
 			"hotspot": "1", "rebalance": "false", "timings": "false",
 		},
 		Docs: map[string]string{
 			"k":         "fat-tree K sizing the Clos (comma list sweeps)",
 			"shards":    "event-loop shards; 0 = the -shards flag (comma list sweeps). Explicit values also report the per-shard event split",
+			"topo":      "topology family sized by k: clos, sshuffle, star, or a full spec string; empty = the -topo flag (comma list sweeps)",
+			"pattern":   "traffic matrix: rotate (all-to-all over time, the default), permutation, incast",
 			"dur_ms":    "injection duration in ms",
 			"load":      "offered load per FA as a fraction of its uplink capacity",
 			"cell":      "cell size in bytes",
@@ -224,7 +253,8 @@ func init() {
 			cell := c.Params.Int("cell", 512)
 			hotspot := c.Params.Float("hotspot", 1)
 			rebalance := c.Params.Bool("rebalance", false)
-			spec := parSpec(c.Seed, k, shards, dur, load, cell, hotspot, 0, 0, 0)
+			spec := parSpec(c.Seed, effectiveTopo(c), k, shards, dur, load,
+				c.Params.Str("pattern", ""), cell, hotspot, 0, 0, 0)
 			var r parRun
 			var err error
 			if c.DistPeers > 0 {
@@ -244,8 +274,8 @@ func init() {
 			var res engine.Result
 			addParMetrics(&res, k, c.Params.Int("shards", 0), r)
 			var b strings.Builder
-			fmt.Fprintf(&b, "parscale K=%d%s: %d cells injected, %d delivered, %d dropped, %d events, digest %016x\n",
-				k, shardLabel(c), r.injected, r.delivered, r.drops, r.events, r.digest)
+			fmt.Fprintf(&b, "parscale K=%d%s%s: %d cells injected, %d delivered, %d dropped, %d events, digest %016x\n",
+				k, topoLabel(c), shardLabel(c), r.injected, r.delivered, r.drops, r.events, r.digest)
 			if c.Params.Int("shards", 0) != 0 {
 				addShardSplit(&res, &b, r)
 			}
@@ -279,12 +309,14 @@ func init() {
 		Name: "fabric/parheal",
 		Desc: "sharded fail/heal schedule: conservation and §5.9 self-healing under the parallel engine, deterministic digest",
 		Defaults: engine.Params{
-			"k": "4", "shards": "0", "dur_ms": "6", "load": "0.4", "cell": "512",
+			"k": "4", "shards": "0", "topo": "", "pattern": "", "dur_ms": "6", "load": "0.4", "cell": "512",
 			"fail": "3", "fail_ms": "2", "heal_ms": "4",
 		},
 		Docs: map[string]string{
 			"k":       "fat-tree K sizing the Clos",
 			"shards":  "event-loop shards; 0 = the -shards flag",
+			"topo":    "topology family sized by k: clos, sshuffle, star, or a full spec string; empty = the -topo flag",
+			"pattern": "traffic matrix: rotate (all-to-all over time, the default), permutation, incast",
 			"dur_ms":  "injection duration in ms",
 			"load":    "offered load per FA as a fraction of its uplink capacity",
 			"cell":    "cell size in bytes",
@@ -295,9 +327,10 @@ func init() {
 		Run: func(c engine.Context) (engine.Result, error) {
 			k := c.Params.Int("k", 4)
 			shards := effectiveShards(c)
-			spec := parSpec(c.Seed, k, shards,
+			spec := parSpec(c.Seed, effectiveTopo(c), k, shards,
 				msTime(c.Params.Int("dur_ms", 6)),
 				c.Params.Float("load", 0.4),
+				c.Params.Str("pattern", ""),
 				c.Params.Int("cell", 512),
 				1,
 				c.Params.Int("fail", 3),
@@ -321,8 +354,8 @@ func init() {
 			}
 			var res engine.Result
 			addParMetrics(&res, k, c.Params.Int("shards", 0), r)
-			res.Text = fmt.Sprintf("parheal K=%d%s: %d injected, %d delivered, %d dropped (conserved), 0 unreachable after heal, digest %016x\n",
-				k, shardLabel(c), r.injected, r.delivered, r.drops, r.digest)
+			res.Text = fmt.Sprintf("parheal K=%d%s%s: %d injected, %d delivered, %d dropped (conserved), 0 unreachable after heal, digest %016x\n",
+				k, topoLabel(c), shardLabel(c), r.injected, r.delivered, r.drops, r.digest)
 			return res, nil
 		},
 	})

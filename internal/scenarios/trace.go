@@ -29,6 +29,7 @@ import (
 func traceSpec(c engine.Context) distsim.Spec {
 	return distsim.Spec{
 		K:         c.Params.Int("k", 4),
+		Topo:      effectiveTopo(c),
 		Seed:      c.Seed,
 		Shards:    effectiveShards(c),
 		Dur:       usTime(c.Params.Int("dur_us", 200)),
@@ -174,13 +175,14 @@ func init() {
 		Name: "trace/record",
 		Desc: "record a fabric run as a durable STREC1 telemetry stream (byte-identical at any shard/worker/peer count) and run the offline analyzers over it",
 		Defaults: engine.Params{
-			"k": "4", "shards": "0", "dur_us": "200", "load": "0.5", "cell": "512",
+			"k": "4", "shards": "0", "topo": "", "dur_us": "200", "load": "0.5", "cell": "512",
 			"hotspot": "1", "fail": "0", "fail_us": "0", "heal_us": "0",
 			"telem_us": "20", "out": "", "peers": "",
 		},
 		Docs: map[string]string{
 			"k":        "fat-tree K sizing the Clos",
 			"shards":   "event-loop shards; 0 = the -shards flag. Never changes the stream bytes",
+			"topo":     "topology family sized by k: clos, sshuffle, star, or a full spec string; empty = the -topo flag",
 			"dur_us":   "injection duration in µs",
 			"load":     "offered load per FA as a fraction of its uplink capacity",
 			"cell":     "cell size in bytes",
@@ -227,8 +229,8 @@ func init() {
 			}
 			windows, events, _ := streamShape(stream)
 			var b strings.Builder
-			fmt.Fprintf(&b, "trace/record K=%d%s: %d windows, %d link events, %d bytes, digest %016x\n",
-				spec.K, shardLabel(c), windows, events, len(stream), streamDigest(stream))
+			fmt.Fprintf(&b, "trace/record K=%d%s%s: %d windows, %d link events, %d bytes, digest %016x\n",
+				spec.K, topoLabel(c), shardLabel(c), windows, events, len(stream), streamDigest(stream))
 			fmt.Fprintf(&b, "  %d cells injected, %d delivered, %d dropped; %d analyzer findings (%d critical)\n",
 				outc.Injected, outc.Delivered, outc.Drops, len(findings), critical)
 			for _, ps := range splitList(c.Params.Str("peers", "")) {
@@ -260,10 +262,11 @@ func init() {
 			"fail_link": "", "fail_at_us": "0", "heal_at_us": "0",
 			"new_k": "0", "new_seed": "0", "new_load": "0", "new_hotspot": "0",
 			// Inline-record parameters, used when in is empty:
-			"k": "4", "shards": "0", "dur_us": "200", "load": "0.5", "cell": "512",
+			"k": "4", "shards": "0", "topo": "", "dur_us": "200", "load": "0.5", "cell": "512",
 			"hotspot": "1", "fail": "0", "fail_us": "0", "heal_us": "0", "telem_us": "20",
 		},
 		Docs: map[string]string{
+			"topo":          "inline record: topology family sized by k (clos, sshuffle, star, or a full spec); empty = the -topo flag",
 			"in":            "recorded stream file (empty = record one inline with the k/dur_us/... parameters)",
 			"expect_zero":   "true fails the run unless the replay reports zero divergence",
 			"replay_shards": "shard count for the replay execution (0 = recorded); never affects the divergence",

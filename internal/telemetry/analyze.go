@@ -73,11 +73,66 @@ func MetaFor(cl *topo.Clos) *Meta {
 	return m
 }
 
-// MetaFromHeader rebuilds Meta from a stream header. Streams recorded
-// from the standard two-tier fabric carry K, which regenerates the exact
-// wiring; headerless shapes degrade to device-less metadata (analyzers
-// that need grouping see no groups).
+// MetaForGraph derives analyzer metadata from any topo.Graph. Uplink
+// groups come from the edge devices' outbound directions; SpineDown
+// groups the outbound directions of top-tier transit nodes (the spines
+// of a Clos, the switches of a star-replaced graph; empty on a flat
+// fabric, where there is no core to black-hole).
+func MetaForGraph(g topo.Graph) *Meta {
+	links := g.GraphLinks()
+	m := &Meta{
+		Dirs:      2 * len(links),
+		FAs:       g.NumEdge(),
+		FAUplinks: topo.EdgeUplinkDirs(g),
+		DirNames:  make([]string, 2*len(links)),
+	}
+	topTier := g.NumTiers() - 1
+	spineOf := map[int]int{} // node -> SpineDown index
+	edge := topo.EdgeOfNode(g)
+	for i := 0; i < g.NumNodes(); i++ {
+		if edge[i] < 0 && g.Node(i).Tier == topTier {
+			spineOf[i] = len(m.SpineDown)
+			m.SpineDown = append(m.SpineDown, nil)
+		}
+	}
+	for i, lk := range links {
+		m.DirNames[2*i] = fmt.Sprintf("%s->%s", g.Node(lk.A).Name, g.Node(lk.B).Name)
+		m.DirNames[2*i+1] = fmt.Sprintf("%s->%s", g.Node(lk.B).Name, g.Node(lk.A).Name)
+		if s, ok := spineOf[lk.A]; ok {
+			m.SpineDown[s] = append(m.SpineDown[s], 2*i)
+		}
+		if s, ok := spineOf[lk.B]; ok {
+			m.SpineDown[s] = append(m.SpineDown[s], 2*i+1)
+		}
+	}
+	return m
+}
+
+// MetaFromHeader rebuilds Meta from a stream header. A header carrying
+// the canonical topology spec regenerates the exact wiring for any
+// family — and fails loudly on a spec this build does not know, rather
+// than silently assuming a Clos shaped by K (the bug that mislabeled
+// every non-Clos stream). Older Clos-only streams carry K instead;
+// headerless shapes degrade to device-less metadata (analyzers that
+// need grouping see no groups).
 func MetaFromHeader(hdr StreamHeader) (*Meta, error) {
+	if hdr.Topo != "" {
+		g, err := topo.ParseSpec(hdr.Topo)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: stream topology: %w", err)
+		}
+		var m *Meta
+		if cl, ok := g.(*topo.Clos); ok {
+			m = MetaFor(cl) // legacy Clos labels (FA3->FE11), matching online runs
+		} else {
+			m = MetaForGraph(g)
+		}
+		if m.Dirs != hdr.Dirs || m.FAs != hdr.FAs {
+			return nil, fmt.Errorf("telemetry: header topo %q implies %d dirs/%d sinks, stream has %d/%d",
+				hdr.Topo, m.Dirs, m.FAs, hdr.Dirs, hdr.FAs)
+		}
+		return m, nil
+	}
 	if hdr.K > 0 {
 		cl, err := fabric.ClosFor(hdr.K)
 		if err != nil {

@@ -12,6 +12,13 @@ import (
 // scrape instant. nil means the stream carries no sink series.
 type SinkFunc func(fa int) (cells, bytes uint64)
 
+// LinkSource is the slice of a fabric the recorder scrapes — satisfied
+// by every fabric.Fabric, whatever the topology.
+type LinkSource interface {
+	NumLinks() int
+	ReadLinkCounters(i int, out *[2]fabric.LinkCounters)
+}
+
 // Emitter turns absolute fabric snapshots into canonical stream records:
 // link-state transition events (derived from the up bitmap, one per
 // topology link) followed by the window itself. Both the in-process
@@ -77,7 +84,7 @@ type RecorderStats struct {
 // same windows to online analyzers.
 type Recorder struct {
 	emit  *Emitter
-	net   *fabric.Net
+	net   LinkSource
 	sinks SinkFunc
 	every sim.Time
 	next  sim.Time
@@ -99,7 +106,7 @@ type Recorder struct {
 // scrape period (must be positive; on a sharded engine it should be a
 // multiple of the lookahead so scrape boundaries land on barriers).
 // sinks may be nil when the header declares zero FAs.
-func NewRecorder(w *Writer, net *fabric.Net, sinks SinkFunc, every sim.Time) *Recorder {
+func NewRecorder(w *Writer, net LinkSource, sinks SinkFunc, every sim.Time) *Recorder {
 	if every <= 0 {
 		every = sim.Millisecond
 	}

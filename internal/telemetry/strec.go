@@ -74,9 +74,14 @@ var (
 // its Spec there with the shard count zeroed, since placement must not
 // change the stream's bytes).
 type StreamHeader struct {
-	Format   int             `json:"format"`
-	Dirs     int             `json:"dirs"` // directed links per window record
-	FAs      int             `json:"fas"`  // delivery sinks per window record
+	Format int `json:"format"`
+	Dirs   int `json:"dirs"` // directed links per window record
+	FAs    int `json:"fas"`  // delivery sinks per window record
+	// Topo is the canonical topology spec string (topo.Graph.Spec) of the
+	// recorded fabric — enough to rebuild the exact wiring on any reader,
+	// whatever the topology family. K is the legacy shorthand kept for
+	// streams recorded before pluggable topologies (Clos sized from K).
+	Topo     string          `json:"topo,omitempty"`
 	K        int             `json:"k,omitempty"`
 	Seed     int64           `json:"seed,omitempty"`
 	ScrapePs sim.Time        `json:"scrape_ps"`

@@ -54,6 +54,10 @@ type Clos struct {
 	NumFE2    int
 	FE2Down   int // tier-2 links facing tier 1
 	Links     []Link
+
+	// spec, when set by a sizing constructor (ClosForK), is the canonical
+	// shorthand Spec(); otherwise Spec derives the full clos1/clos2 form.
+	spec string
 }
 
 // NewClos1 builds a single-tier fabric: numFA Fabric Adapters, each with

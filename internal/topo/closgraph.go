@@ -1,0 +1,156 @@
+// Clos as one Graph implementation. Flat node order is FA [0, NumFA),
+// FE1 [NumFA, NumFA+NumFE1), FE2 after that; edge devices are the FAs.
+// Routes reproduces the converged up/down forwarding of §3.1 over any
+// live-link mask: FAs climb over their live uplinks, FE1s descend
+// directly to an attached destination FA or climb to the spines, spines
+// descend over the live paths that still reach the destination — the same
+// candidate sets the reach protocol's tables hold after convergence.
+package topo
+
+import "fmt"
+
+// ClosForK sizes a two-tier Clos to front a k-ary fat-tree's edge: one FA
+// per edge switch (k²/2 of them) with k/2 uplinks each, k first-tier FEs
+// and k spines, with the FE1 uplink count rounded up to a multiple of the
+// spine count so every FE1 reaches every FE2 at full bisection bandwidth.
+// This is the single source of the K -> dimensions derivation: cmd
+// binaries, distsim specs and telemetry headers all size through it (via
+// fabric.ClosFor or ParseSpec), so two peers can never hash different
+// models from the same flags.
+func ClosForK(k int) (*Clos, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: clos k must be even and >= 4, got %d", k)
+	}
+	fe1Up := (k + 3) / 4 * k // >= k²/4 down links, and a multiple of k spines
+	c, err := NewClos2(k*k/2, k/2, k, k*k/4, fe1Up, k)
+	if err != nil {
+		return nil, err
+	}
+	c.spec = fmt.Sprintf("clos:k=%d", k)
+	return c, nil
+}
+
+// Spec implements Graph.
+func (c *Clos) Spec() string {
+	if c.spec != "" {
+		return c.spec
+	}
+	if c.Tiers == 1 {
+		return fmt.Sprintf("clos1:fa=%d,up=%d,fe1=%d", c.NumFA, c.FAUplinks, c.NumFE1)
+	}
+	return fmt.Sprintf("clos2:fa=%d,up=%d,fe1=%d,dn=%d,fe1up=%d,fe2=%d",
+		c.NumFA, c.FAUplinks, c.NumFE1, c.FE1Down, c.FE1Up, c.NumFE2)
+}
+
+// NumNodes implements Graph.
+func (c *Clos) NumNodes() int { return c.NumFA + c.NumFE1 + c.NumFE2 }
+
+// NumTiers implements Graph: the FA tier plus the FE tiers.
+func (c *Clos) NumTiers() int { return c.Tiers + 1 }
+
+// NumEdge implements Graph: the Fabric Adapters are the edge.
+func (c *Clos) NumEdge() int { return c.NumFA }
+
+// EdgeNode implements Graph.
+func (c *Clos) EdgeNode(e int) int { return e }
+
+// NodeIndex flattens a NodeID into the Graph node order.
+func (c *Clos) NodeIndex(id NodeID) int {
+	switch id.Kind {
+	case KindFA:
+		return id.Index
+	case KindFE1:
+		return c.NumFA + id.Index
+	default:
+		return c.NumFA + c.NumFE1 + id.Index
+	}
+}
+
+// Node implements Graph.
+func (c *Clos) Node(i int) NodeInfo {
+	switch {
+	case i < c.NumFA:
+		return NodeInfo{Name: fmt.Sprintf("FA%d", i), Role: "FA", Tier: 0, Ports: c.FAUplinks}
+	case i < c.NumFA+c.NumFE1:
+		return NodeInfo{Name: fmt.Sprintf("FE1_%d", i-c.NumFA), Role: "FE1", Tier: 1, Ports: c.FE1Down + c.FE1Up}
+	default:
+		return NodeInfo{Name: fmt.Sprintf("FE2_%d", i-c.NumFA-c.NumFE1), Role: "FE2", Tier: 2, Ports: c.FE2Down}
+	}
+}
+
+// GraphLinks implements Graph: Links flattened to node indices, in the
+// same order, so topology link i keeps directed lanes 2i/2i+1.
+func (c *Clos) GraphLinks() []GraphLink {
+	out := make([]GraphLink, len(c.Links))
+	for i, lk := range c.Links {
+		out[i] = GraphLink{
+			A: c.NodeIndex(lk.A), APort: lk.APort,
+			B: c.NodeIndex(lk.B), BPort: lk.BPort,
+		}
+	}
+	return out
+}
+
+// Routes implements Graph with the converged up/down candidate sets.
+func (c *Clos) Routes(up []bool) (descend [][][]int, climb [][]int) {
+	nn := c.NumNodes()
+	descend = make([][][]int, nn)
+	for n := range descend {
+		descend[n] = make([][]int, c.NumFA)
+	}
+	climb = make([][]int, nn)
+	// fe1Reach[f] = set of FAs FE1 f has a live down link to, with the
+	// port reaching each; built from the wiring in link order (ports of a
+	// device are wired ascending by both constructors).
+	fe1Reach := make([]map[int]int, c.NumFE1) // fa -> FE1 down port
+	for f := range fe1Reach {
+		fe1Reach[f] = make(map[int]int)
+	}
+	for i, lk := range c.Links {
+		live := up == nil || up[i]
+		switch lk.A.Kind {
+		case KindFA: // FA <-> FE1
+			if live {
+				fa, f := lk.A.Index, lk.B.Index
+				climb[fa] = append(climb[fa], lk.APort)
+				descend[c.NumFA+f][fa] = append(descend[c.NumFA+f][fa], lk.BPort)
+				fe1Reach[f][fa] = lk.BPort
+			}
+		case KindFE1: // FE1 <-> FE2
+			if live {
+				climb[c.NumFA+lk.A.Index] = append(climb[c.NumFA+lk.A.Index], lk.APort)
+			}
+		}
+	}
+	// Spines descend over every live down link whose FE1 still reaches
+	// the destination — the post-convergence reach.Table contents.
+	for i, lk := range c.Links {
+		if lk.A.Kind != KindFE1 {
+			continue
+		}
+		if up != nil && !up[i] {
+			continue
+		}
+		f, sp := lk.A.Index, c.NumFA+c.NumFE1+lk.B.Index
+		for fa := range fe1Reach[f] {
+			descend[sp][fa] = append(descend[sp][fa], lk.BPort)
+		}
+	}
+	for n := range descend {
+		for e := range descend[n] {
+			sortInts(descend[n][e])
+		}
+		sortInts(climb[n])
+	}
+	return descend, climb
+}
+
+// sortInts is an allocation-free insertion sort for the short port lists
+// route construction builds (control plane, but called per (node, dst)).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

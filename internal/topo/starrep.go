@@ -1,0 +1,87 @@
+// Star-replaced dual-port server-centric network (the "stellar
+// transformation" of PAPERS.md): take a base d-regular graph — here a
+// circulant on m nodes with offsets 1..d/2, deterministic and connected —
+// and replace every base node with a star: one switch plus d dual-port
+// servers. Each server spends one port on its local switch and one on the
+// "stellar" link to the partner server across its base edge, so the
+// servers themselves form the transit fabric and the switches are pure
+// local interconnect. Traffic enters and leaves at the servers (the edge
+// devices); routing is distance-decreasing multipath over live-graph BFS,
+// loop-free by construction.
+package topo
+
+import "fmt"
+
+// StarReplaced is the star-replacement of a circulant base graph.
+type StarReplaced struct {
+	M int // base (and switch) count
+	D int // base degree (even); servers per switch
+
+	links []GraphLink
+}
+
+// NewStarReplaced builds the star-replacement of the circulant graph
+// C(m, {1..d/2}). d must be even and < m so every offset yields two
+// distinct neighbors and the base is exactly d-regular.
+func NewStarReplaced(m, d int) (*StarReplaced, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("topo: star base degree must be even and >= 2, got %d", d)
+	}
+	if m <= d {
+		return nil, fmt.Errorf("topo: star base needs m > d, got m=%d d=%d", m, d)
+	}
+	g := &StarReplaced{M: m, D: d}
+	// Local star links: switch u port i <-> server (u,i) port 0.
+	for u := 0; u < m; u++ {
+		for i := 0; i < d; i++ {
+			g.links = append(g.links, GraphLink{A: u, APort: i, B: g.server(u, i), BPort: 0})
+		}
+	}
+	// Stellar links: base edge (u, u+o) pairs server (u, 2(o-1)) with
+	// server (u+o, 2(o-1)+1), each on its second port.
+	for u := 0; u < m; u++ {
+		for o := 1; o <= d/2; o++ {
+			v := (u + o) % m
+			s1, s2 := g.server(u, 2*(o-1)), g.server(v, 2*(o-1)+1)
+			g.links = append(g.links, GraphLink{A: s1, APort: 1, B: s2, BPort: 1})
+		}
+	}
+	return g, nil
+}
+
+// server returns the node index of switch u's i-th server. Switches
+// occupy [0, M); servers follow.
+func (g *StarReplaced) server(u, i int) int { return g.M + u*g.D + i }
+
+// Spec implements Graph.
+func (g *StarReplaced) Spec() string { return fmt.Sprintf("star:m=%d,d=%d", g.M, g.D) }
+
+// NumNodes implements Graph.
+func (g *StarReplaced) NumNodes() int { return g.M + g.M*g.D }
+
+// NumTiers implements Graph: servers (edge) and switches (local core).
+func (g *StarReplaced) NumTiers() int { return 2 }
+
+// NumEdge implements Graph: every server sources and sinks traffic.
+func (g *StarReplaced) NumEdge() int { return g.M * g.D }
+
+// EdgeNode implements Graph.
+func (g *StarReplaced) EdgeNode(e int) int { return g.M + e }
+
+// Node implements Graph.
+func (g *StarReplaced) Node(i int) NodeInfo {
+	if i < g.M {
+		return NodeInfo{Name: fmt.Sprintf("SW%d", i), Role: "SW", Tier: 1, Ports: g.D}
+	}
+	return NodeInfo{Name: fmt.Sprintf("SRV%d", i-g.M), Role: "SRV", Tier: 0, Ports: 2}
+}
+
+// GraphLinks implements Graph.
+func (g *StarReplaced) GraphLinks() []GraphLink { return g.links }
+
+// Routes implements Graph: distance-decreasing BFS multipath on the live
+// graph, the natural scheme for a server-centric network with no up/down
+// hierarchy.
+func (g *StarReplaced) Routes(up []bool) (descend [][][]int, climb [][]int) {
+	return bfsRoutes(g, up), make([][]int, g.NumNodes())
+}
